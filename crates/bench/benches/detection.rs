@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the ML substrate and the three detectors:
+//! training time and per-record inference latency — the quantities that
+//! bound how many vehicles one RSU can serve.
+
+use cad3::detector::{train_all, DetectionConfig, Detector};
+use cad3::SummaryTracker;
+use cad3_data::{DatasetConfig, SyntheticDataset};
+use cad3_ml::{Dataset, DecisionTree, DecisionTreeParams, FeatureKind, NaiveBayes, Schema};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn ml_dataset(n: usize) -> Dataset {
+    let schema = Schema::new(vec![
+        FeatureKind::Continuous,
+        FeatureKind::Continuous,
+        FeatureKind::Categorical { cardinality: 24 },
+    ]);
+    let mut ds = Dataset::new(schema, 2);
+    for i in 0..n {
+        let x = (i % 100) as f64;
+        ds.push(vec![x, -x / 10.0, (i % 24) as f64], usize::from(x > 50.0))
+            .expect("valid row");
+    }
+    ds
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml");
+    let train = ml_dataset(10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("naive_bayes_fit_10k", |b| {
+        b.iter(|| black_box(NaiveBayes::fit(&train).expect("trainable")));
+    });
+    group.bench_function("decision_tree_fit_10k", |b| {
+        b.iter(|| {
+            black_box(
+                DecisionTree::fit(&train, DecisionTreeParams::default()).expect("trainable"),
+            )
+        });
+    });
+    let nb = NaiveBayes::fit(&train).expect("trainable");
+    let dt = DecisionTree::fit(&train, DecisionTreeParams::default()).expect("trainable");
+    let row = [42.0, -4.2, 13.0];
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("naive_bayes_predict", |b| {
+        b.iter(|| black_box(nb.predict_proba(&row).expect("valid row")));
+    });
+    group.bench_function("decision_tree_predict", |b| {
+        b.iter(|| black_box(dt.predict_proba(&row).expect("valid row")));
+    });
+    group.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors");
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(9));
+    let models = train_all(&ds.features, &DetectionConfig::default()).expect("trainable");
+    let rec = ds.features[100];
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ad3_detect", |b| {
+        b.iter(|| black_box(models.ad3.detect(&rec, None).expect("model covers type")));
+    });
+    group.bench_function("centralized_detect", |b| {
+        b.iter(|| black_box(models.centralized.detect(&rec, None).expect("valid record")));
+    });
+    group.bench_function("cad3_detect_with_summary", |b| {
+        let mut tracker = SummaryTracker::new();
+        let p = models.cad3.naive_bayes().p_abnormal(&rec).expect("model covers type");
+        let summary = tracker
+            .observe(rec.vehicle, rec.road, p)
+            .or_else(|| tracker.observe(rec.vehicle, cad3_types::RoadId(u64::MAX), p));
+        b.iter(|| {
+            black_box(models.cad3.detect(&rec, summary.as_ref()).expect("model covers type"))
+        });
+    });
+    group.bench_function("train_all_small_corpus", |b| {
+        b.iter(|| {
+            black_box(
+                train_all(&ds.features[..4000], &DetectionConfig::default())
+                    .expect("trainable"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    use cad3_ml::{LogisticParams, LogisticRegression};
+    let mut group = c.benchmark_group("logistic");
+    let train = ml_dataset(10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("fit_10k", |b| {
+        b.iter(|| {
+            black_box(
+                LogisticRegression::fit(
+                    &train,
+                    LogisticParams { epochs: 20, ..LogisticParams::default() },
+                )
+                .expect("trainable"),
+            )
+        });
+    });
+    let lr = LogisticRegression::fit(&train, LogisticParams::default()).expect("trainable");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(lr.predict_proba(&[42.0, -4.2, 13.0]).expect("valid row")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml, bench_detectors, bench_logistic);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the full pipeline: RSU micro-batch execution
+//! and a complete virtual-time testbed second.
+
+use cad3::detector::{train_all, DetectionConfig};
+use cad3::scenario::single_rsu_scaling;
+use cad3::{RsuNode, SystemConfig, VehicleAgent};
+use cad3_data::{DatasetConfig, SyntheticDataset};
+use cad3_stream::TOPIC_IN_DATA;
+use cad3_types::{RoadType, RsuId, SimDuration, SimTime, VehicleId, WireEncode};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_rsu_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(17));
+    let models = train_all(&ds.features, &DetectionConfig::default()).expect("trainable");
+    let detector = Arc::new(models.cad3);
+
+    // One batch of 128 records, like 256 vehicles at 10 Hz in a 50 ms batch.
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("rsu_batch_128_records", |b| {
+        b.iter_batched(
+            || {
+                let rsu = RsuNode::new(
+                    RsuId(1),
+                    "bench",
+                    detector.clone(),
+                    cad3::ProcessingCostModel::default(),
+                );
+                let mut agent = VehicleAgent::new(VehicleId(1), ds.features[..256].to_vec());
+                for i in 0..128u64 {
+                    let status = agent.next_status(SimTime::from_millis(i));
+                    rsu.broker()
+                        .produce(
+                            TOPIC_IN_DATA,
+                            None,
+                            Some(bytes::Bytes::copy_from_slice(
+                                &status.vehicle.raw().to_be_bytes(),
+                            )),
+                            status.encode_to_bytes(),
+                            i,
+                        )
+                        .expect("topic exists");
+                }
+                rsu
+            },
+            |mut rsu| black_box(rsu.run_batch(SimTime::from_millis(200)).expect("batch runs")),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // A complete virtual second of the 64-vehicle testbed.
+    let pool = ds.features_of_type(RoadType::Motorway);
+    let det = Arc::new(models.ad3);
+    group.throughput(Throughput::Elements(640)); // 64 vehicles × 10 Hz × 1 s
+    group.bench_function("testbed_virtual_second_64v", |b| {
+        b.iter(|| {
+            black_box(single_rsu_scaling(
+                SystemConfig::default(),
+                3,
+                det.clone(),
+                pool.clone(),
+                64,
+                SimDuration::from_secs(1),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rsu_batch
+}
+criterion_main!(benches);

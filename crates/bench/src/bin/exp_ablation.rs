@@ -1,0 +1,68 @@
+//! Ablations of the design choices DESIGN.md calls out: Eq. 1 fusion
+//! weight, micro-batch interval, consumer poll interval.
+
+use cad3_bench::{experiments, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    tables::banner("Ablation — Eq. 1 fusion weight (paper fixes w = 0.5)");
+    let result = experiments::ablation(DEFAULT_SEED, quick_mode());
+    let rows: Vec<Vec<String>> = result
+        .fusion
+        .iter()
+        .map(|r| {
+            vec![
+                tables::f(r.weight, 2),
+                tables::f(r.f1, 4),
+                format!("{:.1} %", r.fn_rate_pct),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&["weight", "CAD3 F1", "CAD3 FN rate"], &rows));
+    println!("w = 0 degrades CAD3 to a tree over P_NB alone; w = 1 trusts only history.");
+
+    tables::banner("Ablation — summary history depth (paper keeps all history)");
+    let rows: Vec<Vec<String>> = result
+        .depth
+        .iter()
+        .map(|r| {
+            vec![
+                r.depth.map_or("all".to_owned(), |d| d.to_string()),
+                tables::f(r.f1, 4),
+                format!("{:.1} %", r.fn_rate_pct),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&["roads kept", "CAD3 F1", "CAD3 FN rate"], &rows));
+    println!("Short memories make the driver prior reactive; full history is smoothest.");
+
+    tables::banner("Ablation — micro-batch interval (paper uses 50 ms)");
+    let rows: Vec<Vec<String>> = result
+        .batch
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch_interval_ms.to_string(),
+                tables::f(r.queuing_ms, 2),
+                tables::f(r.total_ms, 2),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&["batch ms", "queue ms", "total ms"], &rows));
+    println!("Queuing scales with the interval (mean wait ≈ interval/2).");
+
+    tables::banner("Ablation — consumer poll interval (paper uses 10 ms)");
+    let rows: Vec<Vec<String>> = result
+        .poll
+        .iter()
+        .map(|r| {
+            vec![
+                r.poll_interval_ms.to_string(),
+                tables::f(r.dissemination_ms, 2),
+                tables::f(r.total_ms, 2),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&["poll ms", "dissem ms", "total ms"], &rows));
+    println!("Dissemination scales with the poll interval (mean wait ≈ interval/2 + fetch).");
+    write_json("ablation", &result);
+}

@@ -1,0 +1,139 @@
+//! Runs every experiment binary's workload in sequence — regenerates all
+//! tables and figures of the paper's evaluation in one go.
+
+use cad3_bench::{experiments, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    let quick = quick_mode();
+    println!(
+        "Regenerating all CAD3 experiments (mode: {}; set CAD3_QUICK=1 for a fast pass)",
+        if quick { "quick" } else { "full" }
+    );
+
+    tables::banner("Fig. 2");
+    let fig2 = experiments::fig2();
+    println!("{} speed-profile series generated.", fig2.len());
+    write_json("fig2_speed_profiles", &fig2);
+
+    tables::banner("Fig. 6a / 6c");
+    let scaling = experiments::scaling_sweep(DEFAULT_SEED, quick);
+    for r in &scaling.rows {
+        println!(
+            "{:>4} vehicles: total {:6.2} ms (tx {:.2} | queue {:5.2} | proc {:5.2} | dissem {:5.2}) | {} per vehicle, {} total",
+            r.vehicles,
+            r.total_ms,
+            r.tx_ms,
+            r.queuing_ms,
+            r.processing_ms,
+            r.dissemination_ms,
+            tables::bps(r.per_vehicle_bps),
+            tables::bps(r.total_bps),
+        );
+    }
+    write_json("fig6a_latency_scaling", &scaling);
+    write_json("fig6c_bandwidth_scaling", &scaling);
+
+    tables::banner("Fig. 6b / 6d");
+    let multi = experiments::multi_rsu_deployment(DEFAULT_SEED, quick);
+    for r in &multi.rows {
+        println!(
+            "{:>8}: dissemination {:5.2} ± {:.2} ms | vehicles {} | CO-DATA {} | total {}",
+            r.name,
+            r.dissemination_ms,
+            r.dissemination_stderr_ms,
+            tables::bps(r.uplink_bps),
+            tables::bps(r.co_data_bps),
+            tables::bps(r.total_bps),
+        );
+    }
+    write_json("fig6b_dissemination", &multi);
+    write_json("fig6d_bandwidth_per_rsu", &multi);
+
+    tables::banner("Fig. 7");
+    let fig7 = experiments::fig7(DEFAULT_SEED, quick);
+    for r in &fig7.rows {
+        println!("{:>12}: accuracy {:.4} | F1 {:.4}", r.model, r.accuracy, r.f1);
+    }
+    write_json("fig7_detection_quality", &fig7);
+
+    tables::banner("Fig. 8");
+    let fig8 = experiments::fig8(DEFAULT_SEED);
+    println!(
+        "trip of a {} driver, {} points: accuracies [centralized {:.3}, ad3 {:.3}, cad3 {:.3}], flips {:?}",
+        fig8.profile, fig8.points, fig8.accuracies[0], fig8.accuracies[1], fig8.accuracies[2], fig8.flips
+    );
+    write_json("fig8_mesoscopic", &fig8);
+
+    tables::banner("Table III");
+    let t3 = experiments::table3(DEFAULT_SEED, quick);
+    for r in &t3 {
+        println!(
+            "{:>15}: {:>5} cars | {:>5} trips | mean speed {:6.1} | {:>8} trajectories",
+            r.region, r.cars, r.trips, r.mean_speed_kmh, r.trajectories
+        );
+    }
+    write_json("table3_dataset_stats", &t3);
+
+    tables::banner("Table IV");
+    let t4 = experiments::table4(DEFAULT_SEED, quick);
+    for r in &t4.rows {
+        println!(
+            "{:>12}: TP {:5.1} % | FN {:5.1} % | E(Λ) {:8.0}",
+            r.model, r.tp_rate_pct, r.fn_rate_pct, r.expected_accidents
+        );
+    }
+    write_json("table4_accidents", &t4);
+
+    tables::banner("Table V");
+    let t5 = experiments::table5();
+    println!("total RSUs: {}", t5.iter().map(|r| r.rsus).sum::<usize>());
+    write_json("table5_rsu_requirements", &t5);
+
+    tables::banner("Table VI");
+    let t6 = experiments::table6(DEFAULT_SEED, quick);
+    for r in &t6 {
+        println!(
+            "{:>14}: {:>6} placed | avg {:6.1} m | max {:6.1} m | 300 m coverage {:.1} %",
+            r.kind,
+            r.count,
+            r.avg_m,
+            r.max_m,
+            r.coverage_300m * 100.0
+        );
+    }
+    write_json("table6_infrastructure", &t6);
+
+    tables::banner("Fig. 9");
+    let fig9 = experiments::fig9(DEFAULT_SEED, quick);
+    println!(
+        "{} RSU sites | 300 m coverage {:.1}% ({} gaps) | {} SCHs used, {} conflicts",
+        fig9.sites,
+        fig9.coverage_300m * 100.0,
+        fig9.gaps_300m,
+        fig9.channels_used,
+        fig9.channel_conflicts
+    );
+    write_json("fig9_deployment", &fig9);
+
+    tables::banner("Eq. 5-6 MAC analysis");
+    let mac = experiments::mac_analysis();
+    for r in &mac {
+        println!(
+            "MCS{}: {:4.1} Mb/s | t_v(256) {:6.2} ms | 256@10Hz: {}",
+            r.mcs,
+            r.rate_mbps,
+            r.access_256_ms,
+            if r.supports_256_at_10hz { "yes" } else { "no" }
+        );
+    }
+    write_json("mac_analysis", &mac);
+
+    tables::banner("Ablations");
+    let ab = experiments::ablation(DEFAULT_SEED, quick);
+    for r in &ab.fusion {
+        println!("fusion w={:.2}: F1 {:.4}, FN {:.1} %", r.weight, r.f1, r.fn_rate_pct);
+    }
+    write_json("ablation", &ab);
+
+    println!("\nAll experiments complete.");
+}

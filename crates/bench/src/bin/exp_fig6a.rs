@@ -1,0 +1,46 @@
+//! Fig. 6a — Tx / processing / total latency vs number of vehicles.
+
+use cad3_bench::{experiments, paper, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    tables::banner("Figure 6a — end-to-end latency vs vehicles (single RSU)");
+    let result = experiments::scaling_sweep(DEFAULT_SEED, quick_mode());
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.vehicles.to_string(),
+                tables::f(r.tx_ms, 2),
+                tables::f(r.queuing_ms, 2),
+                tables::f(r.processing_ms, 2),
+                tables::f(r.dissemination_ms, 2),
+                format!("{:.2} ± {:.2}", r.total_ms, r.total_stderr_ms),
+                tables::f(r.total_p95_ms, 1),
+                r.samples.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(
+            &["vehicles", "tx ms", "queue ms", "proc ms", "dissem ms", "total ms", "p95 ms", "n"],
+            &rows,
+        )
+    );
+    println!(
+        "Paper: total {:.1} ms @8 -> {:.1} ms @256 (always < {:.0} ms); processing {:.1} -> {:.1} ms.",
+        paper::FIG6A_TOTAL_AT_8,
+        paper::FIG6A_TOTAL_AT_256,
+        paper::LATENCY_BOUND_MS,
+        paper::FIG6A_PROC_AT_8,
+        paper::FIG6A_PROC_AT_256,
+    );
+    let worst = result.rows.iter().map(|r| r.total_ms).fold(0.0, f64::max);
+    println!(
+        "Measured: worst mean total {:.1} ms — bound {} HELD.",
+        worst,
+        if worst < paper::LATENCY_BOUND_MS { "✓" } else { "✗ NOT" }
+    );
+    write_json("fig6a_latency_scaling", &result);
+}

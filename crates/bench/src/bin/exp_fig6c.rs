@@ -1,0 +1,30 @@
+//! Fig. 6c — per-vehicle and total bandwidth vs number of vehicles.
+
+use cad3_bench::{experiments, paper, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    tables::banner("Figure 6c — bandwidth vs vehicles (single RSU)");
+    let result = experiments::scaling_sweep(DEFAULT_SEED ^ 0xC, quick_mode());
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.vehicles.to_string(),
+                tables::bps(r.per_vehicle_bps),
+                tables::bps(r.total_bps),
+                tables::f(r.total_bps / paper::DSRC_CAPACITY_BPS * 100.0, 1) + " %",
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(&["vehicles", "per-vehicle", "total", "of DSRC 27 Mb/s"], &rows)
+    );
+    println!(
+        "Paper: ~{} per vehicle; ~{} total at 256 vehicles (< 1/5 of DSRC capacity).",
+        tables::bps(paper::FIG6C_PER_VEHICLE_BPS),
+        tables::bps(paper::FIG6C_TOTAL_AT_256_BPS),
+    );
+    write_json("fig6c_bandwidth_scaling", &result);
+}

@@ -1,0 +1,42 @@
+//! Fig. 7 — F1 and accuracy: centralized vs distributed standalone (AD3)
+//! vs collaborative (CAD3).
+
+use cad3_bench::{experiments, paper, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    tables::banner("Figure 7 — detection quality: centralized vs AD3 vs CAD3");
+    let result = experiments::fig7(DEFAULT_SEED, quick_mode());
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                tables::f(r.accuracy, 4),
+                tables::f(r.f1, 4),
+                tables::f(r.precision, 4),
+                tables::f(r.recall, 4),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(&["model", "accuracy", "F1", "precision", "recall"], &rows)
+    );
+    let (central, ad3, cad3) = (&result.rows[0], &result.rows[1], &result.rows[2]);
+    println!(
+        "Measured gains: CAD3 vs AD3: F1 {:+.4}, acc {:+.4}; CAD3 vs centralized: F1 {:+.4}, acc {:+.4}.",
+        cad3.f1 - ad3.f1,
+        cad3.accuracy - ad3.accuracy,
+        cad3.f1 - central.f1,
+        cad3.accuracy - central.accuracy,
+    );
+    println!(
+        "Paper gains:    CAD3 vs AD3: F1 +{:.4}, acc +{:.4}; CAD3 vs centralized: +{:.4} both.",
+        paper::FIG7_F1_GAIN_OVER_AD3,
+        paper::FIG7_ACC_GAIN_OVER_AD3,
+        paper::FIG7_GAIN_OVER_CENTRALIZED,
+    );
+    println!("({} test records, {:.1}% abnormal)", result.test_records, result.abnormal_fraction * 100.0);
+    write_json("fig7_detection_quality", &result);
+}

@@ -1,0 +1,85 @@
+//! Robustness check behind EXPERIMENTS.md: the Fig. 7 / Table IV orderings
+//! must hold across corpus seeds, not just at the reported one. Runs the
+//! detection comparison over several independently generated corpora and
+//! reports per-seed results plus the ordering win-rate.
+
+use cad3::detector::DetectionConfig;
+use cad3::scenario::detection_comparison;
+use cad3_bench::{quick_mode, tables, write_json, DEFAULT_SEED};
+use cad3_data::{DatasetConfig, SyntheticDataset};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SeedRow {
+    seed: u64,
+    f1_centralized: f64,
+    f1_ad3: f64,
+    f1_cad3: f64,
+    fn_pct_centralized: f64,
+    fn_pct_ad3: f64,
+    fn_pct_cad3: f64,
+}
+
+fn main() {
+    tables::banner("Seed stability — Fig. 7 / Table IV orderings across corpora");
+    let quick = quick_mode();
+    let seeds: Vec<u64> = (0..if quick { 3 } else { 5 }).map(|i| DEFAULT_SEED + i * 1000).collect();
+    let mut rows_data = Vec::new();
+    for &seed in &seeds {
+        let config = if quick {
+            DatasetConfig::small(seed)
+        } else {
+            DatasetConfig::paper_89k(seed)
+        };
+        let ds = SyntheticDataset::generate(&config);
+        let rows = detection_comparison(&ds, &DetectionConfig::default(), seed)
+            .expect("corpus is trainable");
+        rows_data.push(SeedRow {
+            seed,
+            f1_centralized: rows[0].f1,
+            f1_ad3: rows[1].f1,
+            f1_cad3: rows[2].f1,
+            fn_pct_centralized: rows[0].fn_rate * 100.0,
+            fn_pct_ad3: rows[1].fn_rate * 100.0,
+            fn_pct_cad3: rows[2].fn_rate * 100.0,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                tables::f(r.f1_centralized, 4),
+                tables::f(r.f1_ad3, 4),
+                tables::f(r.f1_cad3, 4),
+                format!("{:.1}/{:.1}/{:.1} %", r.fn_pct_centralized, r.fn_pct_ad3, r.fn_pct_cad3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(&["seed", "F1 central", "F1 ad3", "F1 cad3", "FN c/a/k"], &rows)
+    );
+
+    let edge_beats_central =
+        rows_data.iter().filter(|r| r.f1_ad3 > r.f1_centralized && r.f1_cad3 > r.f1_centralized).count();
+    let cad3_fn_best = rows_data
+        .iter()
+        .filter(|r| r.fn_pct_cad3 <= r.fn_pct_ad3 + 0.1 && r.fn_pct_cad3 < r.fn_pct_centralized)
+        .count();
+    let cad3_f1_ge_ad3 = rows_data.iter().filter(|r| r.f1_cad3 + 0.005 >= r.f1_ad3).count();
+    println!(
+        "\nedge models beat centralized on F1:      {edge_beats_central}/{} seeds",
+        rows_data.len()
+    );
+    println!(
+        "CAD3 has the lowest FN rate:              {cad3_fn_best}/{} seeds",
+        rows_data.len()
+    );
+    println!(
+        "CAD3 F1 ≥ AD3 (within noise):             {cad3_f1_ge_ad3}/{} seeds",
+        rows_data.len()
+    );
+    write_json("seed_stability", &rows_data);
+}

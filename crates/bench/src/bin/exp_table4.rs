@@ -1,0 +1,48 @@
+//! Table IV — TP rate, FN rate and expected potential accidents E(Λ).
+
+use cad3_bench::{experiments, paper, quick_mode, tables, write_json, DEFAULT_SEED};
+
+fn main() {
+    tables::banner("Table IV — TP/FN rates and potential accidents E(Λ)");
+    let result = experiments::table4(DEFAULT_SEED, quick_mode());
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .zip(paper::TABLE4_TP_RATES.iter().zip(&paper::TABLE4_FN_RATES).zip(&paper::TABLE4_EXPECTED_ACCIDENTS))
+        .map(|(r, ((ptp, pfn), pacc))| {
+            vec![
+                r.model.clone(),
+                format!("{:.1} %", r.tp_rate_pct),
+                format!("{ptp:.1} %"),
+                format!("{:.1} %", r.fn_rate_pct),
+                format!("{pfn:.1} %"),
+                tables::f(r.expected_accidents, 0),
+                tables::f(*pacc, 0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        tables::render(
+            &["model", "TP rate", "(paper)", "FN rate", "(paper)", "E(Λ)", "(paper)"],
+            &rows,
+        )
+    );
+    let [c, a, k] = [
+        result.rows[0].expected_accidents,
+        result.rows[1].expected_accidents,
+        result.rows[2].expected_accidents,
+    ];
+    println!(
+        "Measured ratios: centralized/CAD3 = {:.1}×, AD3/CAD3 = {:.1}× (paper: 24× and 4×).",
+        c / k.max(1e-9),
+        a / k.max(1e-9),
+    );
+    println!(
+        "({} test records, {:.1}% abnormal; paper corpus: 500k records, {:.0}% abnormal)",
+        result.test_records,
+        result.abnormal_fraction * 100.0,
+        paper::TABLE4_ABNORMAL_FRACTION * 100.0,
+    );
+    write_json("table4_accidents", &result);
+}

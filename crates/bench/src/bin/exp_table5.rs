@@ -1,0 +1,24 @@
+//! Table V — RSUs required per road type (one RSU per km of used road).
+
+use cad3_bench::{experiments, tables, write_json};
+
+fn main() {
+    tables::banner("Table V — RSUs required per road type");
+    let rows_data = experiments::table5();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.road_type.clone(),
+                format!("{:.1} %", r.density_pct),
+                r.roads.to_string(),
+                tables::f(r.mean_m, 0),
+                r.rsus.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&["road type", "density", "# roads", "mean (m)", "RSUs"], &rows));
+    let total: usize = rows_data.iter().map(|r| r.rsus).sum();
+    println!("Total RSUs: {total} (paper rows give the same per-type counts, e.g. motorway 1460).");
+    write_json("table5_rsu_requirements", &rows_data);
+}

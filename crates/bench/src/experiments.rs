@@ -1,0 +1,803 @@
+//! One function per paper table/figure. Each returns a serialisable result
+//! consumed by the `exp_*` binaries.
+
+use cad3::detector::{train_all, DetectionConfig};
+use cad3::scenario::{
+    self, detection_comparison, find_mesoscopic_trip, mesoscopic_trip, ModelComparison,
+};
+use cad3::{RsuReport, SystemConfig};
+use cad3_data::{
+    infrastructure, DatasetConfig, DatasetStats, InfrastructureKind, RoadNetwork,
+    RoadNetworkConfig, RoadTypeSpec, RoadsideInfrastructure, SpeedProfile, SyntheticDataset,
+};
+use cad3_net::{MacModel, Mcs};
+use cad3_sim::SimRng;
+use cad3_types::{DayOfWeek, DriverProfile, FeatureRecord, RoadType, SimDuration};
+use serde::Serialize;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Fig. 2 — speed profiles
+// ---------------------------------------------------------------------
+
+/// One Fig. 2 series: hourly mean speeds of a road type on a day class.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Series {
+    /// Road type name.
+    pub road_type: String,
+    /// "weekday" or "weekend".
+    pub day_class: String,
+    /// Mean speed per hour of day, km/h.
+    pub hourly_mean_kmh: Vec<f64>,
+}
+
+/// Computes the Fig. 2 speed-profile series.
+pub fn fig2() -> Vec<Fig2Series> {
+    let mut out = Vec::new();
+    for rt in [RoadType::Motorway, RoadType::MotorwayLink] {
+        let profile = SpeedProfile::for_road_type(rt);
+        for (day, class) in [(DayOfWeek::Wednesday, "weekday"), (DayOfWeek::Saturday, "weekend")] {
+            out.push(Fig2Series {
+                road_type: rt.to_string(),
+                day_class: class.to_owned(),
+                hourly_mean_kmh: profile.daily_series(day),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6a / 6c — single-RSU scaling
+// ---------------------------------------------------------------------
+
+/// One row of the scaling sweep (a vehicle count).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Vehicles attached to the RSU.
+    pub vehicles: u32,
+    /// Mean transmission latency, ms.
+    pub tx_ms: f64,
+    /// Mean queuing latency, ms.
+    pub queuing_ms: f64,
+    /// Mean processing latency, ms.
+    pub processing_ms: f64,
+    /// Mean dissemination latency, ms.
+    pub dissemination_ms: f64,
+    /// Mean total end-to-end latency, ms.
+    pub total_ms: f64,
+    /// Standard error of the total, ms.
+    pub total_stderr_ms: f64,
+    /// 95th percentile of the total, ms.
+    pub total_p95_ms: f64,
+    /// Average per-vehicle uplink bandwidth, bits/s.
+    pub per_vehicle_bps: f64,
+    /// Total uplink bandwidth at the RSU, bits/s.
+    pub total_bps: f64,
+    /// Warnings that completed the full path during measurement.
+    pub samples: usize,
+}
+
+/// Result of the Fig. 6a/6c sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingResult {
+    /// One row per vehicle count.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Runs the Fig. 6a/6c single-RSU sweep over the given vehicle counts.
+pub fn scaling_sweep(seed: u64, quick: bool) -> ScalingResult {
+    let counts: &[u32] = if quick { &[8, 32, 128] } else { &[8, 16, 32, 64, 128, 256] };
+    let duration = SimDuration::from_secs(if quick { 5 } else { 15 });
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(seed));
+    let models = train_all(&ds.features, &DetectionConfig::default()).expect("corpus is trainable");
+    let detector = Arc::new(models.ad3);
+    let pool = ds.features_of_type(RoadType::Motorway);
+
+    let rows = counts
+        .iter()
+        .map(|&n| {
+            let report = scenario::single_rsu_scaling(
+                SystemConfig::default(),
+                seed ^ n as u64,
+                detector.clone(),
+                pool.clone(),
+                n,
+                duration,
+            );
+            let r = &report.per_rsu[0];
+            scaling_row(n, r)
+        })
+        .collect();
+    ScalingResult { rows }
+}
+
+fn scaling_row(vehicles: u32, r: &RsuReport) -> ScalingRow {
+    ScalingRow {
+        vehicles,
+        tx_ms: r.latency.tx_ms.mean(),
+        queuing_ms: r.latency.queuing_ms.mean(),
+        processing_ms: r.latency.processing_ms.mean(),
+        dissemination_ms: r.latency.dissemination_ms.mean(),
+        total_ms: r.latency.total_ms.mean(),
+        total_stderr_ms: r.latency.total_ms.std_err(),
+        total_p95_ms: r.latency.total_ms.percentile(95.0),
+        per_vehicle_bps: r.per_vehicle_bps,
+        total_bps: r.uplink_bps,
+        samples: r.latency.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6b / 6d — multi-RSU deployment
+// ---------------------------------------------------------------------
+
+/// One RSU's row in the Fig. 6b/6d deployment.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiRsuRow {
+    /// RSU name ("Mw Link", "Mw R1", ...).
+    pub name: String,
+    /// Mean dissemination latency, ms.
+    pub dissemination_ms: f64,
+    /// Standard error of the dissemination latency, ms.
+    pub dissemination_stderr_ms: f64,
+    /// Mean total latency, ms.
+    pub total_ms: f64,
+    /// Uplink (vehicle) bandwidth, bits/s.
+    pub uplink_bps: f64,
+    /// Inbound `CO-DATA` collaboration bandwidth, bits/s.
+    pub co_data_bps: f64,
+    /// Total received bandwidth, bits/s.
+    pub total_bps: f64,
+}
+
+/// Result of the five-RSU experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiRsuResult {
+    /// One row per RSU; index 0 is the motorway-link RSU.
+    pub rows: Vec<MultiRsuRow>,
+}
+
+/// Runs the Fig. 6b/6d five-RSU deployment (4 motorway + 1 link,
+/// `vehicles_per_rsu` each; the paper uses 128).
+pub fn multi_rsu_deployment(seed: u64, quick: bool) -> MultiRsuResult {
+    let vehicles = if quick { 32 } else { 128 };
+    let duration = SimDuration::from_secs(if quick { 5 } else { 15 });
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(seed));
+    let models = train_all(&ds.features, &DetectionConfig::default()).expect("corpus is trainable");
+    let report = scenario::multi_rsu(
+        SystemConfig::default(),
+        seed,
+        Arc::new(models.cad3),
+        ds.features_of_type(RoadType::Motorway),
+        ds.features_of_type(RoadType::MotorwayLink),
+        vehicles,
+        duration,
+    );
+    let rows = report
+        .per_rsu
+        .iter()
+        .map(|r| MultiRsuRow {
+            name: r.name.clone(),
+            dissemination_ms: r.latency.dissemination_ms.mean(),
+            dissemination_stderr_ms: r.latency.dissemination_ms.std_err(),
+            total_ms: r.latency.total_ms.mean(),
+            uplink_bps: r.uplink_bps,
+            co_data_bps: r.co_data_bps,
+            total_bps: r.uplink_bps + r.co_data_bps,
+        })
+        .collect();
+    MultiRsuResult { rows }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 / Table IV — detection quality
+// ---------------------------------------------------------------------
+
+/// One model's detection-quality row.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectionRow {
+    /// Model name.
+    pub model: String,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// F1 with abnormal as the positive class.
+    pub f1: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// TP rate over all records (Table IV convention), percent.
+    pub tp_rate_pct: f64,
+    /// FN rate over all records (Table IV convention), percent.
+    pub fn_rate_pct: f64,
+    /// Raw false negatives.
+    pub false_negatives: u64,
+    /// Expected potential accidents E(Λ), Eq. 3.
+    pub expected_accidents: f64,
+}
+
+/// Result of a detection-quality experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectionResult {
+    /// Records evaluated.
+    pub test_records: u64,
+    /// Fraction of abnormal records in the corpus.
+    pub abnormal_fraction: f64,
+    /// Rows in `[centralized, ad3, cad3]` order.
+    pub rows: Vec<DetectionRow>,
+}
+
+fn detection_row(c: &ModelComparison) -> DetectionRow {
+    DetectionRow {
+        model: c.model.clone(),
+        accuracy: c.accuracy,
+        f1: c.f1,
+        precision: c.confusion.precision(),
+        recall: c.confusion.recall(),
+        tp_rate_pct: c.tp_rate * 100.0,
+        fn_rate_pct: c.fn_rate * 100.0,
+        false_negatives: c.confusion.false_negatives(),
+        expected_accidents: c.expected_accidents,
+    }
+}
+
+/// Runs the Fig. 7 comparison (the ~89 k-record corpus).
+pub fn fig7(seed: u64, quick: bool) -> DetectionResult {
+    let config = if quick { DatasetConfig::small(seed) } else { DatasetConfig::paper_89k(seed) };
+    detection_experiment(&config, seed)
+}
+
+/// Runs the Table IV evaluation (the ~500 k-record corpus, 35% abnormal).
+pub fn table4(seed: u64, quick: bool) -> DetectionResult {
+    let config = if quick { DatasetConfig::small(seed) } else { DatasetConfig::paper_500k(seed) };
+    detection_experiment(&config, seed)
+}
+
+fn detection_experiment(config: &DatasetConfig, seed: u64) -> DetectionResult {
+    let ds = SyntheticDataset::generate(config);
+    let rows = detection_comparison(&ds, &DetectionConfig::default(), seed)
+        .expect("corpus is trainable");
+    DetectionResult {
+        test_records: rows[0].confusion.total(),
+        abnormal_fraction: ds.abnormal_fraction(),
+        rows: rows.iter().map(detection_row).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — mesoscopic trip timeline
+// ---------------------------------------------------------------------
+
+/// The Fig. 8 per-trip timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Result {
+    /// Ground-truth driver profile of the analysed trip.
+    pub profile: String,
+    /// Number of points along the trip.
+    pub points: usize,
+    /// Per-point verdict string per model, `A` = abnormal, `.` = normal.
+    pub truth_strip: String,
+    /// Centralized verdicts.
+    pub centralized_strip: String,
+    /// AD3 verdicts.
+    pub ad3_strip: String,
+    /// CAD3 verdicts.
+    pub cad3_strip: String,
+    /// Per-model accuracy over the trip `[centralized, ad3, cad3]`.
+    pub accuracies: [f64; 3],
+    /// Per-model prediction flips `[centralized, ad3, cad3]`.
+    pub flips: [usize; 3],
+}
+
+/// Runs the Fig. 8 mesoscopic analysis: an abnormal driver's multi-road
+/// trip from the held-out test split, replayed through all three models.
+///
+/// Like the paper's figure, this is an illustration: among the held-out
+/// abnormal multi-road trips, it shows the one where the collaborative
+/// model's advantage is most visible (ties broken toward stability).
+pub fn fig8(seed: u64) -> Fig8Result {
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(seed));
+    // 80/20 trip split, training once, then scan the held-out trips.
+    let mut rng = cad3_sim::SimRng::seed_from(seed);
+    let mut trip_ids: Vec<cad3_types::TripId> = ds.features.iter().map(|f| f.trip).collect();
+    trip_ids.dedup();
+    rng.shuffle(&mut trip_ids);
+    let cut = (trip_ids.len() * 8 / 10).max(1);
+    let held_out: std::collections::HashSet<_> = trip_ids[cut..].iter().copied().collect();
+    let train: Vec<FeatureRecord> =
+        ds.features.iter().filter(|f| !held_out.contains(&f.trip)).copied().collect();
+    let models = train_all(&train, &DetectionConfig::default()).expect("corpus is trainable");
+
+    let candidates: Vec<cad3_types::TripId> = ds
+        .trips
+        .iter()
+        .filter(|t| held_out.contains(&t.trip))
+        .filter(|t| ds.profiles.get(&t.vehicle).copied().map(DriverProfile::is_abnormal) == Some(true))
+        .filter(|t| t.roads.len() >= 2)
+        .map(|t| t.trip)
+        .collect();
+    let result = candidates
+        .iter()
+        .filter_map(|&t| mesoscopic_trip(&ds, &models, t).ok())
+        .filter(|r| (50..900).contains(&r.points.len()))
+        .max_by(|a, b| {
+            let score = |r: &cad3::scenario::MesoscopicResult| {
+                let [_, acc_a, acc_k] = r.accuracies();
+                let [_, fl_a, fl_k] = r.flips();
+                (acc_k - acc_a) + (fl_a as f64 - fl_k as f64) / r.points.len() as f64
+            };
+            score(a).partial_cmp(&score(b)).expect("scores are not NaN")
+        })
+        .or_else(|| {
+            let trip = find_mesoscopic_trip(&ds, DriverProfile::Sluggish)?;
+            mesoscopic_trip(&ds, &models, trip).ok()
+        })
+        .expect("corpus contains an evaluable abnormal trip");
+
+    let strip = |f: &dyn Fn(&cad3::scenario::MesoscopicPoint) -> cad3_types::Label| {
+        result
+            .points
+            .iter()
+            .map(|p| if f(p).is_abnormal() { 'A' } else { '.' })
+            .collect::<String>()
+    };
+    Fig8Result {
+        profile: result.profile.to_string(),
+        points: result.points.len(),
+        truth_strip: strip(&|p| p.truth),
+        centralized_strip: strip(&|p| p.centralized),
+        ad3_strip: strip(&|p| p.ad3),
+        cad3_strip: strip(&|p| p.cad3),
+        accuracies: result.accuracies(),
+        flips: result.flips(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table III — dataset statistics
+// ---------------------------------------------------------------------
+
+/// One Table III row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Region / road type.
+    pub region: String,
+    /// Distinct cars.
+    pub cars: usize,
+    /// Trips.
+    pub trips: usize,
+    /// Mean speed, km/h.
+    pub mean_speed_kmh: f64,
+    /// Trajectory records.
+    pub trajectories: usize,
+}
+
+/// Computes the Table III statistics of the synthetic corpus.
+pub fn table3(seed: u64, quick: bool) -> Vec<Table3Row> {
+    let config = if quick { DatasetConfig::small(seed) } else { DatasetConfig::paper_500k(seed) };
+    let ds = SyntheticDataset::generate(&config);
+    DatasetStats::compute(&ds.features, &ds.trips)
+        .rows
+        .into_iter()
+        .map(|r| Table3Row {
+            region: r.region,
+            cars: r.cars,
+            trips: r.trips,
+            mean_speed_kmh: r.mean_speed_kmh,
+            trajectories: r.trajectories,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table V — RSU requirements
+// ---------------------------------------------------------------------
+
+/// One Table V row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Road type.
+    pub road_type: String,
+    /// Traffic-density share, percent.
+    pub density_pct: f64,
+    /// Number of road trunks.
+    pub roads: usize,
+    /// Mean trunk length, m.
+    pub mean_m: f64,
+    /// RSUs required.
+    pub rsus: usize,
+}
+
+/// Computes the Table V RSU-requirement analysis.
+pub fn table5() -> Vec<Table5Row> {
+    infrastructure::rsu_requirements(&RoadTypeSpec::paper_table_v())
+        .into_iter()
+        .map(|r| Table5Row {
+            road_type: r.road_type.to_string(),
+            density_pct: r.traffic_share * 100.0,
+            roads: r.road_count,
+            mean_m: r.mean_length_m,
+            rsus: r.rsus,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table VI — roadside infrastructure spacing
+// ---------------------------------------------------------------------
+
+/// One Table VI row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6Row {
+    /// Infrastructure kind.
+    pub kind: String,
+    /// Installations placed.
+    pub count: usize,
+    /// Average spacing, m.
+    pub avg_m: f64,
+    /// Spacing standard deviation, m.
+    pub std_m: f64,
+    /// 75th-percentile spacing, m.
+    pub p75_m: f64,
+    /// Maximum spacing, m.
+    pub max_m: f64,
+    /// Fraction of gaps covered by a 300 m DSRC range.
+    pub coverage_300m: f64,
+}
+
+/// Places roadside infrastructure on a synthetic Shenzhen network and
+/// computes the Table VI spacing statistics.
+pub fn table6(seed: u64, quick: bool) -> Vec<Table6Row> {
+    let scale = if quick { 0.05 } else { 0.5 };
+    let network = RoadNetwork::generate(&RoadNetworkConfig::scaled(seed, scale));
+    let mut rng = SimRng::seed_from(seed);
+    [InfrastructureKind::TrafficLight, InfrastructureKind::LampPole]
+        .into_iter()
+        .map(|kind| {
+            let infra = RoadsideInfrastructure::place(&network, kind, &mut rng);
+            let s = infra.spacing_stats();
+            Table6Row {
+                kind: match kind {
+                    InfrastructureKind::TrafficLight => "traffic light".to_owned(),
+                    InfrastructureKind::LampPole => "lamp poles".to_owned(),
+                },
+                count: s.count,
+                avg_m: s.avg_m,
+                std_m: s.std_m,
+                p75_m: s.p75_m,
+                max_m: s.max_m,
+                coverage_300m: infra.coverage_within(300.0),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — deployment feasibility
+// ---------------------------------------------------------------------
+
+/// The Fig. 9 macroscopic feasibility analysis: a city-scale RSU plan,
+/// its DSRC coverage, the uncovered "grey circle" gaps and the
+/// service-channel assignment avoiding adjacent interference.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Result {
+    /// Planned RSU sites (one per km of road).
+    pub sites: usize,
+    /// Road-coverage fraction with a 300 m DSRC range.
+    pub coverage_300m: f64,
+    /// Uncovered sample points at 300 m (the grey circles).
+    pub gaps_300m: usize,
+    /// Road-coverage fraction with the 125 m MCS 8 range.
+    pub coverage_125m: f64,
+    /// Interference conflicts after channel assignment (300 m radius,
+    /// 6 DSRC service channels).
+    pub channel_conflicts: usize,
+    /// Distinct service channels used.
+    pub channels_used: usize,
+}
+
+/// Runs the Fig. 9 deployment feasibility analysis.
+pub fn fig9(seed: u64, quick: bool) -> Fig9Result {
+    use cad3_data::DeploymentPlan;
+    use cad3_net::{assign_channels, DSRC_SERVICE_CHANNELS};
+
+    let scale = if quick { 0.02 } else { 0.1 };
+    let network = RoadNetwork::generate(&RoadNetworkConfig::scaled(seed, scale));
+    let plan = DeploymentPlan::plan(&network, 1_000.0);
+    let step = if quick { 200.0 } else { 100.0 };
+    let coverage_300m = plan.coverage(&network, 300.0, step);
+    let gaps_300m = plan.coverage_gaps(&network, 300.0, step).len();
+    let coverage_125m = plan.coverage(&network, 125.0, step);
+    let positions: Vec<cad3_types::GeoPoint> = plan.sites.iter().map(|s| s.position).collect();
+    let channels = assign_channels(&positions, 300.0, DSRC_SERVICE_CHANNELS);
+    let channel_conflicts = channels.conflicts(&positions, 300.0).len();
+    let mut used = channels.channels.clone();
+    used.sort_unstable();
+    used.dedup();
+    Fig9Result {
+        sites: plan.len(),
+        coverage_300m,
+        gaps_300m,
+        coverage_125m,
+        channel_conflicts,
+        channels_used: used.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eq. 5–6 — MAC analysis
+// ---------------------------------------------------------------------
+
+/// One MCS row of the medium-access analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct MacRow {
+    /// MCS index (paper's 1-based numbering).
+    pub mcs: u8,
+    /// PHY data rate, Mb/s.
+    pub rate_mbps: f64,
+    /// Airtime of a 200 B frame, µs.
+    pub airtime_us: f64,
+    /// Eq. 5 access time for 256 vehicles, ms.
+    pub access_256_ms: f64,
+    /// Whether 256 vehicles at 10 Hz fit within the 100 ms period.
+    pub supports_256_at_10hz: bool,
+    /// Maximum vehicles serveable at 10 Hz.
+    pub max_vehicles_at_10hz: u32,
+}
+
+/// Computes the Eq. 5–6 medium-access analysis for all MCSs.
+pub fn mac_analysis() -> Vec<MacRow> {
+    let mac = MacModel::default();
+    let period = SimDuration::from_millis(100);
+    Mcs::ALL
+        .iter()
+        .map(|&mcs| {
+            let mut max_v = 0;
+            for n in 1..=4096 {
+                if mac.supports_update_rate(n, mcs, 200, period) {
+                    max_v = n;
+                } else {
+                    break;
+                }
+            }
+            MacRow {
+                mcs: mcs.index(),
+                rate_mbps: mcs.data_rate_mbps(),
+                airtime_us: mac.frame_airtime(mcs, 200).as_micros_f64(),
+                access_256_ms: mac.medium_access_time(256, mcs, 200).as_millis_f64(),
+                supports_256_at_10hz: mac.supports_update_rate(256, mcs, 200, period),
+                max_vehicles_at_10hz: max_v,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// Detection quality as a function of the Eq. 1 fusion weight.
+#[derive(Debug, Clone, Serialize)]
+pub struct FusionAblationRow {
+    /// Weight of the collaborative summary.
+    pub weight: f64,
+    /// CAD3 F1 at this weight.
+    pub f1: f64,
+    /// CAD3 FN rate (over all records), percent.
+    pub fn_rate_pct: f64,
+}
+
+/// Latency as a function of the micro-batch interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchAblationRow {
+    /// Batch interval, ms.
+    pub batch_interval_ms: u64,
+    /// Mean total latency, ms.
+    pub total_ms: f64,
+    /// Mean queuing latency, ms.
+    pub queuing_ms: f64,
+}
+
+/// Latency as a function of the consumer poll interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct PollAblationRow {
+    /// Poll interval, ms.
+    pub poll_interval_ms: u64,
+    /// Mean dissemination latency, ms.
+    pub dissemination_ms: f64,
+    /// Mean total latency, ms.
+    pub total_ms: f64,
+}
+
+/// Detection quality as a function of the summary history depth.
+#[derive(Debug, Clone, Serialize)]
+pub struct DepthAblationRow {
+    /// Previous roads retained in the collaboration summary
+    /// (`None` = unbounded).
+    pub depth: Option<usize>,
+    /// CAD3 F1 at this depth.
+    pub f1: f64,
+    /// CAD3 FN rate (over all records), percent.
+    pub fn_rate_pct: f64,
+}
+
+/// Results of the design-choice ablations called out in DESIGN.md.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationResult {
+    /// Eq. 1 fusion-weight sweep.
+    pub fusion: Vec<FusionAblationRow>,
+    /// Summary-depth sweep.
+    pub depth: Vec<DepthAblationRow>,
+    /// Micro-batch interval sweep.
+    pub batch: Vec<BatchAblationRow>,
+    /// Poll interval sweep.
+    pub poll: Vec<PollAblationRow>,
+}
+
+/// Runs all ablation sweeps.
+pub fn ablation(seed: u64, quick: bool) -> AblationResult {
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(seed));
+
+    // Fusion-weight sweep.
+    let weights: &[f64] = if quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+    let fusion = weights
+        .iter()
+        .map(|&w| {
+            let config = DetectionConfig { fusion_weight: w, ..DetectionConfig::default() };
+            let rows = detection_comparison(&ds, &config, seed).expect("corpus is trainable");
+            let cad3 = &rows[2];
+            FusionAblationRow { weight: w, f1: cad3.f1, fn_rate_pct: cad3.fn_rate * 100.0 }
+        })
+        .collect();
+
+    // Summary-depth sweep.
+    let depths: &[Option<usize>] = if quick {
+        &[Some(1), None]
+    } else {
+        &[Some(1), Some(2), Some(4), None]
+    };
+    let depth = depths
+        .iter()
+        .map(|&d| {
+            let config = DetectionConfig { summary_road_depth: d, ..DetectionConfig::default() };
+            let rows = detection_comparison(&ds, &config, seed).expect("corpus is trainable");
+            let cad3 = &rows[2];
+            DepthAblationRow { depth: d, f1: cad3.f1, fn_rate_pct: cad3.fn_rate * 100.0 }
+        })
+        .collect();
+
+    // Latency sweeps share a trained detector.
+    let models = train_all(&ds.features, &DetectionConfig::default()).expect("corpus is trainable");
+    let detector = Arc::new(models.ad3);
+    let pool = ds.features_of_type(RoadType::Motorway);
+    let duration = SimDuration::from_secs(if quick { 4 } else { 10 });
+    let vehicles = 64;
+
+    let intervals: &[u64] = if quick { &[25, 50, 100] } else { &[10, 25, 50, 100, 200] };
+    let batch = intervals
+        .iter()
+        .map(|&ms| {
+            let config = SystemConfig {
+                batch_interval: SimDuration::from_millis(ms),
+                ..SystemConfig::default()
+            };
+            let report = scenario::single_rsu_scaling(
+                config,
+                seed ^ ms,
+                detector.clone(),
+                pool.clone(),
+                vehicles,
+                duration,
+            );
+            let r = &report.per_rsu[0];
+            BatchAblationRow {
+                batch_interval_ms: ms,
+                total_ms: r.latency.total_ms.mean(),
+                queuing_ms: r.latency.queuing_ms.mean(),
+            }
+        })
+        .collect();
+
+    let polls: &[u64] = if quick { &[5, 10, 50] } else { &[2, 5, 10, 20, 50] };
+    let poll = polls
+        .iter()
+        .map(|&ms| {
+            let config = SystemConfig {
+                poll_interval: SimDuration::from_millis(ms),
+                ..SystemConfig::default()
+            };
+            let report = scenario::single_rsu_scaling(
+                config,
+                seed ^ (ms << 8),
+                detector.clone(),
+                pool.clone(),
+                vehicles,
+                duration,
+            );
+            let r = &report.per_rsu[0];
+            PollAblationRow {
+                poll_interval_ms: ms,
+                dissemination_ms: r.latency.dissemination_ms.mean(),
+                total_ms: r.latency.total_ms.mean(),
+            }
+        })
+        .collect();
+
+    AblationResult { fusion, depth, batch, poll }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_has_four_series_of_24_points() {
+        let series = fig2();
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.hourly_mean_kmh.len(), 24);
+        }
+        // Motorway weekday dips at rush hour.
+        let mw_weekday = &series[0];
+        assert!(mw_weekday.hourly_mean_kmh[8] < mw_weekday.hourly_mean_kmh[12]);
+    }
+
+    #[test]
+    fn mac_analysis_matches_paper_shape() {
+        let rows = mac_analysis();
+        assert_eq!(rows.len(), 8);
+        let mcs3 = &rows[2];
+        let mcs8 = &rows[7];
+        assert!(mcs3.access_256_ms > mcs8.access_256_ms);
+        assert!(mcs3.supports_256_at_10hz, "paper: 256 vehicles at 10 Hz fit at MCS 3");
+        assert!(mcs8.supports_256_at_10hz);
+        assert!(mcs8.max_vehicles_at_10hz > mcs3.max_vehicles_at_10hz);
+        // Within 15% of the paper's 92.62 ms figure.
+        assert!((mcs3.access_256_ms - 92.62).abs() / 92.62 < 0.15, "{}", mcs3.access_256_ms);
+    }
+
+    #[test]
+    fn table5_reproduces_paper_rsu_counts() {
+        let rows = table5();
+        let motorway = rows.iter().find(|r| r.road_type == "motorway").unwrap();
+        assert_eq!(motorway.rsus, 1460);
+        let total: usize = rows.iter().map(|r| r.rsus).sum();
+        assert!((4500..5500).contains(&total));
+    }
+
+    #[test]
+    fn quick_scaling_sweep_stays_under_bound() {
+        let result = scaling_sweep(7, true);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert!(row.total_ms < 50.0, "{} vehicles: {} ms", row.vehicles, row.total_ms);
+            assert!(row.samples > 10);
+        }
+        // Per-vehicle bandwidth near the paper's 20 kb/s.
+        let last = result.rows.last().unwrap();
+        assert!(last.per_vehicle_bps > 15_000.0 && last.per_vehicle_bps < 25_000.0);
+    }
+
+    #[test]
+    fn quick_fig7_reproduces_ordering() {
+        let r = fig7(11, true);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows[2].f1 > r.rows[0].f1, "cad3 beats centralized");
+        assert!(r.rows[1].f1 > r.rows[0].f1, "ad3 beats centralized");
+        assert!(r.rows[2].fn_rate_pct <= r.rows[1].fn_rate_pct + 0.5);
+    }
+
+    #[test]
+    fn fig8_produces_aligned_strips() {
+        let r = fig8(13);
+        assert_eq!(r.truth_strip.len(), r.points);
+        assert_eq!(r.cad3_strip.len(), r.points);
+        assert!(
+            ["aggressive", "sluggish", "erratic"].contains(&r.profile.as_str()),
+            "fig8 illustrates an abnormal driver, got {}",
+            r.profile
+        );
+        assert!(r.truth_strip.contains('A'), "abnormal driver has abnormal points");
+    }
+}

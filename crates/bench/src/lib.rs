@@ -1,0 +1,86 @@
+//! Experiment harness regenerating every table and figure of the CAD3
+//! paper's evaluation (Section VI) on the reproduction's substrates.
+//!
+//! Each `exp_*` binary in `src/bin/` wraps one function from
+//! [`experiments`], prints a human-readable table with the paper's
+//! reported values alongside the measured ones, and writes a JSON record
+//! under `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p cad3-bench --release --bin exp_all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod tables;
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Default seed shared by the experiment binaries.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Whether quick mode is requested (smaller corpora / shorter runs), via
+/// the `CAD3_QUICK` environment variable.
+pub fn quick_mode() -> bool {
+    std::env::var("CAD3_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Writes an experiment's JSON record to `results/<name>.json`, creating
+/// the directory if needed. Prints the path on success; failures are
+/// reported but non-fatal (the stdout table is the primary artefact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("\n[results written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Prefer the workspace root (two levels up from the bench crate) when
+    // running via cargo; fall back to the current directory.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok();
+    match manifest {
+        Some(m) => PathBuf::from(m).join("../../results"),
+        None => PathBuf::from("results"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_reads_env() {
+        // Not set in the test environment by default.
+        if std::env::var("CAD3_QUICK").is_err() {
+            assert!(!quick_mode());
+        }
+    }
+
+    #[test]
+    fn write_json_smoke() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        write_json("selftest", &T { x: 1 });
+        let path = results_dir().join("selftest.json");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"x\": 1"));
+    }
+}

@@ -1,0 +1,76 @@
+//! The values the paper reports, kept in one place so every experiment can
+//! print paper-vs-measured comparisons.
+
+/// Fig. 6a: total end-to-end latency at 8 vehicles, ms.
+pub const FIG6A_TOTAL_AT_8: f64 = 39.7;
+/// Fig. 6a: total end-to-end latency at 256 vehicles, ms.
+pub const FIG6A_TOTAL_AT_256: f64 = 48.1;
+/// Fig. 6a: processing time at 8 vehicles, ms.
+pub const FIG6A_PROC_AT_8: f64 = 7.3;
+/// Fig. 6a: processing time at 256 vehicles, ms.
+pub const FIG6A_PROC_AT_256: f64 = 11.7;
+/// The headline real-time bound, ms.
+pub const LATENCY_BOUND_MS: f64 = 50.0;
+
+/// Fig. 6b: mean dissemination latency, ms (range [17.2, 17.3]).
+pub const FIG6B_DISSEMINATION_MS: f64 = 17.25;
+/// Fig. 6b: dissemination standard error, ms.
+pub const FIG6B_DISSEMINATION_STDERR_MS: f64 = 4.4;
+
+/// Fig. 6c: average per-vehicle bandwidth, bits/s.
+pub const FIG6C_PER_VEHICLE_BPS: f64 = 20_000.0;
+/// Fig. 6c: total bandwidth at 256 vehicles, bits/s (~5 Mb/s).
+pub const FIG6C_TOTAL_AT_256_BPS: f64 = 5_000_000.0;
+/// DSRC channel capacity, bits/s.
+pub const DSRC_CAPACITY_BPS: f64 = 27_000_000.0;
+
+/// Fig. 7: F1 improvement of CAD3 over AD3.
+pub const FIG7_F1_GAIN_OVER_AD3: f64 = 0.0352;
+/// Fig. 7: accuracy improvement of CAD3 over AD3.
+pub const FIG7_ACC_GAIN_OVER_AD3: f64 = 0.0322;
+/// Fig. 7: F1 and accuracy improvement of CAD3 over centralized.
+pub const FIG7_GAIN_OVER_CENTRALIZED: f64 = 0.0644;
+
+/// Table IV: TP rates over all records (centralized, AD3, CAD3), percent.
+pub const TABLE4_TP_RATES: [f64; 3] = [49.2, 52.3, 57.9];
+/// Table IV: FN rates over all records (centralized, AD3, CAD3), percent.
+pub const TABLE4_FN_RATES: [f64; 3] = [19.9, 11.8, 6.2];
+/// Table IV: expected potential accidents E(Λ) on 500 k records
+/// (centralized, AD3, CAD3).
+pub const TABLE4_EXPECTED_ACCIDENTS: [f64; 3] = [9004.0, 1475.0, 371.0];
+/// Table IV: abnormal fraction of the 500 k-record corpus.
+pub const TABLE4_ABNORMAL_FRACTION: f64 = 0.35;
+
+/// Eq. 5–6: medium access time for 256 vehicles at MCS 3, ms.
+pub const MAC_ACCESS_256_MCS3_MS: f64 = 92.62;
+/// Eq. 5–6: medium access time for 256 vehicles at MCS 8, ms.
+pub const MAC_ACCESS_256_MCS8_MS: f64 = 54.28;
+
+/// Table VI row for traffic lights: (count, avg m, std m, p75 m, max m).
+pub const TABLE6_TRAFFIC_LIGHTS: (usize, f64, f64, f64, f64) =
+    (3_278, 244.57, 299.7, 444.2, 999.5);
+/// Table VI row for lamp poles: (count, avg m, std m, p75 m, max m).
+pub const TABLE6_LAMP_POLES: (usize, f64, f64, f64, f64) = (116_000, 71.9, 82.8, 100.0, 520.0);
+
+/// Table III: Shenzhen row (cars, trips, mean speed, trajectories).
+pub const TABLE3_SHENZHEN: (usize, usize, f64, usize) = (3_306, 214_718, 23.7, 17_926_810);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ratios_match_the_narrative() {
+        // "4 times less than its edge counterpart, and 24 times less than
+        // the centralized model".
+        let [central, ad3, cad3] = TABLE4_EXPECTED_ACCIDENTS;
+        assert!((central / cad3 - 24.0).abs() < 0.3);
+        assert!((ad3 / cad3 - 4.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn fig6a_is_under_the_bound() {
+        let worst = FIG6A_TOTAL_AT_256;
+        assert!(worst < LATENCY_BOUND_MS, "paper constants are self-consistent: {worst}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal fixed-width table formatting for the experiment binaries.
+
+/// Renders a table with a header row and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use cad3_bench::tables::render;
+/// let out = render(
+///     &["model", "f1"],
+///     &[vec!["ad3".into(), "0.81".into()], vec!["cad3".into(), "0.84".into()]],
+/// );
+/// assert!(out.contains("model"));
+/// assert!(out.contains("cad3"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:>w$}", w = w));
+        }
+        out.push('\n');
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats a bits-per-second value with an adaptive unit.
+pub fn bps(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2} Mb/s", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1} kb/s", x / 1e3)
+    } else {
+        format!("{x:.0} b/s")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let out = render(
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn bps_units() {
+        assert_eq!(bps(5_000_000.0), "5.00 Mb/s");
+        assert_eq!(bps(20_000.0), "20.0 kb/s");
+        assert_eq!(bps(500.0), "500 b/s");
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

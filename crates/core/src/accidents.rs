@@ -1,0 +1,178 @@
+//! The paper's potential-accident model (Section IV-E).
+//!
+//! Nilsson's power model says the number of injury accidents scales with
+//! the square of the speed ratio (Eq. 2). The paper applies it per record:
+//! a speed deviation δ close to 1 is a severe violation, and the expected
+//! number of potential accidents caused by a detector is the dot product of
+//! its false-negative indicator vector with the δ vector (Eq. 3) — misses
+//! on severe deviations are what get people hurt.
+
+use cad3_types::{FeatureRecord, Label};
+
+/// Nilsson's Eq. 2: accidents after changing road speed from `v1` to `v2`,
+/// relative to `a1` accidents before.
+///
+/// # Panics
+///
+/// Panics if either speed is not strictly positive.
+pub fn nilsson_accidents(a1: f64, v1_kmh: f64, v2_kmh: f64) -> f64 {
+    assert!(v1_kmh > 0.0 && v2_kmh > 0.0, "speeds must be positive");
+    a1 * (v2_kmh / v1_kmh).powi(2)
+}
+
+/// The paper's δ: how far an instantaneous speed deviates from the road's
+/// normal speed, measured as `1 − (ratio)²` with the speeding/slowing
+/// asymmetry of Section IV-E. δ → 1 means a severe violation; driving at
+/// exactly the road speed gives δ = 0.
+///
+/// Degenerate road speeds (≤ 0) yield δ = 0.
+pub fn speed_deviation_delta(speed_kmh: f64, road_speed_kmh: f64) -> f64 {
+    if road_speed_kmh <= 0.0 {
+        return 0.0;
+    }
+    let v = speed_kmh.max(0.0);
+    let vr = road_speed_kmh;
+    let ratio = if v > vr {
+        // Speeding: potential accidents scale with (v / vr)²; proximity of
+        // the safe-over-actual ratio to 0.
+        vr / v
+    } else {
+        // Slowing: the hazard mirrors to the speed surplus of others,
+        // vr / (vr + (vr − v)).
+        vr / (vr + (vr - v))
+    };
+    (1.0 - ratio.powi(2)).clamp(0.0, 1.0)
+}
+
+/// One evaluated record: ground truth, the model's verdict and the speed
+/// context needed for δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluatedRecord {
+    /// Ground-truth label.
+    pub truth: Label,
+    /// Model prediction.
+    pub predicted: Label,
+    /// Instantaneous speed, km/h.
+    pub speed_kmh: f64,
+    /// Road normal speed, km/h.
+    pub road_speed_kmh: f64,
+}
+
+impl EvaluatedRecord {
+    /// Builds an evaluated record from a dataset record and a prediction.
+    pub fn new(rec: &FeatureRecord, predicted: Label) -> Self {
+        EvaluatedRecord {
+            truth: rec.label,
+            predicted,
+            speed_kmh: rec.speed_kmh,
+            road_speed_kmh: rec.road_speed_kmh,
+        }
+    }
+
+    /// Whether the record is a false negative (abnormal but not detected).
+    pub fn is_false_negative(&self) -> bool {
+        self.truth == Label::Abnormal && self.predicted == Label::Normal
+    }
+}
+
+/// The paper's Eq. 3: `E(Λ) = Σ v⃗_FN · v⃗_δ` — expected potential accidents
+/// caused by undetected (false-negative) speed violations.
+pub fn expected_potential_accidents<'a>(
+    records: impl IntoIterator<Item = &'a EvaluatedRecord>,
+) -> f64 {
+    records
+        .into_iter()
+        .filter(|r| r.is_false_negative())
+        .map(|r| speed_deviation_delta(r.speed_kmh, r.road_speed_kmh))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nilsson_square_law() {
+        // Doubling speed quadruples accidents.
+        assert!((nilsson_accidents(10.0, 50.0, 100.0) - 40.0).abs() < 1e-12);
+        // Halving speed quarters them.
+        assert!((nilsson_accidents(10.0, 100.0, 50.0) - 2.5).abs() < 1e-12);
+        // No change, no effect.
+        assert_eq!(nilsson_accidents(7.0, 80.0, 80.0), 7.0);
+    }
+
+    #[test]
+    fn delta_zero_at_road_speed() {
+        assert_eq!(speed_deviation_delta(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn delta_grows_with_speeding_severity() {
+        let mild = speed_deviation_delta(110.0, 100.0);
+        let severe = speed_deviation_delta(200.0, 100.0);
+        assert!(mild > 0.0 && severe > mild);
+        assert!(severe < 1.0);
+        // v = 2·vr ⇒ ratio ½ ⇒ δ = 0.75.
+        assert!((speed_deviation_delta(200.0, 100.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_grows_with_slowing_severity() {
+        let mild = speed_deviation_delta(90.0, 100.0);
+        let severe = speed_deviation_delta(10.0, 100.0);
+        assert!(mild > 0.0 && severe > mild);
+        // v = 0 ⇒ ratio vr/(2vr) = ½ ⇒ δ = 0.75, the slowing cap.
+        assert!((speed_deviation_delta(0.0, 100.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_handles_degenerate_road_speed() {
+        assert_eq!(speed_deviation_delta(50.0, 0.0), 0.0);
+        assert_eq!(speed_deviation_delta(50.0, -5.0), 0.0);
+    }
+
+    fn rec(truth: Label, predicted: Label, speed: f64) -> EvaluatedRecord {
+        EvaluatedRecord { truth, predicted, speed_kmh: speed, road_speed_kmh: 100.0 }
+    }
+
+    #[test]
+    fn only_false_negatives_count() {
+        let records = [
+            rec(Label::Abnormal, Label::Normal, 200.0),   // FN, δ = 0.75
+            rec(Label::Abnormal, Label::Abnormal, 200.0), // detected
+            rec(Label::Normal, Label::Normal, 100.0),     // fine
+            rec(Label::Normal, Label::Abnormal, 100.0),   // false alarm: annoying, not counted
+        ];
+        let e = expected_potential_accidents(records.iter());
+        assert!((e - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severe_misses_dominate() {
+        // A detector missing severe violations accrues more expected
+        // accidents than one missing only mild ones — the paper's reason
+        // that centralized (context-blind) models are 24× worse.
+        let severe_misses: Vec<EvaluatedRecord> =
+            (0..10).map(|_| rec(Label::Abnormal, Label::Normal, 250.0)).collect();
+        let mild_misses: Vec<EvaluatedRecord> =
+            (0..10).map(|_| rec(Label::Abnormal, Label::Normal, 112.0)).collect();
+        let severe = expected_potential_accidents(severe_misses.iter());
+        let mild = expected_potential_accidents(mild_misses.iter());
+        assert!(severe > 4.0 * mild, "severe {severe} vs mild {mild}");
+    }
+
+    #[test]
+    fn is_false_negative_logic() {
+        assert!(rec(Label::Abnormal, Label::Normal, 1.0).is_false_negative());
+        assert!(!rec(Label::Abnormal, Label::Abnormal, 1.0).is_false_negative());
+        assert!(!rec(Label::Normal, Label::Normal, 1.0).is_false_negative());
+        assert!(!rec(Label::Normal, Label::Abnormal, 1.0).is_false_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds must be positive")]
+    fn nilsson_rejects_zero_speed()
+    {
+        nilsson_accidents(1.0, 0.0, 10.0);
+    }
+}

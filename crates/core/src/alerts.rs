@@ -1,0 +1,133 @@
+use cad3_types::{SimDuration, SimTime, VehicleId, WarningMessage};
+use std::collections::HashMap;
+
+/// In-cabin alert throttling: a driver should be told *once* that a nearby
+/// vehicle is dangerous, not at 10 Hz for as long as it stays dangerous.
+///
+/// The paper stresses "less disturbance to other drivers with false
+/// warnings"; this keeps even true warnings humane by suppressing repeats
+/// about the same offending vehicle within a hold-off window.
+///
+/// # Example
+///
+/// ```
+/// use cad3::AlertThrottle;
+/// use cad3_types::{RoadId, SimDuration, SimTime, VehicleId, WarningKind, WarningMessage};
+///
+/// let mut throttle = AlertThrottle::new(SimDuration::from_secs(5));
+/// let warning = WarningMessage {
+///     vehicle: VehicleId(9),
+///     road: RoadId(1),
+///     kind: WarningKind::Speeding,
+///     probability: 0.9,
+///     source_sent_at: SimTime::ZERO,
+///     detected_at: SimTime::ZERO,
+///     source_seq: 1,
+/// };
+/// assert!(throttle.should_alert(&warning, SimTime::ZERO));
+/// assert!(!throttle.should_alert(&warning, SimTime::from_secs(2)));
+/// assert!(throttle.should_alert(&warning, SimTime::from_secs(6)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlertThrottle {
+    hold_off: SimDuration,
+    last_alert: HashMap<VehicleId, SimTime>,
+}
+
+impl AlertThrottle {
+    /// Creates a throttle that repeats an alert about the same vehicle at
+    /// most once per `hold_off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hold_off` is zero.
+    pub fn new(hold_off: SimDuration) -> Self {
+        assert!(hold_off > SimDuration::ZERO, "hold-off must be positive");
+        AlertThrottle { hold_off, last_alert: HashMap::new() }
+    }
+
+    /// Whether this warning should reach the driver at `now`; records the
+    /// alert when it does.
+    pub fn should_alert(&mut self, warning: &WarningMessage, now: SimTime) -> bool {
+        match self.last_alert.get(&warning.vehicle) {
+            Some(&t) if now.saturating_since(t) < self.hold_off && now >= t => false,
+            _ => {
+                self.last_alert.insert(warning.vehicle, now);
+                true
+            }
+        }
+    }
+
+    /// Forgets vehicles not alerted on since `horizon` (periodic cleanup).
+    pub fn evict_before(&mut self, horizon: SimTime) {
+        self.last_alert.retain(|_, t| *t >= horizon);
+    }
+
+    /// Number of vehicles currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_alert.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad3_types::{RoadId, WarningKind};
+
+    fn warning(vehicle: u64) -> WarningMessage {
+        WarningMessage {
+            vehicle: VehicleId(vehicle),
+            road: RoadId(1),
+            kind: WarningKind::Speeding,
+            probability: 0.9,
+            source_sent_at: SimTime::ZERO,
+            detected_at: SimTime::ZERO,
+            source_seq: 1,
+        }
+    }
+
+    #[test]
+    fn repeats_are_suppressed_within_hold_off() {
+        let mut t = AlertThrottle::new(SimDuration::from_secs(10));
+        assert!(t.should_alert(&warning(1), SimTime::from_secs(0)));
+        for s in 1..10u64 {
+            assert!(!t.should_alert(&warning(1), SimTime::from_secs(s)), "at {s}s");
+        }
+        assert!(t.should_alert(&warning(1), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn different_vehicles_alert_independently() {
+        let mut t = AlertThrottle::new(SimDuration::from_secs(10));
+        assert!(t.should_alert(&warning(1), SimTime::from_secs(0)));
+        assert!(t.should_alert(&warning(2), SimTime::from_secs(1)));
+        assert_eq!(t.tracked(), 2);
+    }
+
+    #[test]
+    fn a_10hz_stream_collapses_to_one_alert_per_window() {
+        let mut t = AlertThrottle::new(SimDuration::from_secs(5));
+        let mut alerts = 0;
+        for tick in 0..100u64 {
+            if t.should_alert(&warning(7), SimTime::from_millis(tick * 100)) {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 2, "10 s of 10 Hz warnings -> one alert per 5 s window");
+    }
+
+    #[test]
+    fn eviction_frees_state() {
+        let mut t = AlertThrottle::new(SimDuration::from_secs(1));
+        t.should_alert(&warning(1), SimTime::from_secs(0));
+        t.should_alert(&warning(2), SimTime::from_secs(100));
+        t.evict_before(SimTime::from_secs(50));
+        assert_eq!(t.tracked(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hold-off must be positive")]
+    fn zero_hold_off_panics() {
+        AlertThrottle::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,256 @@
+use super::{dt_hour_code, dt_schema, fuse_probability, Ad3Detector, Detection, Detector};
+use crate::collaboration::{SummaryTracker, VehicleSummary};
+use crate::CoreError;
+use cad3_ml::{Dataset, DecisionTree, DecisionTreeParams};
+use cad3_types::FeatureRecord;
+
+/// The collaborative detector (the paper's CAD3, Fig. 4).
+///
+/// Stage 1 is the same per-road-type Naïve Bayes as [`Ad3Detector`],
+/// producing `P_NB` and `Class_NB`. Stage 2 fuses the prediction summary
+/// forwarded by the previous RSU through Eq. 1
+/// (`P_X = 0.5 · P̄_prevs + 0.5 · P_NB`) and classifies the vector
+/// `[Hour, P_X, Class_NB]` with a Decision Tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cad3Detector {
+    nb: Ad3Detector,
+    tree: DecisionTree,
+    fusion_weight: f64,
+    summary_road_depth: Option<usize>,
+}
+
+impl Cad3Detector {
+    /// Trains the two stages.
+    ///
+    /// `records` must be in trip order (records of one trip contiguous and
+    /// time-ordered), because the Decision Tree's training features include
+    /// the running cross-road summaries that a deployment would receive
+    /// over `CO-DATA`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-1 training errors and returns
+    /// [`CoreError::InsufficientTrainingData`] when no record is usable for
+    /// stage 2.
+    pub fn train(
+        records: &[FeatureRecord],
+        dt_params: DecisionTreeParams,
+        fusion_weight: f64,
+    ) -> Result<Self, CoreError> {
+        Self::train_with_depth(records, dt_params, fusion_weight, None)
+    }
+
+    /// Like [`Cad3Detector::train`], with a bounded summary history: the
+    /// collaboration prior averages only the most recent `depth` roads
+    /// (the DESIGN.md summary-depth ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cad3Detector::train`].
+    pub fn train_with_depth(
+        records: &[FeatureRecord],
+        dt_params: DecisionTreeParams,
+        fusion_weight: f64,
+        summary_road_depth: Option<usize>,
+    ) -> Result<Self, CoreError> {
+        assert!(
+            (0.0..=1.0).contains(&fusion_weight),
+            "fusion weight must be within [0, 1]"
+        );
+        let nb = Ad3Detector::train(records)?;
+
+        // Replay the corpus through the summary tracker to build the DT's
+        // training set exactly as the online pipeline would see it.
+        //
+        // Only records that actually carry a collaborative summary train
+        // the tree: at a collaboration RSU the fused `P_X` means
+        // "driver history blended with local evidence", while on a trip's
+        // first road it is just `P_NB` — mixing the two regimes under one
+        // feature would miscalibrate the tree's thresholds. Where no
+        // summary exists at inference time, CAD3 falls back to the plain
+        // Naïve Bayes decision (which is what the non-collaborating RSU
+        // runs anyway).
+        let mut tracker = match summary_road_depth {
+            Some(d) => SummaryTracker::with_road_depth(d),
+            None => SummaryTracker::new(),
+        };
+        let mut ds = Dataset::new(dt_schema(), 2);
+        let mut usable = 0usize;
+        for rec in records {
+            let Ok(p_nb) = nb.p_abnormal(rec) else { continue };
+            let Some(summary) = tracker.observe(rec.vehicle, rec.road, p_nb) else {
+                continue;
+            };
+            let p_x = fuse_probability(p_nb, Some(&summary), fusion_weight);
+            let class_nb = u8::from(p_nb < 0.5); // 1 = normal, 0 = abnormal
+            ds.push(
+                vec![dt_hour_code(rec.hour), p_x, class_nb as f64],
+                rec.label.class() as usize,
+            )?;
+            usable += 1;
+        }
+        if usable == 0 {
+            return Err(CoreError::InsufficientTrainingData {
+                what: "no record carried a collaborative summary for stage 2".to_owned(),
+            });
+        }
+        let tree = DecisionTree::fit(&ds, dt_params)?;
+        Ok(Cad3Detector { nb, tree, fusion_weight, summary_road_depth })
+    }
+
+    /// The stage-1 (Naïve Bayes) detector.
+    pub fn naive_bayes(&self) -> &Ad3Detector {
+        &self.nb
+    }
+
+    /// The Eq. 1 fusion weight.
+    pub fn fusion_weight(&self) -> f64 {
+        self.fusion_weight
+    }
+
+    /// Full detection detail: `(p_nb, p_x, detection)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoModelForRoadType`] for untrained road types
+    /// and propagates model errors.
+    pub fn detect_detailed(
+        &self,
+        rec: &FeatureRecord,
+        summary: Option<&VehicleSummary>,
+    ) -> Result<(f64, f64, Detection), CoreError> {
+        let p_nb = self.nb.p_abnormal(rec)?;
+        let Some(summary) = summary else {
+            // No collaboration context: behave like the standalone stage
+            // (the trip's first RSU has nothing to fuse).
+            return Ok((p_nb, p_nb, Detection::from_p_abnormal(p_nb)));
+        };
+        let p_x = fuse_probability(p_nb, Some(summary), self.fusion_weight);
+        let class_nb = u8::from(p_nb < 0.5);
+        let proba =
+            self.tree.predict_proba(&[dt_hour_code(rec.hour), p_x, class_nb as f64])?;
+        Ok((p_nb, p_x, Detection::from_p_abnormal(proba[0])))
+    }
+}
+
+impl Detector for Cad3Detector {
+    fn name(&self) -> &'static str {
+        "cad3"
+    }
+
+    fn detect(&self, rec: &FeatureRecord, summary: Option<&VehicleSummary>) -> Result<Detection, CoreError> {
+        Ok(self.detect_detailed(rec, summary)?.2)
+    }
+
+    fn stage1_p_abnormal(&self, rec: &FeatureRecord) -> Result<f64, CoreError> {
+        self.nb.p_abnormal(rec)
+    }
+
+    fn new_tracker(&self) -> SummaryTracker {
+        match self.summary_road_depth {
+            Some(d) => SummaryTracker::with_road_depth(d),
+            None => SummaryTracker::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad3_data::{DatasetConfig, SyntheticDataset};
+    use cad3_ml::ConfusionMatrix;
+    use cad3_types::Label;
+
+    fn corpus() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::small(35))
+    }
+
+    fn trained(ds: &SyntheticDataset) -> Cad3Detector {
+        let cut = ds.features.len() * 8 / 10;
+        Cad3Detector::train(&ds.features[..cut], DecisionTreeParams::default(), 0.5).unwrap()
+    }
+
+    #[test]
+    fn summary_shifts_borderline_decisions() {
+        let ds = corpus();
+        let det = trained(&ds);
+        // Find a record where NB is genuinely uncertain.
+        let borderline = ds
+            .features
+            .iter()
+            .find(|r| {
+                det.naive_bayes().p_abnormal(r).map(|p| (p - 0.5).abs() < 0.15) == Ok(true)
+            })
+            .copied()
+            .expect("corpus contains borderline records");
+        let guilty = VehicleSummary { mean_probability: 0.95, count: 50, last_class: 0 };
+        let innocent = VehicleSummary { mean_probability: 0.05, count: 50, last_class: 1 };
+        let (_, px_guilty, d_guilty) = det.detect_detailed(&borderline, Some(&guilty)).unwrap();
+        let (_, px_innocent, d_innocent) =
+            det.detect_detailed(&borderline, Some(&innocent)).unwrap();
+        assert!(px_guilty > px_innocent + 0.3);
+        assert!(
+            d_guilty.p_abnormal >= d_innocent.p_abnormal,
+            "history must not lower suspicion: {} vs {}",
+            d_guilty.p_abnormal,
+            d_innocent.p_abnormal
+        );
+    }
+
+    #[test]
+    fn collaborative_beats_standalone_on_streaming_eval() {
+        // The paper's Fig. 7 ordering, CAD3 > AD3, evaluated with the same
+        // streaming summary replay the online system performs, at the
+        // collaboration point (the motorway-link RSU, as in the paper).
+        let ds = corpus();
+        let cut = ds.features.len() * 8 / 10;
+        let (train, test) = (&ds.features[..cut], &ds.features[cut..]);
+        let cad3 = Cad3Detector::train(train, DecisionTreeParams::default(), 0.5).unwrap();
+        let ad3 = Ad3Detector::train(train).unwrap();
+
+        let mut tracker = SummaryTracker::new();
+        let mut cm_cad3 = ConfusionMatrix::new();
+        let mut cm_ad3 = ConfusionMatrix::new();
+        for rec in test {
+            let Ok(p_nb) = cad3.naive_bayes().p_abnormal(rec) else { continue };
+            let summary = tracker.observe(rec.vehicle, rec.road, p_nb);
+            if !rec.road_type.is_link() {
+                continue;
+            }
+            let d_cad3 = cad3.detect(rec, summary.as_ref()).unwrap();
+            let d_ad3 = ad3.detect(rec, None).unwrap();
+            cm_cad3.record(rec.label == Label::Abnormal, d_cad3.label == Label::Abnormal);
+            cm_ad3.record(rec.label == Label::Abnormal, d_ad3.label == Label::Abnormal);
+        }
+        assert!(cm_cad3.total() > 300, "enough link records: {}", cm_cad3.total());
+        assert!(
+            cm_cad3.f1() + 0.02 >= cm_ad3.f1(),
+            "CAD3 f1 {} should not lose to AD3 {}",
+            cm_cad3.f1(),
+            cm_ad3.f1()
+        );
+        assert!(
+            cm_cad3.miss_rate() <= cm_ad3.miss_rate() + 0.02,
+            "CAD3 miss rate {} must not exceed AD3 {}",
+            cm_cad3.miss_rate(),
+            cm_ad3.miss_rate()
+        );
+    }
+
+    #[test]
+    fn detect_without_summary_still_works() {
+        let ds = corpus();
+        let det = trained(&ds);
+        let d = det.detect(&ds.features[0], None).unwrap();
+        assert!((0.0..=1.0).contains(&d.p_abnormal));
+        assert_eq!(det.name(), "cad3");
+        assert_eq!(det.fusion_weight(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion weight")]
+    fn invalid_fusion_weight_panics() {
+        let ds = corpus();
+        let _ = Cad3Detector::train(&ds.features, DecisionTreeParams::default(), 2.0);
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the CAD3 core library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying model error (training or inference).
+    Ml(cad3_ml::MlError),
+    /// An underlying streaming error.
+    Stream(cad3_stream::StreamError),
+    /// A detector was asked about a road type it has no model for.
+    NoModelForRoadType(cad3_types::RoadType),
+    /// Training data was insufficient (e.g. a road type or class missing).
+    InsufficientTrainingData {
+        /// Human-readable description of what was missing.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ml(e) => write!(f, "model error: {e}"),
+            CoreError::Stream(e) => write!(f, "stream error: {e}"),
+            CoreError::NoModelForRoadType(rt) => {
+                write!(f, "no model trained for road type `{rt}`")
+            }
+            CoreError::InsufficientTrainingData { what } => {
+                write!(f, "insufficient training data: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            CoreError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<cad3_ml::MlError> for CoreError {
+    fn from(e: cad3_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<cad3_stream::StreamError> for CoreError {
+    fn from(e: cad3_stream::StreamError) -> Self {
+        CoreError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(cad3_ml::MlError::EmptyDataset);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e = CoreError::NoModelForRoadType(cad3_types::RoadType::Trunk);
+        assert!(e.to_string().contains("trunk"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,130 @@
+use cad3_sim::SampleSet;
+use cad3_types::SimDuration;
+
+/// The end-to-end latency decomposition of the paper's Fig. 6a:
+/// transmission (DSRC access), queuing (wait for the micro-batch),
+/// processing (detection compute) and dissemination (poll + fetch of the
+/// warning).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Vehicle radio → RSU broker.
+    pub tx: SimDuration,
+    /// Broker arrival → micro-batch start.
+    pub queuing: SimDuration,
+    /// Micro-batch compute time.
+    pub processing: SimDuration,
+    /// Detection complete → warning delivered to consumers.
+    pub dissemination: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency.
+    pub fn total(&self) -> SimDuration {
+        self.tx + self.queuing + self.processing + self.dissemination
+    }
+}
+
+/// Aggregated latency samples for one experiment configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Transmission samples, milliseconds.
+    pub tx_ms: SampleSet,
+    /// Queuing samples, milliseconds.
+    pub queuing_ms: SampleSet,
+    /// Processing samples, milliseconds.
+    pub processing_ms: SampleSet,
+    /// Dissemination samples, milliseconds.
+    pub dissemination_ms: SampleSet,
+    /// Total end-to-end samples, milliseconds.
+    pub total_ms: SampleSet,
+}
+
+impl LatencyStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fully decomposed measurement.
+    pub fn record(&mut self, b: &LatencyBreakdown) {
+        self.tx_ms.push(b.tx.as_millis_f64());
+        self.queuing_ms.push(b.queuing.as_millis_f64());
+        self.processing_ms.push(b.processing.as_millis_f64());
+        self.dissemination_ms.push(b.dissemination.as_millis_f64());
+        self.total_ms.push(b.total().as_millis_f64());
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.total_ms.len()
+    }
+
+    /// Whether no measurements were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total_ms.is_empty()
+    }
+
+    /// One-line summary in the Fig. 6a format.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "tx {:.2} ms | queue {:.2} ms | proc {:.2} ms | dissem {:.2} ms | total {:.2} ± {:.2} ms (n={})",
+            self.tx_ms.mean(),
+            self.queuing_ms.mean(),
+            self.processing_ms.mean(),
+            self.dissemination_ms.mean(),
+            self.total_ms.mean(),
+            self.total_ms.std_err(),
+            self.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(ms: [u64; 4]) -> LatencyBreakdown {
+        LatencyBreakdown {
+            tx: SimDuration::from_millis(ms[0]),
+            queuing: SimDuration::from_millis(ms[1]),
+            processing: SimDuration::from_millis(ms[2]),
+            dissemination: SimDuration::from_millis(ms[3]),
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let b = breakdown([1, 25, 8, 12]);
+        assert_eq!(b.total(), SimDuration::from_millis(46));
+    }
+
+    #[test]
+    fn stats_aggregate_components_independently() {
+        let mut s = LatencyStats::new();
+        s.record(&breakdown([1, 20, 8, 10]));
+        s.record(&breakdown([3, 30, 12, 14]));
+        assert_eq!(s.len(), 2);
+        assert!((s.tx_ms.mean() - 2.0).abs() < 1e-12);
+        assert!((s.queuing_ms.mean() - 25.0).abs() < 1e-12);
+        assert!((s.processing_ms.mean() - 10.0).abs() < 1e-12);
+        assert!((s.dissemination_ms.mean() - 12.0).abs() < 1e-12);
+        assert!((s.total_ms.mean() - 49.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_mentions_all_components() {
+        let mut s = LatencyStats::new();
+        s.record(&breakdown([1, 2, 3, 4]));
+        let line = s.summary_line();
+        for key in ["tx", "queue", "proc", "dissem", "total"] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+use cad3_engine::KeyedWindows;
+use cad3_types::{RoadId, SimDuration, SimTime};
+
+/// Online per-road speed context — the RSU "learns the normal behavior
+/// over time and maintains contextual information of the road in its
+/// coverage" (the paper's Section III-A), using a sliding window so only
+/// recent traffic defines the current norm.
+#[derive(Debug, Clone)]
+pub struct OnlineRoadStats {
+    windows: KeyedWindows<RoadId>,
+    min_samples: u64,
+}
+
+impl OnlineRoadStats {
+    /// Creates stats over a 5-minute window at 10-second resolution,
+    /// requiring 20 samples before reporting an estimate.
+    pub fn new() -> Self {
+        Self::with_window(SimDuration::from_secs(300), SimDuration::from_secs(10), 20)
+    }
+
+    /// Creates stats with a custom window, resolution and sample floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < bucket <= window`.
+    pub fn with_window(window: SimDuration, bucket: SimDuration, min_samples: u64) -> Self {
+        OnlineRoadStats {
+            windows: KeyedWindows::new(window.as_nanos(), bucket.as_nanos()),
+            min_samples,
+        }
+    }
+
+    /// Records one observed instantaneous speed on `road` at `t`.
+    pub fn observe(&mut self, road: RoadId, t: SimTime, speed_kmh: f64) {
+        self.windows.record(road, t.as_nanos(), speed_kmh);
+    }
+
+    /// The road's current mean speed over the window, once at least the
+    /// configured number of recent samples exist.
+    pub fn road_speed_kmh(&mut self, road: RoadId, now: SimTime) -> Option<f64> {
+        let (count, mean) = self.windows.stats_at(&road, now.as_nanos())?;
+        (count >= self.min_samples).then_some(mean)
+    }
+
+    /// Number of roads with any retained observations.
+    pub fn roads_tracked(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+impl Default for OnlineRoadStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_appears_after_enough_samples() {
+        let mut stats = OnlineRoadStats::with_window(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+            10,
+        );
+        let road = RoadId(7);
+        for i in 0..9u64 {
+            stats.observe(road, SimTime::from_secs(i), 100.0);
+        }
+        assert_eq!(stats.road_speed_kmh(road, SimTime::from_secs(9)), None);
+        stats.observe(road, SimTime::from_secs(9), 100.0);
+        let est = stats.road_speed_kmh(road, SimTime::from_secs(9)).unwrap();
+        assert!((est - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_tracks_congestion_onset() {
+        // Free flow at 100 km/h, then congestion at 40: the windowed norm
+        // follows within a window length.
+        let mut stats = OnlineRoadStats::with_window(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+            5,
+        );
+        let road = RoadId(1);
+        for i in 0..120u64 {
+            stats.observe(road, SimTime::from_secs(i), 100.0);
+        }
+        for i in 120..200u64 {
+            stats.observe(road, SimTime::from_secs(i), 40.0);
+        }
+        let est = stats.road_speed_kmh(road, SimTime::from_secs(199)).unwrap();
+        assert!((est - 40.0).abs() < 5.0, "estimate {est} should track congestion");
+    }
+
+    #[test]
+    fn roads_are_independent() {
+        let mut stats = OnlineRoadStats::with_window(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+            1,
+        );
+        stats.observe(RoadId(1), SimTime::from_secs(1), 30.0);
+        stats.observe(RoadId(2), SimTime::from_secs(1), 90.0);
+        assert_eq!(stats.roads_tracked(), 2);
+        let now = SimTime::from_secs(1);
+        assert!((stats.road_speed_kmh(RoadId(1), now).unwrap() - 30.0).abs() < 1e-9);
+        assert!((stats.road_speed_kmh(RoadId(2), now).unwrap() - 90.0).abs() < 1e-9);
+        assert_eq!(stats.road_speed_kmh(RoadId(3), now), None);
+    }
+}

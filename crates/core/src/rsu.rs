@@ -1,0 +1,507 @@
+use crate::collaboration::{SummaryTracker, VehicleSummary};
+use crate::config::ProcessingCostModel;
+use crate::detector::Detector;
+use crate::CoreError;
+use bytes::Bytes;
+use cad3_engine::{Executor, PartitionedDataset};
+use cad3_stream::{
+    Broker, Consumer, OffsetReset, PAPER_PARTITIONS, TOPIC_CO_DATA, TOPIC_IN_DATA, TOPIC_OUT_DATA,
+};
+use cad3_types::{
+    RsuId, SimDuration, SimTime, SummaryMessage, VehicleId, VehicleStatus, WarningKind,
+    WarningMessage, WireDecode, WireEncode,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Outcome of one RSU micro-batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Records processed in this batch.
+    pub records: usize,
+    /// Modelled detection compute time.
+    pub processing: SimDuration,
+    /// Per-record wait between broker arrival and batch start.
+    pub queuing: Vec<SimDuration>,
+    /// Warnings produced, stamped `detected_at = batch start + processing`.
+    /// The caller publishes them to `OUT-DATA` at that instant.
+    pub warnings: Vec<WarningMessage>,
+    /// `CO-DATA` summaries consumed this batch.
+    pub summaries_received: usize,
+}
+
+/// One road-side unit: a broker with the paper's three topics plus the
+/// micro-batch detection pipeline (Fig. 3).
+///
+/// Each batch: (1) ingest `CO-DATA` summaries from the previous RSU into
+/// the collaboration state, (2) pull the pending `IN-DATA` status packets,
+/// (3) classify them as a parallel stage over the worker pool (the paper's
+/// six-worker Spark cluster), partitioned by vehicle so each vehicle's
+/// records stay ordered against its collaboration state, (4) emit warnings
+/// for abnormal records.
+pub struct RsuNode {
+    id: RsuId,
+    name: String,
+    broker: Arc<Broker>,
+    detector: Arc<dyn Detector>,
+    executor: Executor,
+    /// Per-vehicle collaboration state, sharded by vehicle hash so the
+    /// parallel detection stage contends on nothing.
+    shards: Vec<Mutex<SummaryTracker>>,
+    in_consumer: Consumer,
+    co_consumer: Consumer,
+    cost_model: ProcessingCostModel,
+    road_stats: crate::OnlineRoadStats,
+    records_processed: u64,
+    warnings_produced: u64,
+    batches: u64,
+}
+
+impl std::fmt::Debug for RsuNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsuNode")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("detector", &self.detector.name())
+            .field("workers", &self.executor.workers())
+            .field("records_processed", &self.records_processed)
+            .field("warnings_produced", &self.warnings_produced)
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+impl RsuNode {
+    /// Creates an RSU with a fresh broker holding the three paper topics
+    /// (`IN-DATA`, `OUT-DATA`, `CO-DATA`, three partitions each) and the
+    /// paper's six-worker executor.
+    pub fn new(
+        id: RsuId,
+        name: impl Into<String>,
+        detector: Arc<dyn Detector>,
+        cost_model: ProcessingCostModel,
+    ) -> Self {
+        Self::with_executor(id, name, detector, cost_model, Executor::paper_default())
+    }
+
+    /// Creates an RSU with a custom worker pool.
+    pub fn with_executor(
+        id: RsuId,
+        name: impl Into<String>,
+        detector: Arc<dyn Detector>,
+        cost_model: ProcessingCostModel,
+        executor: Executor,
+    ) -> Self {
+        let name = name.into();
+        let broker = Arc::new(Broker::new(name.clone()));
+        for topic in [TOPIC_IN_DATA, TOPIC_OUT_DATA, TOPIC_CO_DATA] {
+            broker.create_topic(topic, PAPER_PARTITIONS).expect("fresh broker has no topics");
+        }
+        let mut in_consumer =
+            Consumer::new(Arc::clone(&broker), "detector", OffsetReset::Earliest);
+        in_consumer.subscribe(&[TOPIC_IN_DATA]).expect("topic just created");
+        let mut co_consumer =
+            Consumer::new(Arc::clone(&broker), "collaboration", OffsetReset::Earliest);
+        co_consumer.subscribe(&[TOPIC_CO_DATA]).expect("topic just created");
+        let shards = (0..executor.workers()).map(|_| Mutex::new(SummaryTracker::new())).collect();
+        RsuNode {
+            id,
+            name,
+            broker,
+            detector,
+            executor,
+            shards,
+            in_consumer,
+            co_consumer,
+            cost_model,
+            road_stats: crate::OnlineRoadStats::new(),
+            records_processed: 0,
+            warnings_produced: 0,
+            batches: 0,
+        }
+    }
+
+    /// The RSU's id.
+    pub fn id(&self) -> RsuId {
+        self.id
+    }
+
+    /// The RSU's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The RSU's broker (vehicles produce to / consume from it).
+    pub fn broker(&self) -> Arc<Broker> {
+        Arc::clone(&self.broker)
+    }
+
+    /// Total records processed.
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
+    }
+
+    /// Total warnings produced.
+    pub fn warnings_produced(&self) -> u64 {
+        self.warnings_produced
+    }
+
+    /// Total batches run.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    fn shard_of(&self, vehicle: VehicleId) -> usize {
+        (vehicle.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Runs one micro-batch at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors; malformed messages are skipped (a real
+    /// deployment logs and drops them).
+    pub fn run_batch(&mut self, now: SimTime) -> Result<BatchResult, CoreError> {
+        self.batches += 1;
+
+        // 1. Collaboration input.
+        let mut summaries_received = 0;
+        for rec in self.co_consumer.poll(usize::MAX)? {
+            let mut buf: Bytes = rec.value;
+            if let Ok(msg) = SummaryMessage::decode(&mut buf) {
+                self.shards[self.shard_of(msg.vehicle)]
+                    .lock()
+                    .seed(msg.vehicle, VehicleSummary::from_message(&msg));
+                summaries_received += 1;
+            }
+        }
+
+        // 2. Ingest the micro-batch and shard it by vehicle (the keyed
+        //    partitioning the paper gets from Kafka's partitioner).
+        let batch = self.in_consumer.poll(usize::MAX)?;
+        let records = batch.len();
+        let processing = self.cost_model.batch_time(records);
+        let detected_at = now + processing;
+
+        let mut buckets: Vec<Vec<(u64, cad3_stream::FetchedRecord)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for rec in batch {
+            // Kafka keys our status records with the vehicle id.
+            let vehicle = rec
+                .key
+                .as_ref()
+                .filter(|k| k.len() == 8)
+                .map(|k| u64::from_be_bytes(k[..8].try_into().expect("checked length")))
+                .unwrap_or(0);
+            buckets[(vehicle % self.shards.len() as u64) as usize].push((vehicle, rec));
+        }
+
+        // 3-4. Detect in parallel per shard; within a shard, a vehicle's
+        //      records run in order against its summary state.
+        let detector = &self.detector;
+        let shards = &self.shards;
+        let n_shards = self.shards.len();
+        /// Per-record result of the parallel stage: queuing wait, whether
+        /// the record was processed, the warning (if abnormal) and the
+        /// (road, speed) observation feeding the road context.
+        type RecordOutcome =
+            (SimDuration, bool, Option<WarningMessage>, Option<(cad3_types::RoadId, f64)>);
+        let outcomes: Vec<RecordOutcome> =
+            PartitionedDataset::from_partitions(buckets).map_partitions(&self.executor, |part| {
+                let mut out = Vec::with_capacity(part.len());
+                let Some((first_vehicle, _)) = part.first() else { return out };
+                let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
+                for (_, rec) in part {
+                    let queuing = now.saturating_since(SimTime::from_nanos(rec.timestamp));
+                    let mut buf: Bytes = rec.value.clone();
+                    let Ok(status) = VehicleStatus::decode(&mut buf) else {
+                        out.push((queuing, false, None, None));
+                        continue;
+                    };
+                    let feature = status.to_feature();
+                    let Ok(p_stage1) = detector.stage1_p_abnormal(&feature) else {
+                        out.push((queuing, false, None, None));
+                        continue;
+                    };
+                    let summary = tracker.observe(status.vehicle, status.road, p_stage1);
+                    let Ok(detection) = detector.detect(&feature, summary.as_ref()) else {
+                        out.push((queuing, false, None, None));
+                        continue;
+                    };
+                    let warning = detection.label.is_abnormal().then(|| WarningMessage {
+                        vehicle: status.vehicle,
+                        road: status.road,
+                        kind: WarningKind::classify(
+                            status.speed_kmh,
+                            status.road_speed_kmh,
+                            status.accel_mps2,
+                        ),
+                        probability: detection.p_abnormal,
+                        source_sent_at: status.sent_at,
+                        detected_at,
+                        source_seq: status.seq,
+                    });
+                    out.push((queuing, true, warning, Some((status.road, status.speed_kmh))));
+                }
+                out
+            })
+            .collect();
+
+        let mut queuing = Vec::with_capacity(records);
+        let mut warnings = Vec::new();
+        for (q, processed, warning, observation) in outcomes {
+            queuing.push(q);
+            self.records_processed += u64::from(processed);
+            if let Some(w) = warning {
+                warnings.push(w);
+            }
+            if let Some((road, speed)) = observation {
+                // Maintain the road's recent speed context (Section III-A).
+                self.road_stats.observe(road, now, speed);
+            }
+        }
+        self.warnings_produced += warnings.len() as u64;
+        Ok(BatchResult { records, processing, queuing, warnings, summaries_received })
+    }
+
+    /// Publishes a warning to this RSU's `OUT-DATA` topic (done by the
+    /// testbed at the warning's `detected_at` instant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn publish_warning(&self, warning: &WarningMessage) -> Result<(), CoreError> {
+        let key = warning.vehicle.raw().to_be_bytes();
+        self.broker.produce(
+            TOPIC_OUT_DATA,
+            None,
+            Some(Bytes::copy_from_slice(&key)),
+            warning.encode_to_bytes(),
+            warning.detected_at.as_nanos(),
+        )?;
+        Ok(())
+    }
+
+    /// Exports the current per-vehicle summaries for forwarding to an
+    /// adjacent RSU's `CO-DATA` (the handover flow of Fig. 3, step 2).
+    pub fn export_summaries(&self, now: SimTime) -> Vec<SummaryMessage> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let tracker = shard.lock();
+            out.extend(
+                tracker.vehicles().into_iter().filter_map(|v| tracker.export(v, self.id, now)),
+            );
+        }
+        out.sort_by_key(|m| m.vehicle);
+        out
+    }
+
+    /// The RSU's live per-road speed context (the windowed norm it has
+    /// learned from recent traffic).
+    pub fn road_stats_mut(&mut self) -> &mut crate::OnlineRoadStats {
+        &mut self.road_stats
+    }
+
+    /// Accepts a summary message into this RSU's `CO-DATA` topic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn receive_summary(&self, msg: &SummaryMessage) -> Result<(), CoreError> {
+        let key = msg.vehicle.raw().to_be_bytes();
+        self.broker.produce(
+            TOPIC_CO_DATA,
+            None,
+            Some(Bytes::copy_from_slice(&key)),
+            msg.encode_to_bytes(),
+            msg.sent_at.as_nanos(),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{train_all, DetectionConfig};
+    use crate::VehicleAgent;
+    use cad3_data::{DatasetConfig, SyntheticDataset};
+    use cad3_types::{Label, VehicleId};
+
+    fn rsu_with_vehicles() -> (RsuNode, Vec<VehicleAgent>, SyntheticDataset) {
+        let ds = SyntheticDataset::generate(&DatasetConfig::small(51));
+        let models = train_all(&ds.features, &DetectionConfig::default()).unwrap();
+        let rsu = RsuNode::new(
+            RsuId(1),
+            "rsu-motorway",
+            Arc::new(models.cad3),
+            ProcessingCostModel::default(),
+        );
+        let vehicles = (0..4)
+            .map(|i| {
+                VehicleAgent::new(
+                    VehicleId(900 + i),
+                    ds.features[i as usize * 50..(i as usize + 1) * 50].to_vec(),
+                )
+            })
+            .collect();
+        (rsu, vehicles, ds)
+    }
+
+    fn push_status(rsu: &RsuNode, status: &VehicleStatus, arrival: SimTime) {
+        let key = status.vehicle.raw().to_be_bytes();
+        rsu.broker()
+            .produce(
+                TOPIC_IN_DATA,
+                None,
+                Some(Bytes::copy_from_slice(&key)),
+                status.encode_to_bytes(),
+                arrival.as_nanos(),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn creates_paper_topics_and_workers() {
+        let (rsu, _, _) = rsu_with_vehicles();
+        assert_eq!(rsu.broker().topic_names(), vec!["CO-DATA", "IN-DATA", "OUT-DATA"]);
+        assert_eq!(rsu.name(), "rsu-motorway");
+        assert_eq!(rsu.id(), RsuId(1));
+        assert!(format!("{rsu:?}").contains("workers: 6"));
+    }
+
+    #[test]
+    fn batch_processes_pending_records_once() {
+        let (mut rsu, mut vehicles, _) = rsu_with_vehicles();
+        for v in &mut vehicles {
+            let s = v.next_status(SimTime::from_millis(10));
+            push_status(&rsu, &s, SimTime::from_millis(11));
+        }
+        let r1 = rsu.run_batch(SimTime::from_millis(50)).unwrap();
+        assert_eq!(r1.records, 4);
+        assert_eq!(r1.queuing.len(), 4);
+        assert!((r1.queuing[0].as_millis_f64() - 39.0).abs() < 1e-6);
+        // Processing follows the calibrated cost model.
+        assert!((r1.processing.as_millis_f64() - 7.29).abs() < 0.05);
+        let r2 = rsu.run_batch(SimTime::from_millis(100)).unwrap();
+        assert_eq!(r2.records, 0, "no duplicates");
+        assert_eq!(rsu.batches(), 2);
+    }
+
+    #[test]
+    fn abnormal_records_yield_warnings_with_latency_stamps() {
+        let (mut rsu, _, ds) = rsu_with_vehicles();
+        // Hand-craft a blatantly abnormal status: far above road speed.
+        let template =
+            ds.features.iter().find(|f| f.label == Label::Abnormal).copied().unwrap();
+        let mut agent = VehicleAgent::new(VehicleId(999), vec![template]);
+        let status = agent.next_status(SimTime::from_millis(5));
+        push_status(&rsu, &status, SimTime::from_millis(6));
+        let now = SimTime::from_millis(50);
+        let result = rsu.run_batch(now).unwrap();
+        assert_eq!(result.records, 1);
+        if let Some(w) = result.warnings.first() {
+            assert_eq!(w.vehicle, VehicleId(999));
+            assert_eq!(w.source_sent_at, SimTime::from_millis(5));
+            assert_eq!(w.detected_at, now + result.processing);
+            rsu.publish_warning(w).unwrap();
+            assert_eq!(rsu.broker().topic_len(TOPIC_OUT_DATA).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn co_data_summaries_seed_the_tracker() {
+        let (mut rsu, mut vehicles, _) = rsu_with_vehicles();
+        let v = vehicles[0].id();
+        rsu.receive_summary(&SummaryMessage {
+            vehicle: v,
+            from_rsu: RsuId(9),
+            count: 30,
+            mean_probability: 0.97,
+            last_class: 0,
+            sent_at: SimTime::from_millis(1),
+        })
+        .unwrap();
+        let s = vehicles[0].next_status(SimTime::from_millis(10));
+        push_status(&rsu, &s, SimTime::from_millis(12));
+        let result = rsu.run_batch(SimTime::from_millis(50)).unwrap();
+        assert_eq!(result.summaries_received, 1);
+        assert_eq!(result.records, 1);
+        // The seeded history is now exportable.
+        let exported = rsu.export_summaries(SimTime::from_millis(60));
+        let mine = exported.iter().find(|m| m.vehicle == v).unwrap();
+        assert!(mine.count >= 30);
+    }
+
+    #[test]
+    fn export_summaries_cover_observed_vehicles() {
+        let (mut rsu, mut vehicles, _) = rsu_with_vehicles();
+        for v in &mut vehicles {
+            let s = v.next_status(SimTime::from_millis(10));
+            push_status(&rsu, &s, SimTime::from_millis(11));
+        }
+        rsu.run_batch(SimTime::from_millis(50)).unwrap();
+        let summaries = rsu.export_summaries(SimTime::from_millis(60));
+        assert_eq!(summaries.len(), 4);
+        // Sorted by vehicle for deterministic forwarding.
+        for w in summaries.windows(2) {
+            assert!(w[0].vehicle < w[1].vehicle);
+        }
+        for s in &summaries {
+            assert!(s.count >= 1);
+            assert!((0.0..=1.0).contains(&s.mean_probability));
+            assert_eq!(s.from_rsu, RsuId(1));
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_skipped_not_fatal() {
+        let (mut rsu, _, _) = rsu_with_vehicles();
+        rsu.broker()
+            .produce(TOPIC_IN_DATA, None, None, Bytes::from_static(b"garbage"), 0)
+            .unwrap();
+        let result = rsu.run_batch(SimTime::from_millis(50)).unwrap();
+        assert_eq!(result.records, 1, "the record is consumed");
+        assert!(result.warnings.is_empty(), "but produces nothing");
+        assert_eq!(rsu.records_processed(), 0);
+    }
+
+    #[test]
+    fn parallel_sharding_matches_sequential_single_worker() {
+        // The same traffic through a 6-worker RSU and a 1-worker RSU must
+        // yield identical detection outcomes.
+        let ds = SyntheticDataset::generate(&DatasetConfig::small(53));
+        let models = train_all(&ds.features, &DetectionConfig::default()).unwrap();
+        let det: Arc<dyn Detector> = Arc::new(models.cad3);
+        let mut parallel = RsuNode::new(RsuId(1), "p", Arc::clone(&det), ProcessingCostModel::default());
+        let mut sequential = RsuNode::with_executor(
+            RsuId(2),
+            "s",
+            det,
+            ProcessingCostModel::default(),
+            Executor::new(1),
+        );
+        let mut agents: Vec<VehicleAgent> = (0..12)
+            .map(|i| VehicleAgent::new(VehicleId(i + 1), ds.features[..400].to_vec()))
+            .collect();
+        for step in 0..20u64 {
+            for a in &mut agents {
+                let s = a.next_status(SimTime::from_millis(step * 100));
+                push_status(&parallel, &s, SimTime::from_millis(step * 100 + 1));
+                push_status(&sequential, &s, SimTime::from_millis(step * 100 + 1));
+            }
+            let now = SimTime::from_millis(step * 100 + 50);
+            let rp = parallel.run_batch(now).unwrap();
+            let rs = sequential.run_batch(now).unwrap();
+            assert_eq!(rp.records, rs.records);
+            let mut wp: Vec<_> =
+                rp.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
+            let mut ws: Vec<_> =
+                rs.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
+            wp.sort_unstable();
+            ws.sort_unstable();
+            assert_eq!(wp, ws, "step {step}");
+        }
+        assert_eq!(parallel.records_processed(), sequential.records_processed());
+    }
+}

@@ -1,0 +1,175 @@
+use cad3_types::{FeatureRecord, GeoPoint, RoadId, SimTime, VehicleId, VehicleStatus, WarningMessage};
+
+/// A simulated connected vehicle: replays dataset records as 10 Hz status
+/// packets, the role the paper's Kafka producers play on PC1.
+///
+/// # Example
+///
+/// ```
+/// use cad3::VehicleAgent;
+/// use cad3_data::{DatasetConfig, SyntheticDataset};
+/// use cad3_types::{SimTime, VehicleId};
+///
+/// let ds = SyntheticDataset::generate(&DatasetConfig::small(2));
+/// let mut agent = VehicleAgent::new(VehicleId(900), ds.features[..100].to_vec());
+/// let s1 = agent.next_status(SimTime::ZERO);
+/// let s2 = agent.next_status(SimTime::from_millis(100));
+/// assert_eq!(s1.vehicle, VehicleId(900));
+/// assert_eq!(s2.seq, s1.seq + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VehicleAgent {
+    id: VehicleId,
+    records: Vec<FeatureRecord>,
+    cursor: usize,
+    seq: u32,
+    position: GeoPoint,
+    current_road: Option<RoadId>,
+}
+
+impl VehicleAgent {
+    /// Creates an agent streaming from a pool of records (cycled when
+    /// exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn new(id: VehicleId, records: Vec<FeatureRecord>) -> Self {
+        assert!(!records.is_empty(), "vehicle agent needs at least one record");
+        VehicleAgent {
+            id,
+            records,
+            cursor: 0,
+            seq: 0,
+            position: crate::testbed::DEFAULT_POSITION,
+            current_road: None,
+        }
+    }
+
+    /// The agent's vehicle id.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// Number of status packets produced so far.
+    pub fn sent(&self) -> u32 {
+        self.seq
+    }
+
+    /// Produces the next status packet, stamped with `now`.
+    ///
+    /// The replayed record's vehicle id is overridden by the agent's own id
+    /// so each agent streams under a distinct identity even when agents
+    /// share a record pool.
+    pub fn next_status(&mut self, now: SimTime) -> VehicleStatus {
+        let rec = self.records[self.cursor % self.records.len()];
+        self.cursor += 1;
+        self.seq += 1;
+        self.current_road = Some(rec.road);
+        let rec = FeatureRecord { vehicle: self.id, ..rec };
+        VehicleStatus::from_feature(&rec, self.position, now, self.seq)
+    }
+
+    /// The road the agent last reported from (`None` before any status).
+    pub fn current_road(&self) -> Option<RoadId> {
+        self.current_road
+    }
+
+    /// Whether a consumed `OUT-DATA` warning matters to this vehicle: it
+    /// concerns *another* vehicle on the road this one is driving — the
+    /// paper's dissemination goal of "informing drivers who are in the
+    /// vicinity of dangerous vehicles".
+    pub fn is_warning_relevant(&self, warning: &WarningMessage) -> bool {
+        warning.vehicle != self.id && Some(warning.road) == self.current_road
+    }
+
+    /// Switches the replayed pool — the paper's handover emulation, where
+    /// migrated producers "start reading from the motorway link
+    /// subdataset". The sequence number keeps counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn switch_pool(&mut self, records: Vec<FeatureRecord>) {
+        assert!(!records.is_empty(), "vehicle agent needs at least one record");
+        self.records = records;
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad3_types::{DayOfWeek, HourOfDay, Label, RoadId, RoadType, TripId};
+
+    fn rec(speed: f64) -> FeatureRecord {
+        FeatureRecord {
+            vehicle: VehicleId(1),
+            trip: TripId(1),
+            road: RoadId(1),
+            accel_mps2: 0.0,
+            speed_kmh: speed,
+            hour: HourOfDay::new(9).unwrap(),
+            day: DayOfWeek::Monday,
+            road_type: RoadType::Motorway,
+            road_speed_kmh: 100.0,
+            label: Label::Normal,
+        }
+    }
+
+    #[test]
+    fn cycles_through_pool() {
+        let mut agent = VehicleAgent::new(VehicleId(5), vec![rec(10.0), rec(20.0)]);
+        let speeds: Vec<f64> =
+            (0..5).map(|i| agent.next_status(SimTime::from_millis(i * 100)).speed_kmh).collect();
+        assert_eq!(speeds, vec![10.0, 20.0, 10.0, 20.0, 10.0]);
+        assert_eq!(agent.sent(), 5);
+    }
+
+    #[test]
+    fn overrides_vehicle_identity() {
+        let mut agent = VehicleAgent::new(VehicleId(42), vec![rec(10.0)]);
+        let s = agent.next_status(SimTime::ZERO);
+        assert_eq!(s.vehicle, VehicleId(42));
+        assert_eq!(agent.id(), VehicleId(42));
+    }
+
+    #[test]
+    fn stamps_send_time_and_sequence() {
+        let mut agent = VehicleAgent::new(VehicleId(1), vec![rec(10.0)]);
+        let s1 = agent.next_status(SimTime::from_millis(100));
+        let s2 = agent.next_status(SimTime::from_millis(200));
+        assert_eq!(s1.sent_at, SimTime::from_millis(100));
+        assert_eq!(s2.sent_at, SimTime::from_millis(200));
+        assert_eq!((s1.seq, s2.seq), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_pool_panics() {
+        VehicleAgent::new(VehicleId(1), Vec::new());
+    }
+
+    #[test]
+    fn warning_relevance_requires_same_road_other_vehicle() {
+        use cad3_types::{SimTime, WarningKind, WarningMessage};
+        let mut agent = VehicleAgent::new(VehicleId(5), vec![rec(10.0)]);
+        let warning = |vehicle: u64, road: u64| WarningMessage {
+            vehicle: VehicleId(vehicle),
+            road: cad3_types::RoadId(road),
+            kind: WarningKind::Speeding,
+            probability: 0.9,
+            source_sent_at: SimTime::ZERO,
+            detected_at: SimTime::ZERO,
+            source_seq: 1,
+        };
+        // Before any status the agent has no road context.
+        assert_eq!(agent.current_road(), None);
+        assert!(!agent.is_warning_relevant(&warning(9, 1)));
+        agent.next_status(SimTime::ZERO);
+        assert_eq!(agent.current_road(), Some(cad3_types::RoadId(1)));
+        assert!(agent.is_warning_relevant(&warning(9, 1)), "other vehicle, same road");
+        assert!(!agent.is_warning_relevant(&warning(9, 2)), "different road");
+        assert!(!agent.is_warning_relevant(&warning(5, 1)), "own warning");
+    }
+}

@@ -1,0 +1,59 @@
+//! Integration tests of the edge-vs-cloud comparison and the deployment
+//! feasibility pipeline.
+
+use cad3::detector::{train_all, DetectionConfig};
+use cad3::scenario::edge_vs_cloud;
+use cad3::SystemConfig;
+use cad3_data::{DatasetConfig, DeploymentPlan, RoadNetwork, RoadNetworkConfig, SyntheticDataset};
+use cad3_net::{assign_channels, DSRC_SERVICE_CHANNELS};
+use cad3_types::{RoadType, SimDuration};
+use std::sync::Arc;
+
+#[test]
+fn cloud_offload_pays_the_backhaul_twice() {
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(501));
+    let models = train_all(&ds.features, &DetectionConfig::default()).unwrap();
+    let backhaul_ms = 40.0;
+    let (edge, cloud) = edge_vs_cloud(
+        SystemConfig::default(),
+        501,
+        Arc::new(models.ad3),
+        ds.features_of_type(RoadType::Motorway),
+        24,
+        SimDuration::from_millis(backhaul_ms as u64),
+        SimDuration::from_secs(6),
+    );
+    let e = &edge.per_rsu[0].latency;
+    let c = &cloud.per_rsu[0].latency;
+    assert!(e.total_ms.mean() < 50.0, "edge meets the paper bound: {}", e.total_ms.mean());
+    // The cloud pays the backhaul on the way up (tx) and down (dissemination).
+    let gap = c.total_ms.mean() - e.total_ms.mean();
+    assert!(
+        (gap - 2.0 * backhaul_ms).abs() < 10.0,
+        "cloud total should exceed edge by ~2×backhaul: gap {gap}"
+    );
+    assert!(c.tx_ms.mean() > backhaul_ms);
+    assert!(c.dissemination_ms.mean() > backhaul_ms);
+    // Detection itself is unaffected — compute is the same on both sides.
+    assert!((c.processing_ms.mean() - e.processing_ms.mean()).abs() < 1.0);
+}
+
+#[test]
+fn deployment_plan_plus_channels_cover_a_network() {
+    let net = RoadNetwork::generate(&RoadNetworkConfig::scaled(503, 0.02));
+    let plan = DeploymentPlan::plan(&net, 600.0);
+    // 600 m spacing with 300 m DSRC covers the whole network.
+    assert!(plan.coverage(&net, 300.0, 100.0) > 0.999);
+    // And the sites can share the six service channels without conflicts
+    // at that density.
+    let positions: Vec<_> = plan.sites.iter().map(|s| s.position).collect();
+    let channels = assign_channels(&positions, 250.0, DSRC_SERVICE_CHANNELS);
+    let conflicts = channels.conflicts(&positions, 250.0);
+    let conflict_rate = conflicts.len() as f64 / positions.len().max(1) as f64;
+    assert!(
+        conflict_rate < 0.02,
+        "interference conflicts should be rare: {} of {}",
+        conflicts.len(),
+        positions.len()
+    );
+}

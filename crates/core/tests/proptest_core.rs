@@ -1,0 +1,116 @@
+//! Property-based tests of the core library's invariants: the Nilsson
+//! accident model, Eq. 1 fusion and the collaboration tracker.
+
+use cad3::accidents::{expected_potential_accidents, speed_deviation_delta, EvaluatedRecord};
+use cad3::{SummaryTracker, VehicleSummary};
+use cad3_types::{Label, RoadId, VehicleId};
+use proptest::prelude::*;
+
+proptest! {
+    /// δ is always in [0, 1), zero exactly at the road speed, and monotone
+    /// in the deviation on each side.
+    #[test]
+    fn delta_is_bounded_and_monotone(road in 10.0f64..200.0, dev in 0.0f64..150.0) {
+        let fast = speed_deviation_delta(road + dev, road);
+        let slow = speed_deviation_delta((road - dev).max(0.0), road);
+        prop_assert!((0.0..1.0).contains(&fast));
+        prop_assert!((0.0..1.0).contains(&slow));
+        let fast2 = speed_deviation_delta(road + dev + 1.0, road);
+        prop_assert!(fast2 >= fast, "speeding δ must grow with deviation");
+        prop_assert_eq!(speed_deviation_delta(road, road), 0.0);
+    }
+
+    /// E(Λ) counts only false negatives and is additive.
+    #[test]
+    fn expected_accidents_additive(
+        records in prop::collection::vec(
+            (0usize..2, 0usize..2, 10.0f64..250.0, 20.0f64..150.0),
+            0..200,
+        )
+    ) {
+        let evaluated: Vec<EvaluatedRecord> = records
+            .iter()
+            .map(|(truth, pred, speed, road)| EvaluatedRecord {
+                truth: if *truth == 0 { Label::Abnormal } else { Label::Normal },
+                predicted: if *pred == 0 { Label::Abnormal } else { Label::Normal },
+                speed_kmh: *speed,
+                road_speed_kmh: *road,
+            })
+            .collect();
+        let total = expected_potential_accidents(evaluated.iter());
+        prop_assert!(total >= 0.0);
+        let fns = evaluated.iter().filter(|r| r.is_false_negative()).count();
+        prop_assert!(total <= fns as f64, "each FN contributes at most δ < 1");
+        // Additivity over any split.
+        let (a, b) = evaluated.split_at(evaluated.len() / 2);
+        let parts = expected_potential_accidents(a.iter())
+            + expected_potential_accidents(b.iter());
+        prop_assert!((total - parts).abs() < 1e-9);
+        // A perfect detector accrues zero.
+        let perfect: Vec<EvaluatedRecord> = evaluated
+            .iter()
+            .map(|r| EvaluatedRecord { predicted: r.truth, ..*r })
+            .collect();
+        prop_assert_eq!(expected_potential_accidents(perfect.iter()), 0.0);
+    }
+
+    /// The tracker's exported mean is always the running average of the
+    /// observed probabilities, per vehicle, regardless of interleaving.
+    #[test]
+    fn tracker_mean_is_running_average(
+        obs in prop::collection::vec((0u64..4, 0u64..3, 0.0f64..1.0), 1..200)
+    ) {
+        let mut tracker = SummaryTracker::new();
+        let mut sums: std::collections::HashMap<u64, (f64, u32)> = std::collections::HashMap::new();
+        for (veh, road, p) in &obs {
+            tracker.observe(VehicleId(*veh), RoadId(*road), *p);
+            let e = sums.entry(*veh).or_insert((0.0, 0));
+            e.0 += p;
+            e.1 += 1;
+        }
+        for (veh, (sum, count)) in sums {
+            let msg = tracker
+                .export(VehicleId(veh), cad3_types::RsuId(1), cad3_types::SimTime::ZERO)
+                .expect("observed vehicle exports");
+            prop_assert_eq!(msg.count, count);
+            prop_assert!((msg.mean_probability - sum / count as f64).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&msg.mean_probability));
+        }
+    }
+
+    /// A summary returned by observe never includes the current record and
+    /// only appears after a handover.
+    #[test]
+    fn summary_lags_by_at_least_one_road(
+        roads in prop::collection::vec(0u64..3, 1..100)
+    ) {
+        let mut tracker = SummaryTracker::new();
+        let v = VehicleId(1);
+        let mut seen_roads: Vec<u64> = Vec::new();
+        for (i, road) in roads.iter().enumerate() {
+            let summary = tracker.observe(v, RoadId(*road), 0.5);
+            let handovers = seen_roads.windows(2).filter(|w| w[0] != w[1]).count()
+                + usize::from(seen_roads.last().is_some_and(|l| l != road));
+            if handovers == 0 {
+                prop_assert!(summary.is_none(), "no handover yet at step {}", i);
+            }
+            if let Some(s) = summary {
+                prop_assert!(s.count as usize <= i, "summary cannot include current record");
+            }
+            seen_roads.push(*road);
+        }
+    }
+
+    /// Seeding from a CO-DATA summary reproduces that summary on export.
+    #[test]
+    fn seed_round_trips(p in 0.0f64..1.0, count in 1u32..1000) {
+        let mut tracker = SummaryTracker::new();
+        let v = VehicleId(9);
+        tracker.seed(v, VehicleSummary { mean_probability: p, count, last_class: 0 });
+        let msg = tracker
+            .export(v, cad3_types::RsuId(2), cad3_types::SimTime::ZERO)
+            .expect("seeded vehicle exports");
+        prop_assert_eq!(msg.count, count);
+        prop_assert!((msg.mean_probability - p).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! RSU deployment planning — the paper's macroscopic feasibility analysis
+//! (Section VII, Fig. 9): place edge nodes along the road network, measure
+//! what a given DSRC range covers, and find the gaps that need dedicated
+//! installations (the figure's grey circles).
+
+use crate::RoadNetwork;
+use cad3_types::{GeoPoint, RoadId};
+
+/// A planned RSU installation site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsuSite {
+    /// Site index in the plan.
+    pub id: usize,
+    /// Road the site serves.
+    pub road: RoadId,
+    /// Geographic position.
+    pub position: GeoPoint,
+    /// Distance along the road's polyline, metres.
+    pub along_m: f64,
+}
+
+/// A deployment plan: RSU sites along every road of a network.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// Planned sites.
+    pub sites: Vec<RsuSite>,
+    /// The spacing used, metres.
+    pub spacing_m: f64,
+}
+
+impl DeploymentPlan {
+    /// Plans one RSU per `spacing_m` of road (the paper's Table V uses
+    /// 1000 m — one RSU per kilometre), centred on its served stretch.
+    /// Every road gets at least one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing_m` is not strictly positive.
+    pub fn plan(network: &RoadNetwork, spacing_m: f64) -> Self {
+        assert!(spacing_m > 0.0, "spacing must be positive");
+        let mut sites = Vec::new();
+        for road in network.iter() {
+            let count = (road.length_m / spacing_m).ceil().max(1.0) as usize;
+            let stretch = road.length_m / count as f64;
+            for k in 0..count {
+                let along = stretch * (k as f64 + 0.5);
+                sites.push(RsuSite {
+                    id: sites.len(),
+                    road: road.id,
+                    position: road.point_at(along),
+                    along_m: along,
+                });
+            }
+        }
+        DeploymentPlan { sites, spacing_m }
+    }
+
+    /// Number of planned sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the plan is empty (never true for a non-empty network).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Fraction of the road network within `range_m` of a site, measured by
+    /// sampling every road at `sample_step_m` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_step_m` is not strictly positive.
+    pub fn coverage(&self, network: &RoadNetwork, range_m: f64, sample_step_m: f64) -> f64 {
+        let (covered, total) = self.classify_samples(network, range_m, sample_step_m);
+        if total == 0 {
+            return 1.0;
+        }
+        covered as f64 / total as f64
+    }
+
+    /// Sampled road points *not* within `range_m` of any site — the grey
+    /// circles of the paper's Fig. 9, where dedicated installation is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_step_m` is not strictly positive.
+    pub fn coverage_gaps(
+        &self,
+        network: &RoadNetwork,
+        range_m: f64,
+        sample_step_m: f64,
+    ) -> Vec<GeoPoint> {
+        assert!(sample_step_m > 0.0, "sample step must be positive");
+        let mut gaps = Vec::new();
+        for road in network.iter() {
+            let mut along = 0.0;
+            while along <= road.length_m {
+                let p = road.point_at(along);
+                if !self.is_covered(&p, range_m) {
+                    gaps.push(p);
+                }
+                along += sample_step_m;
+            }
+        }
+        gaps
+    }
+
+    fn classify_samples(
+        &self,
+        network: &RoadNetwork,
+        range_m: f64,
+        sample_step_m: f64,
+    ) -> (usize, usize) {
+        assert!(sample_step_m > 0.0, "sample step must be positive");
+        let mut covered = 0;
+        let mut total = 0;
+        for road in network.iter() {
+            let mut along = 0.0;
+            while along <= road.length_m {
+                total += 1;
+                if self.is_covered(&road.point_at(along), range_m) {
+                    covered += 1;
+                }
+                along += sample_step_m;
+            }
+        }
+        (covered, total)
+    }
+
+    fn is_covered(&self, p: &GeoPoint, range_m: f64) -> bool {
+        self.sites.iter().any(|s| s.position.haversine_m(p) <= range_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoadNetworkConfig;
+
+    fn network() -> RoadNetwork {
+        RoadNetwork::generate(&RoadNetworkConfig::scaled(13, 0.01))
+    }
+
+    #[test]
+    fn plan_covers_every_road() {
+        let net = network();
+        let plan = DeploymentPlan::plan(&net, 1000.0);
+        assert!(!plan.is_empty());
+        for road in net.iter() {
+            let sites: Vec<_> = plan.sites.iter().filter(|s| s.road == road.id).collect();
+            assert!(!sites.is_empty(), "road {} has no site", road.id);
+            let expected = (road.length_m / 1000.0).ceil().max(1.0) as usize;
+            assert_eq!(sites.len(), expected, "road {} ({} m)", road.id, road.length_m);
+            for s in sites {
+                assert!(s.along_m >= 0.0 && s.along_m <= road.length_m);
+            }
+        }
+    }
+
+    #[test]
+    fn site_count_tracks_table_v_rule() {
+        // One RSU per km: total sites ≈ total road km (ceil per road).
+        let net = network();
+        let plan = DeploymentPlan::plan(&net, 1000.0);
+        let total_km: f64 = net.iter().map(|r| r.length_m).sum::<f64>() / 1000.0;
+        assert!(plan.len() as f64 >= total_km, "ceil per road never undershoots");
+        assert!((plan.len() as f64) < total_km + net.len() as f64 + 1.0);
+    }
+
+    #[test]
+    fn own_spacing_range_fully_covers() {
+        // Sites every 500 m with a 300 m radius cover their own roads
+        // (each site serves ±250 m of road).
+        let net = network();
+        let plan = DeploymentPlan::plan(&net, 500.0);
+        let coverage = plan.coverage(&net, 300.0, 100.0);
+        assert!(coverage > 0.999, "coverage {coverage}");
+        assert!(plan.coverage_gaps(&net, 300.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn short_range_leaves_gaps() {
+        // 1 km spacing with a 125 m radius (the MCS 8 range) cannot cover
+        // long roads — the paper's grey circles appear.
+        let net = network();
+        let plan = DeploymentPlan::plan(&net, 1000.0);
+        let coverage = plan.coverage(&net, 125.0, 50.0);
+        assert!(coverage < 0.9, "coverage {coverage}");
+        let gaps = plan.coverage_gaps(&net, 125.0, 50.0);
+        assert!(!gaps.is_empty());
+        // Gaps really are uncovered.
+        for g in gaps.iter().take(20) {
+            assert!(plan.sites.iter().all(|s| s.position.haversine_m(g) > 125.0));
+        }
+    }
+
+    #[test]
+    fn coverage_monotone_in_range() {
+        let net = network();
+        let plan = DeploymentPlan::plan(&net, 1000.0);
+        let c1 = plan.coverage(&net, 100.0, 100.0);
+        let c2 = plan.coverage(&net, 300.0, 100.0);
+        let c3 = plan.coverage(&net, 600.0, 100.0);
+        assert!(c1 <= c2 && c2 <= c3);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be positive")]
+    fn zero_spacing_panics() {
+        DeploymentPlan::plan(&network(), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+use cad3_sim::SimRng;
+use cad3_types::DriverProfile;
+
+/// A distribution over driver behavioural profiles.
+///
+/// The paper's Table IV experiment states that "35% of the samples exhibit
+/// abnormality"; [`ProfileMix::paper_default`] reproduces that ratio at the
+/// driver level, splitting the abnormal mass across speeding, slowing and
+/// erratic acceleration (the three behaviours the paper warns about).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileMix {
+    /// Fraction of typical drivers.
+    pub typical: f64,
+    /// Fraction of aggressive (speeding) drivers.
+    pub aggressive: f64,
+    /// Fraction of sluggish (slowing) drivers.
+    pub sluggish: f64,
+    /// Fraction of erratic (sudden-acceleration) drivers.
+    pub erratic: f64,
+}
+
+impl ProfileMix {
+    /// The paper-calibrated mix: 65% typical, 35% abnormal
+    /// (speeding-heavy, as speeding dominates highway accidents).
+    pub fn paper_default() -> Self {
+        ProfileMix { typical: 0.65, aggressive: 0.17, sluggish: 0.12, erratic: 0.06 }
+    }
+
+    /// A mix with no abnormal drivers (for baseline calibration).
+    pub fn all_typical() -> Self {
+        ProfileMix { typical: 1.0, aggressive: 0.0, sluggish: 0.0, erratic: 0.0 }
+    }
+
+    /// Creates a custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or the weights do not sum to ~1.
+    pub fn new(typical: f64, aggressive: f64, sluggish: f64, erratic: f64) -> Self {
+        let sum = typical + aggressive + sluggish + erratic;
+        assert!(
+            typical >= 0.0 && aggressive >= 0.0 && sluggish >= 0.0 && erratic >= 0.0,
+            "profile weights must be non-negative"
+        );
+        assert!((sum - 1.0).abs() < 1e-6, "profile weights must sum to 1, got {sum}");
+        ProfileMix { typical, aggressive, sluggish, erratic }
+    }
+
+    /// Fraction of drivers with an abnormal profile.
+    pub fn abnormal_fraction(&self) -> f64 {
+        self.aggressive + self.sluggish + self.erratic
+    }
+
+    /// Samples a driver profile.
+    pub fn sample(&self, rng: &mut SimRng) -> DriverProfile {
+        let idx = rng.pick_weighted(&[self.typical, self.aggressive, self.sluggish, self.erratic]);
+        DriverProfile::ALL[idx]
+    }
+}
+
+impl Default for ProfileMix {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_35_percent_abnormal() {
+        let mix = ProfileMix::paper_default();
+        assert!((mix.abnormal_fraction() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mix = ProfileMix::paper_default();
+        let mut rng = SimRng::seed_from(1);
+        let n = 50_000;
+        let abnormal =
+            (0..n).filter(|_| mix.sample(&mut rng).is_abnormal()).count() as f64 / n as f64;
+        assert!((abnormal - 0.35).abs() < 0.01, "got {abnormal}");
+    }
+
+    #[test]
+    fn all_typical_never_abnormal() {
+        let mix = ProfileMix::all_typical();
+        let mut rng = SimRng::seed_from(2);
+        assert!((0..1000).all(|_| mix.sample(&mut rng) == DriverProfile::Typical));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_panic() {
+        ProfileMix::new(0.5, 0.1, 0.1, 0.1);
+    }
+}

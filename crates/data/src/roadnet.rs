@@ -1,0 +1,314 @@
+use crate::SHENZHEN_CENTER;
+use cad3_sim::SimRng;
+use cad3_types::{GeoPoint, RoadId, RoadSegment, RoadType};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-road-type generation parameters, mirroring the paper's Table V
+/// columns: traffic-density share, road count, mean length and length
+/// standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadTypeSpec {
+    /// Road type.
+    pub road_type: RoadType,
+    /// Share of city traffic carried by this type (Table V "Density").
+    pub traffic_share: f64,
+    /// Number of road trunks of this type (Table V "# road").
+    pub count: usize,
+    /// Mean trunk length in metres (Table V "Mean").
+    pub mean_length_m: f64,
+    /// Length standard deviation in metres (Table V "STD").
+    pub std_length_m: f64,
+}
+
+impl RoadTypeSpec {
+    /// The paper's Table V rows for Shenzhen.
+    pub fn paper_table_v() -> Vec<RoadTypeSpec> {
+        use RoadType::*;
+        let rows: [(RoadType, f64, usize, f64, f64); 10] = [
+            (Motorway, 0.077, 435, 3357.0, 7652.0),
+            (MotorwayLink, 0.028, 159, 596.0, 1626.0),
+            (Trunk, 0.116, 656, 1622.0, 5520.0),
+            (TrunkLink, 0.044, 247, 339.0, 1931.0),
+            (Primary, 0.252, 1431, 668.0, 2939.0),
+            (PrimaryLink, 0.034, 191, 211.0, 169.0),
+            (Secondary, 0.201, 1140, 561.0, 2337.0),
+            (SecondaryLink, 0.003, 36, 186.0, 156.0),
+            (Tertiary, 0.188, 1064, 522.0, 2592.0),
+            (Residential, 0.053, 303, 334.0, 1470.0),
+        ];
+        rows.into_iter()
+            .map(|(road_type, traffic_share, count, mean_length_m, std_length_m)| RoadTypeSpec {
+                road_type,
+                traffic_share,
+                count,
+                mean_length_m,
+                std_length_m,
+            })
+            .collect()
+    }
+}
+
+/// Configuration of the synthetic road network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadNetworkConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Scale factor applied to the Table V road counts (1.0 = full
+    /// Shenzhen, ~5.7 k trunks; tests use much smaller scales).
+    pub scale: f64,
+    /// Per-type specifications.
+    pub specs: Vec<RoadTypeSpec>,
+    /// Half-width of the city bounding box in metres.
+    pub extent_m: f64,
+}
+
+impl RoadNetworkConfig {
+    /// Full-city configuration from the paper's Table V.
+    pub fn shenzhen(seed: u64) -> Self {
+        RoadNetworkConfig {
+            seed,
+            scale: 1.0,
+            specs: RoadTypeSpec::paper_table_v(),
+            extent_m: 25_000.0,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and examples.
+    pub fn scaled(seed: u64, scale: f64) -> Self {
+        RoadNetworkConfig { scale, ..Self::shenzhen(seed) }
+    }
+}
+
+/// A synthetic road network: typed road trunks plus motorway→link-style
+/// junctions used for RSU handover scenarios.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    roads: BTreeMap<RoadId, RoadSegment>,
+    by_type: HashMap<RoadType, Vec<RoadId>>,
+    /// `(from, to)` pairs where `to` (a link road) begins at the end of
+    /// `from` (its parent road).
+    junctions: Vec<(RoadId, RoadId)>,
+}
+
+impl RoadNetwork {
+    /// Generates a network from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields no roads.
+    pub fn generate(config: &RoadNetworkConfig) -> Self {
+        let mut rng = SimRng::seed_from(config.seed);
+        let mut roads = BTreeMap::new();
+        let mut by_type: HashMap<RoadType, Vec<RoadId>> = HashMap::new();
+        let mut junctions = Vec::new();
+        let mut next_id: u64 = 1;
+
+        // Pass 1: non-link roads scattered over the city box.
+        for spec in config.specs.iter().filter(|s| !s.road_type.is_link()) {
+            let n = ((spec.count as f64 * config.scale).round() as usize).max(1);
+            for _ in 0..n {
+                let id = RoadId(next_id);
+                next_id += 1;
+                let seg = Self::random_road(&mut rng, spec, config.extent_m, None);
+                by_type.entry(spec.road_type).or_default().push(id);
+                roads.insert(id, RoadSegment { id, ..seg });
+            }
+        }
+
+        // Pass 2: link roads, attached to the end of a random parent road
+        // of the matching type (motorway_link to motorway, etc.).
+        for spec in config.specs.iter().filter(|s| s.road_type.is_link()) {
+            let n = ((spec.count as f64 * config.scale).round() as usize).max(1);
+            let parent_type = match spec.road_type {
+                RoadType::MotorwayLink => RoadType::Motorway,
+                RoadType::TrunkLink => RoadType::Trunk,
+                RoadType::PrimaryLink => RoadType::Primary,
+                RoadType::SecondaryLink => RoadType::Secondary,
+                _ => unreachable!("is_link covers exactly these four"),
+            };
+            for _ in 0..n {
+                let id = RoadId(next_id);
+                next_id += 1;
+                let parent = by_type
+                    .get(&parent_type)
+                    .and_then(|v| (!v.is_empty()).then(|| *rng.pick(v)));
+                let anchor = parent.map(|p| roads[&p].end());
+                let seg = Self::random_road(&mut rng, spec, config.extent_m, anchor);
+                by_type.entry(spec.road_type).or_default().push(id);
+                roads.insert(id, RoadSegment { id, ..seg });
+                if let Some(p) = parent {
+                    junctions.push((p, id));
+                }
+            }
+        }
+
+        assert!(!roads.is_empty(), "road network configuration produced no roads");
+        RoadNetwork { roads, by_type, junctions }
+    }
+
+    fn random_road(
+        rng: &mut SimRng,
+        spec: &RoadTypeSpec,
+        extent_m: f64,
+        anchor: Option<GeoPoint>,
+    ) -> RoadSegment {
+        // Length: lognormal-ish — clamp a Gaussian draw to a sane range so
+        // the heavy Table V std values cannot produce degenerate roads.
+        let raw = rng.normal(spec.mean_length_m, spec.std_length_m.min(spec.mean_length_m));
+        let length = raw.clamp(spec.mean_length_m * 0.25, spec.mean_length_m * 4.0).max(60.0);
+
+        let start = anchor.unwrap_or_else(|| {
+            let dx = rng.uniform(-extent_m, extent_m);
+            let dy = rng.uniform(-extent_m, extent_m);
+            SHENZHEN_CENTER.destination(90.0, dx).destination(0.0, dy)
+        });
+        let mut bearing = rng.uniform(0.0, 360.0);
+        // 3–6 vertices with gentle bearing wobble.
+        let vertices = 3 + rng.index(4);
+        let hop = length / (vertices - 1) as f64;
+        let mut polyline = vec![start];
+        let mut here = start;
+        for _ in 1..vertices {
+            bearing += rng.normal(0.0, 8.0);
+            here = here.destination(bearing, hop);
+            polyline.push(here);
+        }
+        RoadSegment::new(RoadId(0), spec.road_type, polyline)
+    }
+
+    /// The road with the given id.
+    pub fn road(&self, id: RoadId) -> Option<&RoadSegment> {
+        self.roads.get(&id)
+    }
+
+    /// All road ids of a type, in generation order.
+    pub fn roads_of_type(&self, rt: RoadType) -> &[RoadId] {
+        self.by_type.get(&rt).map_or(&[], Vec::as_slice)
+    }
+
+    /// All `(parent, link)` junction pairs.
+    pub fn junctions(&self) -> &[(RoadId, RoadId)] {
+        &self.junctions
+    }
+
+    /// Links reachable from the end of `road`.
+    pub fn links_of(&self, road: RoadId) -> Vec<RoadId> {
+        self.junctions.iter().filter(|(p, _)| *p == road).map(|(_, l)| *l).collect()
+    }
+
+    /// Total number of roads.
+    pub fn len(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// Whether the network has no roads (never true after generation).
+    pub fn is_empty(&self) -> bool {
+        self.roads.is_empty()
+    }
+
+    /// Iterates over all roads.
+    pub fn iter(&self) -> impl Iterator<Item = &RoadSegment> {
+        self.roads.values()
+    }
+
+    /// Roads whose geometry passes within `radius_m` of `p`.
+    pub fn roads_near(&self, p: &GeoPoint, radius_m: f64) -> Vec<RoadId> {
+        self.roads
+            .values()
+            .filter(|r| r.distance_to(p) <= radius_m)
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RoadNetwork {
+        RoadNetwork::generate(&RoadNetworkConfig::scaled(7, 0.02))
+    }
+
+    #[test]
+    fn generates_all_road_types() {
+        let net = small();
+        for rt in RoadType::ALL {
+            assert!(!net.roads_of_type(rt).is_empty(), "missing {rt}");
+        }
+    }
+
+    #[test]
+    fn scale_controls_counts() {
+        let net = RoadNetwork::generate(&RoadNetworkConfig::scaled(7, 0.1));
+        // Full Shenzhen has 5,662 trunks; 10% ≈ 566 (±rounding).
+        assert!(net.len() > 450 && net.len() < 700, "got {}", net.len());
+    }
+
+    #[test]
+    fn links_attach_to_parent_roads() {
+        let net = small();
+        assert!(!net.junctions().is_empty());
+        for (parent, link) in net.junctions() {
+            let p = net.road(*parent).unwrap();
+            let l = net.road(*link).unwrap();
+            assert!(l.road_type.is_link());
+            assert_eq!(Some(l.road_type), p.road_type.link_type());
+            // Link starts where the parent ends.
+            assert!(p.end().haversine_m(&l.start()) < 1.0);
+        }
+    }
+
+    #[test]
+    fn links_of_inverts_junctions() {
+        let net = small();
+        let (parent, link) = net.junctions()[0];
+        assert!(net.links_of(parent).contains(&link));
+    }
+
+    #[test]
+    fn lengths_are_plausible() {
+        let net = RoadNetwork::generate(&RoadNetworkConfig::scaled(11, 0.05));
+        let mw: Vec<f64> = net
+            .roads_of_type(RoadType::Motorway)
+            .iter()
+            .map(|id| net.road(*id).unwrap().length_m)
+            .collect();
+        let mean = mw.iter().sum::<f64>() / mw.len() as f64;
+        assert!(mean > 1500.0 && mean < 6000.0, "motorway mean length {mean}");
+        let link: Vec<f64> = net
+            .roads_of_type(RoadType::MotorwayLink)
+            .iter()
+            .map(|id| net.road(*id).unwrap().length_m)
+            .collect();
+        let link_mean = link.iter().sum::<f64>() / link.len() as f64;
+        assert!(link_mean < mean, "links shorter than motorways");
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = RoadNetwork::generate(&RoadNetworkConfig::scaled(5, 0.02));
+        let b = RoadNetwork::generate(&RoadNetworkConfig::scaled(5, 0.02));
+        assert_eq!(a.len(), b.len());
+        for road in a.iter() {
+            let other = b.road(road.id).unwrap();
+            assert_eq!(road.polyline, other.polyline);
+        }
+    }
+
+    #[test]
+    fn roads_near_finds_own_geometry() {
+        let net = small();
+        let road = net.iter().next().unwrap();
+        let mid = road.point_at(road.length_m / 2.0);
+        assert!(net.roads_near(&mid, 200.0).contains(&road.id));
+    }
+
+    #[test]
+    fn table_v_spec_sums() {
+        let specs = RoadTypeSpec::paper_table_v();
+        let total: usize = specs.iter().map(|s| s.count).sum();
+        assert_eq!(total, 5662);
+        let share: f64 = specs.iter().map(|s| s.traffic_share).sum();
+        assert!((share - 0.996).abs() < 0.01, "density shares sum to ~1: {share}");
+    }
+}

@@ -1,0 +1,191 @@
+use cad3_sim::SimRng;
+use cad3_types::{DayOfWeek, HourOfDay, RoadType};
+
+/// Per-road-type Gaussian speed profile with hour-of-day and
+/// weekday/weekend modulation — the generator behind the paper's Fig. 2.
+///
+/// The paper's running example (Section IV-C): on a motorway link "most
+/// vehicles drive between 0 km/h and 35 km/h", so a driver at 90 km/h is
+/// abnormal, while motorways flow much faster. Profiles here encode that
+/// contrast plus the Fig. 2 temporal structure: weekday rush-hour dips,
+/// free-flowing nights, flatter weekends.
+///
+/// # Example
+///
+/// ```
+/// use cad3_data::SpeedProfile;
+/// use cad3_types::{DayOfWeek, HourOfDay, RoadType};
+///
+/// let mw = SpeedProfile::for_road_type(RoadType::Motorway);
+/// let link = SpeedProfile::for_road_type(RoadType::MotorwayLink);
+/// let h = HourOfDay::new(14).unwrap();
+/// assert!(mw.mean_kmh(h, DayOfWeek::Tuesday) > 2.0 * link.mean_kmh(h, DayOfWeek::Tuesday));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedProfile {
+    road_type: RoadType,
+    base_mean_kmh: f64,
+    base_std_kmh: f64,
+}
+
+impl SpeedProfile {
+    /// The calibrated profile for a road type.
+    pub fn for_road_type(road_type: RoadType) -> Self {
+        // (mean, std) of free-flow speed per road type, km/h. Chosen so the
+        // road-type ordering and the Fig. 2 / Section IV-C contrasts hold.
+        let (base_mean_kmh, base_std_kmh) = match road_type {
+            RoadType::Motorway => (100.0, 12.0),
+            RoadType::MotorwayLink => (28.0, 7.0),
+            RoadType::Trunk => (70.0, 10.0),
+            RoadType::TrunkLink => (32.0, 7.0),
+            RoadType::Primary => (50.0, 9.0),
+            RoadType::PrimaryLink => (30.0, 6.0),
+            RoadType::Secondary => (40.0, 8.0),
+            RoadType::SecondaryLink => (28.0, 6.0),
+            RoadType::Tertiary => (35.0, 7.0),
+            RoadType::Residential => (22.0, 5.0),
+        };
+        SpeedProfile { road_type, base_mean_kmh, base_std_kmh }
+    }
+
+    /// The road type this profile describes.
+    pub fn road_type(&self) -> RoadType {
+        self.road_type
+    }
+
+    /// Multiplicative factor applied to the base mean for a given hour/day.
+    pub fn modulation(hour: HourOfDay, day: DayOfWeek) -> f64 {
+        let h = hour.get();
+        if day.is_weekend() {
+            // Weekends: no commuter rush; slightly slower mid-day bustle.
+            match h {
+                0..=5 => 1.10,
+                11..=16 => 0.92,
+                _ => 1.0,
+            }
+        } else {
+            // Weekdays: free-flowing nights, congested rush hours.
+            match h {
+                0..=5 => 1.12,
+                7..=9 => 0.72,
+                17..=19 => 0.70,
+                _ => 1.0,
+            }
+        }
+    }
+
+    /// Mean speed at the given hour and day, km/h.
+    pub fn mean_kmh(&self, hour: HourOfDay, day: DayOfWeek) -> f64 {
+        self.base_mean_kmh * Self::modulation(hour, day)
+    }
+
+    /// Standard deviation at the given hour and day, km/h.
+    ///
+    /// Rush hours have *higher* relative variance (stop-and-go), which is
+    /// part of what makes context-awareness necessary.
+    pub fn std_kmh(&self, hour: HourOfDay, day: DayOfWeek) -> f64 {
+        let m = Self::modulation(hour, day);
+        if m < 0.9 {
+            self.base_std_kmh * 1.3
+        } else {
+            self.base_std_kmh
+        }
+    }
+
+    /// Draws a typical-driver speed for this context, clamped at 0.
+    pub fn sample_kmh(&self, rng: &mut SimRng, hour: HourOfDay, day: DayOfWeek) -> f64 {
+        rng.normal(self.mean_kmh(hour, day), self.std_kmh(hour, day)).max(0.0)
+    }
+
+    /// The Fig. 2 series: mean speed for each hour of a day.
+    pub fn daily_series(&self, day: DayOfWeek) -> Vec<f64> {
+        (0..24)
+            .map(|h| self.mean_kmh(HourOfDay::new(h).expect("hour in range"), day))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u8) -> HourOfDay {
+        HourOfDay::new(x).unwrap()
+    }
+
+    #[test]
+    fn motorway_much_faster_than_link() {
+        let mw = SpeedProfile::for_road_type(RoadType::Motorway);
+        let link = SpeedProfile::for_road_type(RoadType::MotorwayLink);
+        for hour in 0..24u8 {
+            assert!(mw.mean_kmh(h(hour), DayOfWeek::Monday) > 2.0 * link.mean_kmh(h(hour), DayOfWeek::Monday));
+        }
+    }
+
+    #[test]
+    fn section_ivc_example_holds() {
+        // "most vehicles drive between 0 km/h and 35 km/h" on a motorway
+        // link: mean + 1σ stays at or below ~35.
+        let link = SpeedProfile::for_road_type(RoadType::MotorwayLink);
+        let m = link.mean_kmh(h(14), DayOfWeek::Tuesday);
+        let s = link.std_kmh(h(14), DayOfWeek::Tuesday);
+        assert!(m + s <= 36.0, "link profile too fast: {m} + {s}");
+        // And 90 km/h is far outside the normal band.
+        assert!(90.0 > m + 3.0 * s);
+    }
+
+    #[test]
+    fn weekday_rush_hour_dips() {
+        let mw = SpeedProfile::for_road_type(RoadType::Motorway);
+        let rush = mw.mean_kmh(h(8), DayOfWeek::Wednesday);
+        let noon = mw.mean_kmh(h(12), DayOfWeek::Wednesday);
+        let night = mw.mean_kmh(h(3), DayOfWeek::Wednesday);
+        assert!(rush < noon, "rush {rush} must dip below noon {noon}");
+        assert!(night > noon, "night free-flow should exceed noon");
+    }
+
+    #[test]
+    fn weekend_has_no_commuter_rush() {
+        let mw = SpeedProfile::for_road_type(RoadType::Motorway);
+        let sat_rush = mw.mean_kmh(h(8), DayOfWeek::Saturday);
+        let wed_rush = mw.mean_kmh(h(8), DayOfWeek::Wednesday);
+        assert!(sat_rush > wed_rush, "weekend morning flows freer than weekday rush");
+    }
+
+    #[test]
+    fn rush_hour_variance_grows() {
+        let mw = SpeedProfile::for_road_type(RoadType::Motorway);
+        assert!(mw.std_kmh(h(8), DayOfWeek::Monday) > mw.std_kmh(h(12), DayOfWeek::Monday));
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_centered() {
+        let link = SpeedProfile::for_road_type(RoadType::MotorwayLink);
+        let mut rng = cad3_sim::SimRng::seed_from(3);
+        let n = 20_000;
+        let samples: Vec<f64> =
+            (0..n).map(|_| link.sample_kmh(&mut rng, h(14), DayOfWeek::Friday)).collect();
+        assert!(samples.iter().all(|&s| s >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let expected = link.mean_kmh(h(14), DayOfWeek::Friday);
+        assert!((mean - expected).abs() < 0.5, "mean {mean} vs expected {expected}");
+    }
+
+    #[test]
+    fn daily_series_has_24_points() {
+        let s = SpeedProfile::for_road_type(RoadType::Primary).daily_series(DayOfWeek::Monday);
+        assert_eq!(s.len(), 24);
+        // Rush dip visible in the series itself.
+        assert!(s[8] < s[12]);
+    }
+
+    #[test]
+    fn road_type_ordering_motorway_fastest() {
+        let speeds: Vec<f64> = RoadType::ALL
+            .iter()
+            .map(|&rt| SpeedProfile::for_road_type(rt).mean_kmh(h(12), DayOfWeek::Monday))
+            .collect();
+        let mw = speeds[0];
+        assert!(speeds.iter().all(|&s| s <= mw), "motorway must be fastest");
+    }
+}

@@ -1,0 +1,409 @@
+use crate::{RoadNetwork, SpeedProfile};
+use cad3_sim::SimRng;
+use cad3_types::{
+    DayOfWeek, DriverProfile, FeatureRecord, GeoPoint, HourOfDay, Label, RoadId, TrajectoryPoint,
+    TripId, TripRecord, VehicleId,
+};
+
+/// A generated trip: the Table I trip row, its 1 Hz GPS trajectory, the
+/// ground-truth road of every fix, and the preprocessed Table II records.
+#[derive(Debug, Clone)]
+pub struct GeneratedTrip {
+    /// Trip-level record.
+    pub record: TripRecord,
+    /// Raw 1 Hz trajectory (with GPS noise).
+    pub points: Vec<TrajectoryPoint>,
+    /// Ground-truth road of each trajectory point (for map-matcher
+    /// validation).
+    pub true_roads: Vec<RoadId>,
+    /// Preprocessed per-point analysis records carrying the *measured*
+    /// kinematics (GPS-derived speed with sensor noise). Labels are
+    /// [`Label::Normal`] placeholders until the offline labelling stage
+    /// runs (see [`crate::LabelModel`]).
+    pub features: Vec<FeatureRecord>,
+    /// True (noise-free) `(speed_kmh, accel_mps2)` per point, aligned with
+    /// `features`. The offline labelling stage uses these as ground truth;
+    /// the detectors only ever see the measured values — the gap between
+    /// the two is what makes cross-road collaboration informative.
+    pub true_kinematics: Vec<(f64, f64)>,
+    /// The driver's behavioural profile.
+    pub profile: DriverProfile,
+}
+
+/// Generates trips and trajectories over a road network.
+///
+/// Driver behaviour is *persistent within a trip*: an aggressive driver
+/// targets well above the road's normal speed on every road traversed,
+/// which is the statistical structure that lets CAD3's cross-RSU summary
+/// carry information (the paper's driver-awareness).
+#[derive(Debug, Clone, Copy)]
+pub struct TripGenerator<'a> {
+    network: &'a RoadNetwork,
+    /// GPS noise standard deviation in metres.
+    gps_noise_m: f64,
+    /// Speed measurement noise (GPS-derived speed), km/h.
+    speed_noise_kmh: f64,
+    /// Acceleration measurement noise (IMU), m/s².
+    accel_noise_mps2: f64,
+}
+
+impl<'a> TripGenerator<'a> {
+    /// Creates a generator over a network with 5 m GPS noise, 4 km/h
+    /// speed-measurement noise and 0.15 m/s² accelerometer noise.
+    pub fn new(network: &'a RoadNetwork) -> Self {
+        TripGenerator {
+            network,
+            gps_noise_m: 5.0,
+            speed_noise_kmh: 5.0,
+            accel_noise_mps2: 0.15,
+        }
+    }
+
+    /// Overrides the GPS noise level.
+    pub fn with_gps_noise(mut self, noise_m: f64) -> Self {
+        self.gps_noise_m = noise_m;
+        self
+    }
+
+    /// Overrides the kinematic measurement noise (speed km/h, accel m/s²).
+    pub fn with_measurement_noise(mut self, speed_kmh: f64, accel_mps2: f64) -> Self {
+        self.speed_noise_kmh = speed_kmh;
+        self.accel_noise_mps2 = accel_mps2;
+        self
+    }
+
+    /// The microscopic scenario of the paper's Fig. 3: one motorway
+    /// followed by a motorway link attached to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no motorway→link junction.
+    pub fn microscopic_route(&self, rng: &mut SimRng) -> Vec<RoadId> {
+        let motorway_junctions: Vec<&(RoadId, RoadId)> = self
+            .network
+            .junctions()
+            .iter()
+            .filter(|(p, _)| {
+                self.network.road(*p).map(|r| r.road_type == cad3_types::RoadType::Motorway)
+                    == Some(true)
+            })
+            .collect();
+        assert!(!motorway_junctions.is_empty(), "network has no motorway junction");
+        let (p, l) = **rng.pick(&motorway_junctions);
+        vec![p, l]
+    }
+
+    /// A random route of up to `max_roads` roads, following junctions when
+    /// possible and hopping to a random road otherwise.
+    pub fn random_route(&self, rng: &mut SimRng, max_roads: usize) -> Vec<RoadId> {
+        assert!(max_roads > 0, "route needs at least one road");
+        let all: Vec<RoadId> = self.network.iter().map(|r| r.id).collect();
+        let mut route = vec![*rng.pick(&all)];
+        while route.len() < max_roads {
+            let here = *route.last().expect("route non-empty");
+            let links = self.network.links_of(here);
+            let next = if !links.is_empty() && rng.chance(0.7) {
+                *rng.pick(&links)
+            } else {
+                *rng.pick(&all)
+            };
+            if next == here {
+                break;
+            }
+            route.push(next);
+        }
+        route
+    }
+
+    /// Generates one trip along `route`.
+    ///
+    /// `start_time_s` is seconds since the dataset epoch (midnight of day
+    /// 0); hour-of-day features derive from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or references an unknown road.
+    #[allow(clippy::too_many_arguments)] // a trip is naturally this wide
+    pub fn generate_trip(
+        &self,
+        rng: &mut SimRng,
+        vehicle: VehicleId,
+        trip: TripId,
+        profile: DriverProfile,
+        day: DayOfWeek,
+        start_time_s: f64,
+        route: &[RoadId],
+    ) -> GeneratedTrip {
+        assert!(!route.is_empty(), "trip route must not be empty");
+        let dt = 1.0; // 1 Hz GPS, like the paper's dataset
+        let mut points = Vec::new();
+        let mut true_roads = Vec::new();
+        let mut features = Vec::new();
+        let mut true_kinematics = Vec::new();
+
+        let mut t = start_time_s;
+        let mut mileage = 0.0;
+        let mut prev_speed_kmh: Option<f64> = None;
+        // Erratic drivers flip between slow and fast targets.
+        let mut erratic_high = rng.chance(0.5);
+        let mut erratic_countdown: usize = 3 + rng.index(5);
+
+        let start_pos = self
+            .network
+            .road(route[0])
+            .expect("route road exists")
+            .start();
+
+        for &road_id in route {
+            let road = self.network.road(road_id).expect("route road exists").clone();
+            let sp = SpeedProfile::for_road_type(road.road_type);
+            let mut dist_on_road = 0.0;
+            // Initialise speed near the context's norm.
+            let hour = HourOfDay::wrapping((t / 3600.0) as u64);
+            let mut v = prev_speed_kmh
+                .unwrap_or_else(|| sp.sample_kmh(rng, hour, day))
+                .max(1.0);
+
+            while dist_on_road < road.length_m {
+                let hour = HourOfDay::wrapping((t / 3600.0) as u64);
+                let mean = sp.mean_kmh(hour, day);
+                let std = sp.std_kmh(hour, day);
+                // Behavioural target speed.
+                let (target, pull, noise) = match profile {
+                    DriverProfile::Typical => (rng.normal(mean, std * 0.7), 0.35, 1.2),
+                    DriverProfile::Aggressive => {
+                        (mean + rng.normal(2.4, 0.3) * std, 0.5, 1.2)
+                    }
+                    DriverProfile::Sluggish => {
+                        ((mean - rng.normal(2.4, 0.3) * std).max(2.0), 0.5, 1.2)
+                    }
+                    DriverProfile::Erratic => {
+                        erratic_countdown = erratic_countdown.saturating_sub(1);
+                        if erratic_countdown == 0 {
+                            erratic_high = !erratic_high;
+                            erratic_countdown = 3 + rng.index(5);
+                        }
+                        let tgt = if erratic_high { mean * 1.45 } else { mean * 0.55 };
+                        (tgt, 0.75, 4.0)
+                    }
+                };
+                let new_v = (v + pull * (target - v) + rng.normal(0.0, noise)).max(0.0);
+                let accel_mps2 = (new_v - v) / 3.6 / dt;
+                v = new_v;
+
+                dist_on_road += v / 3.6 * dt;
+                t += dt;
+                mileage += v / 3.6 * dt;
+
+                let true_pos = road.point_at(dist_on_road.min(road.length_m));
+                let gps_pos = self.jitter(rng, true_pos);
+                points.push(TrajectoryPoint {
+                    vehicle,
+                    trip,
+                    position: gps_pos,
+                    gps_time_s: t,
+                    ac_mileage_m: mileage,
+                });
+                true_roads.push(road_id);
+                // Detectors see measured kinematics; the labelling ground
+                // truth keeps the noise-free values.
+                let measured_speed =
+                    (v + rng.normal(0.0, self.speed_noise_kmh)).max(0.0);
+                let measured_accel = accel_mps2 + rng.normal(0.0, self.accel_noise_mps2);
+                features.push(FeatureRecord {
+                    vehicle,
+                    trip,
+                    road: road_id,
+                    accel_mps2: measured_accel,
+                    speed_kmh: measured_speed,
+                    hour,
+                    day,
+                    road_type: road.road_type,
+                    road_speed_kmh: mean,
+                    label: Label::Normal, // placeholder until offline labelling
+                });
+                true_kinematics.push((v, accel_mps2));
+                prev_speed_kmh = Some(v);
+            }
+        }
+
+        let stop_pos = points.last().map_or(start_pos, |p| p.position);
+        let record = TripRecord {
+            vehicle,
+            trip,
+            start: start_pos,
+            stop: stop_pos,
+            start_time_s,
+            stop_time_s: t,
+            mileage_m: mileage,
+            day,
+            roads: route.to_vec(),
+        };
+        GeneratedTrip { record, points, true_roads, features, true_kinematics, profile }
+    }
+
+    fn jitter(&self, rng: &mut SimRng, p: GeoPoint) -> GeoPoint {
+        let bearing = rng.uniform(0.0, 360.0);
+        let dist = rng.normal(0.0, self.gps_noise_m).abs();
+        p.destination(bearing, dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoadNetworkConfig;
+
+    fn network() -> RoadNetwork {
+        RoadNetwork::generate(&RoadNetworkConfig::scaled(3, 0.02))
+    }
+
+    fn trip(profile: DriverProfile, seed: u64) -> GeneratedTrip {
+        let net = network();
+        let gen = TripGenerator::new(&net);
+        let mut rng = SimRng::seed_from(seed);
+        let route = gen.microscopic_route(&mut rng);
+        gen.generate_trip(
+            &mut rng,
+            VehicleId(1),
+            TripId(1),
+            profile,
+            DayOfWeek::Tuesday,
+            10.0 * 3600.0,
+            &route,
+        )
+    }
+
+    #[test]
+    fn trip_covers_route_in_order() {
+        let t = trip(DriverProfile::Typical, 1);
+        assert_eq!(t.record.roads.len(), 2);
+        // true_roads is a non-decreasing walk through the route.
+        let first_link_idx =
+            t.true_roads.iter().position(|r| *r == t.record.roads[1]).expect("reaches link");
+        assert!(t.true_roads[..first_link_idx].iter().all(|r| *r == t.record.roads[0]));
+        assert!(t.true_roads[first_link_idx..].iter().all(|r| *r == t.record.roads[1]));
+    }
+
+    #[test]
+    fn streams_are_aligned_and_timed_at_1hz() {
+        let t = trip(DriverProfile::Typical, 2);
+        assert_eq!(t.points.len(), t.features.len());
+        assert_eq!(t.points.len(), t.true_roads.len());
+        for w in t.points.windows(2) {
+            assert!((w[1].gps_time_s - w[0].gps_time_s - 1.0).abs() < 1e-9);
+        }
+        assert!(t.record.period_s() >= t.points.len() as f64 - 1.0);
+    }
+
+    #[test]
+    fn typical_driver_stays_near_profile() {
+        let t = trip(DriverProfile::Typical, 3);
+        // On the motorway stretch, speed should hover near the mean.
+        let mw_speeds: Vec<f64> = t
+            .features
+            .iter()
+            .filter(|f| f.road_type == cad3_types::RoadType::Motorway)
+            .map(|f| f.speed_kmh)
+            .collect();
+        let mean = mw_speeds.iter().sum::<f64>() / mw_speeds.len() as f64;
+        let road_speed = t.features[0].road_speed_kmh;
+        assert!(
+            (mean - road_speed).abs() < road_speed * 0.2,
+            "typical mean {mean} vs road {road_speed}"
+        );
+    }
+
+    #[test]
+    fn aggressive_driver_speeds_on_every_road() {
+        let t = trip(DriverProfile::Aggressive, 4);
+        for road in &t.record.roads {
+            let speeds: Vec<&FeatureRecord> =
+                t.features.iter().filter(|f| f.road == *road).collect();
+            let over = speeds.iter().filter(|f| f.speed_kmh > f.road_speed_kmh).count();
+            assert!(
+                over as f64 / speeds.len() as f64 > 0.8,
+                "aggressive driver persistent on {road}"
+            );
+        }
+    }
+
+    #[test]
+    fn sluggish_driver_crawls() {
+        let t = trip(DriverProfile::Sluggish, 5);
+        let under = t.features.iter().filter(|f| f.speed_kmh < f.road_speed_kmh).count();
+        assert!(under as f64 / t.features.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn erratic_driver_has_violent_acceleration() {
+        let te = trip(DriverProfile::Erratic, 6);
+        let tt = trip(DriverProfile::Typical, 6);
+        let max_abs = |t: &GeneratedTrip| {
+            t.features.iter().map(|f| f.accel_mps2.abs()).fold(0.0f64, f64::max)
+        };
+        assert!(max_abs(&te) > 1.5 * max_abs(&tt), "erratic should out-accelerate typical");
+    }
+
+    #[test]
+    fn mileage_accumulates_monotonically() {
+        let t = trip(DriverProfile::Typical, 7);
+        for w in t.points.windows(2) {
+            assert!(w[1].ac_mileage_m >= w[0].ac_mileage_m);
+        }
+        assert!((t.record.mileage_m - t.points.last().unwrap().ac_mileage_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gps_noise_is_bounded() {
+        let net = network();
+        let gen = TripGenerator::new(&net).with_gps_noise(3.0);
+        let mut rng = SimRng::seed_from(8);
+        let route = gen.microscopic_route(&mut rng);
+        let t = gen.generate_trip(
+            &mut rng,
+            VehicleId(1),
+            TripId(1),
+            DriverProfile::Typical,
+            DayOfWeek::Monday,
+            0.0,
+            &route,
+        );
+        for (p, road_id) in t.points.iter().zip(&t.true_roads) {
+            let road = net.road(*road_id).unwrap();
+            assert!(road.distance_to(&p.position) < 60.0, "fix too far from its road");
+        }
+    }
+
+    #[test]
+    fn hour_feature_advances_across_hour_boundary() {
+        let net = network();
+        let gen = TripGenerator::new(&net);
+        let mut rng = SimRng::seed_from(9);
+        let route = gen.random_route(&mut rng, 4);
+        // Start 30 s before 11:00.
+        let t = gen.generate_trip(
+            &mut rng,
+            VehicleId(1),
+            TripId(1),
+            DriverProfile::Typical,
+            DayOfWeek::Monday,
+            10.0 * 3600.0 + 3570.0,
+            &route,
+        );
+        let hours: std::collections::HashSet<u8> =
+            t.features.iter().map(|f| f.hour.get()).collect();
+        assert!(hours.contains(&11), "trip crosses into hour 11: {hours:?}");
+    }
+
+    #[test]
+    fn random_route_respects_max() {
+        let net = network();
+        let gen = TripGenerator::new(&net);
+        let mut rng = SimRng::seed_from(10);
+        for _ in 0..20 {
+            let r = gen.random_route(&mut rng, 3);
+            assert!(!r.is_empty() && r.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size worker pool executing independent per-partition tasks.
+///
+/// Tasks are pulled from a shared index by up to `workers` scoped threads —
+/// the same fan-out/fan-in structure as a Spark stage over an RDD's
+/// partitions. Results come back in partition order regardless of which
+/// worker ran them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// Creates an executor with the given worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "executor needs at least one worker");
+        Executor { workers }
+    }
+
+    /// The paper's configuration: six workers.
+    pub fn paper_default() -> Self {
+        Executor::new(crate::PAPER_WORKERS)
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every element of `inputs` in parallel, returning the
+    /// outputs in input order.
+    pub fn run<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            return inputs.into_iter().map(f).collect();
+        }
+
+        // Give each task a slot; workers claim indices from a shared counter.
+        let tasks: Vec<std::sync::Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| std::sync::Mutex::new(Some(i))).collect();
+        let results: Vec<std::sync::Mutex<Option<O>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let tasks_ref = &tasks;
+        let results_ref = &results;
+        let next_ref = &next;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(move |_| loop {
+                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let input =
+                        tasks_ref[idx].lock().expect("task lock").take().expect("task taken once");
+                    let out = f(input);
+                    *results_ref[idx].lock().expect("result lock") = Some(out);
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        drop(tasks);
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("result lock").expect("task completed"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let exec = Executor::new(4);
+        let out = exec.run((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let exec = Executor::new(8);
+        let seen = Mutex::new(HashSet::new());
+        exec.run((0..1000).collect(), |x: i32| {
+            assert!(seen.lock().unwrap().insert(x), "task {x} ran twice");
+            x
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn multiple_workers_actually_run_concurrently() {
+        // With 4 workers and 4 blocking tasks that wait for each other, the
+        // run completes only if they truly overlap.
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let exec = Executor::new(4);
+        let barrier = Barrier::new(4);
+        let arrived = AtomicUsize::new(0);
+        exec.run(vec![(), (), (), ()], |()| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+        });
+        assert_eq!(arrived.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn single_worker_is_sequential_fallback() {
+        let exec = Executor::new(1);
+        let out = exec.run(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let exec = Executor::new(4);
+        let out: Vec<i32> = exec.run(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        Executor::new(0);
+    }
+
+    #[test]
+    fn paper_default_has_six_workers() {
+        assert_eq!(Executor::paper_default().workers(), 6);
+        assert_eq!(Executor::default().workers(), 6);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training was attempted on a dataset with no rows.
+    EmptyDataset,
+    /// A row's feature count does not match the schema.
+    DimensionMismatch {
+        /// Number of features the schema expects.
+        expected: usize,
+        /// Number of features in the offending row.
+        got: usize,
+    },
+    /// A label was outside `0..n_classes`.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// The dataset's class count.
+        n_classes: usize,
+    },
+    /// A categorical feature value was outside its declared cardinality.
+    InvalidCategory {
+        /// Feature column index.
+        feature: usize,
+        /// The offending raw value.
+        value: f64,
+        /// Declared cardinality of the column.
+        cardinality: usize,
+    },
+    /// Training requires at least one example of every class.
+    MissingClass {
+        /// The class with no training examples.
+        class: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => f.write_str("dataset has no rows"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            MlError::InvalidLabel { label, n_classes } => {
+                write!(f, "label {label} outside 0..{n_classes}")
+            }
+            MlError::InvalidCategory { feature, value, cardinality } => {
+                write!(f, "feature {feature} value {value} outside cardinality {cardinality}")
+            }
+            MlError::MissingClass { class } => {
+                write!(f, "no training examples for class {class}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(MlError::EmptyDataset.to_string(), "dataset has no rows");
+        assert!(MlError::DimensionMismatch { expected: 4, got: 3 }.to_string().contains("4"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MlError>();
+    }
+}

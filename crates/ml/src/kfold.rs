@@ -1,0 +1,137 @@
+//! K-fold cross-validation, for assessing model stability beyond the
+//! paper's single 80/20 split.
+
+use crate::{Dataset, SplitRng};
+
+/// Produces `k` shuffled folds of `0..n` as `(train, test)` index pairs.
+///
+/// Every index appears in exactly one test fold; folds differ in size by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, rng: &mut SplitRng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "cross-validation needs at least two folds");
+    assert!(k <= n, "more folds than samples");
+    let mut indices: Vec<usize> = (0..n).collect();
+    rng.shuffle_indices(&mut indices);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let test: Vec<usize> = indices.iter().copied().skip(f).step_by(k).collect();
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train: Vec<usize> =
+            indices.iter().copied().filter(|i| !test_set.contains(i)).collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: `fit` trains on each training fold,
+/// `score` evaluates on the matching test fold. Returns the per-fold
+/// scores.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`kfold_indices`].
+///
+/// # Example
+///
+/// ```
+/// use cad3_ml::{cross_validate, Dataset, FeatureKind, NaiveBayes, Schema, SplitRng};
+///
+/// let mut ds = Dataset::new(Schema::new(vec![FeatureKind::Continuous]), 2);
+/// for i in 0..100 {
+///     ds.push(vec![i as f64], usize::from(i >= 50))?;
+/// }
+/// let scores = cross_validate(
+///     &ds,
+///     5,
+///     &mut SplitRng::seed_from(1),
+///     |train| NaiveBayes::fit(train).unwrap(),
+///     |model, test| {
+///         let correct = test
+///             .iter()
+///             .filter(|(row, label)| model.predict(row).unwrap() == *label)
+///             .count();
+///         correct as f64 / test.len() as f64
+///     },
+/// );
+/// assert_eq!(scores.len(), 5);
+/// assert!(scores.iter().all(|s| *s > 0.9));
+/// # Ok::<(), cad3_ml::MlError>(())
+/// ```
+pub fn cross_validate<M>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut SplitRng,
+    fit: impl Fn(&Dataset) -> M,
+    score: impl Fn(&M, &Dataset) -> f64,
+) -> Vec<f64> {
+    kfold_indices(data.len(), k, rng)
+        .into_iter()
+        .map(|(train_idx, test_idx)| {
+            let train = data.subset(&train_idx);
+            let test = data.subset(&test_idx);
+            let model = fit(&train);
+            score(&model, &test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureKind, Schema};
+
+    #[test]
+    fn folds_partition_everything() {
+        let mut rng = SplitRng::seed_from(1);
+        let folds = kfold_indices(103, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..103).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+            let ts: std::collections::HashSet<_> = test.iter().collect();
+            assert!(train.iter().all(|i| !ts.contains(i)), "train/test overlap");
+            // Balanced within one element.
+            assert!((test.len() as i64 - 103 / 5).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn cross_validation_runs_k_times() {
+        let mut ds = Dataset::new(Schema::new(vec![FeatureKind::Continuous]), 2);
+        for i in 0..60 {
+            ds.push(vec![i as f64], usize::from(i >= 30)).unwrap();
+        }
+        let calls = std::cell::Cell::new(0u32);
+        let scores = cross_validate(
+            &ds,
+            4,
+            &mut SplitRng::seed_from(2),
+            |train| {
+                calls.set(calls.get() + 1);
+                train.len()
+            },
+            |train_len, test| (*train_len + test.len()) as f64,
+        );
+        assert_eq!(calls.get(), 4);
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|&s| s == 60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_panics() {
+        kfold_indices(10, 1, &mut SplitRng::seed_from(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        kfold_indices(3, 5, &mut SplitRng::seed_from(1));
+    }
+}

@@ -1,0 +1,125 @@
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seedable RNG used for reproducible dataset splits.
+///
+/// A thin newtype so callers don't need a direct `rand` dependency.
+#[derive(Debug, Clone)]
+pub struct SplitRng(StdRng);
+
+impl SplitRng {
+    /// Creates a split RNG from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SplitRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Fisher–Yates shuffle of an index slice.
+    pub fn shuffle_indices(&mut self, indices: &mut [usize]) {
+        for i in (1..indices.len()).rev() {
+            let j = self.0.random_range(0..=i);
+            indices.swap(i, j);
+        }
+    }
+}
+
+/// Splits a dataset into `(train, test)` with `train_fraction` of the rows
+/// in the training set, shuffled reproducibly — the paper's 80/20 split of
+/// the motorway and motorway-link sub-datasets.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use cad3_ml::{train_test_split, Dataset, FeatureKind, Schema, SplitRng};
+///
+/// let mut ds = Dataset::new(Schema::new(vec![FeatureKind::Continuous]), 2);
+/// for i in 0..100 {
+///     ds.push(vec![i as f64], i % 2)?;
+/// }
+/// let (train, test) = train_test_split(&ds, 0.8, &mut SplitRng::seed_from(7));
+/// assert_eq!(train.len(), 80);
+/// assert_eq!(test.len(), 20);
+/// # Ok::<(), cad3_ml::MlError>(())
+/// ```
+pub fn train_test_split(data: &Dataset, train_fraction: f64, rng: &mut SplitRng) -> (Dataset, Dataset) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be within (0, 1)"
+    );
+    let n = data.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    rng.shuffle_indices(&mut indices);
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    let cut = cut.clamp(1, n.saturating_sub(1).max(1));
+    (data.subset(&indices[..cut]), data.subset(&indices[cut..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureKind, Schema};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(Schema::new(vec![FeatureKind::Continuous]), 2);
+        for i in 0..n {
+            ds.push(vec![i as f64], i % 2).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let ds = dataset(100);
+        let (train, test) = train_test_split(&ds, 0.8, &mut SplitRng::seed_from(1));
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = dataset(50);
+        let (train, test) = train_test_split(&ds, 0.6, &mut SplitRng::seed_from(2));
+        let mut values: Vec<i64> = train
+            .iter()
+            .chain(test.iter())
+            .map(|(row, _)| row[0] as i64)
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_seed_same_split() {
+        let ds = dataset(40);
+        let (a, _) = train_test_split(&ds, 0.5, &mut SplitRng::seed_from(9));
+        let (b, _) = train_test_split(&ds, 0.5, &mut SplitRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_split() {
+        let ds = dataset(40);
+        let (a, _) = train_test_split(&ds, 0.5, &mut SplitRng::seed_from(1));
+        let (b, _) = train_test_split(&ds, 0.5, &mut SplitRng::seed_from(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_shuffles() {
+        let ds = dataset(100);
+        let (train, _) = train_test_split(&ds, 0.8, &mut SplitRng::seed_from(3));
+        let first_ten: Vec<i64> = (0..10).map(|i| train.row(i)[0] as i64).collect();
+        assert_ne!(first_ten, (0..10).collect::<Vec<_>>(), "order should be shuffled");
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 1)")]
+    fn full_fraction_panics() {
+        let ds = dataset(10);
+        train_test_split(&ds, 1.0, &mut SplitRng::seed_from(1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Small statistical primitives shared by the models.
+
+/// Running Gaussian sufficient statistics (count, mean, variance) with a
+/// variance floor to keep log-densities finite for constant features.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GaussianStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+/// Variance floor applied when a feature is (nearly) constant in a class.
+pub(crate) const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance with a small floor.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            VAR_FLOOR
+        } else {
+            (self.m2 / self.count as f64).max(VAR_FLOOR)
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Log-density of `x` under the fitted Gaussian.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        gaussian_log_pdf(x, self.mean(), self.variance())
+    }
+}
+
+/// Log-density of `x` under `N(mean, var)`.
+///
+/// # Panics
+///
+/// Panics if `var` is not strictly positive.
+pub fn gaussian_log_pdf(x: f64, mean: f64, var: f64) -> f64 {
+    assert!(var > 0.0, "gaussian variance must be positive");
+    let d = x - mean;
+    -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_closed_form() {
+        let mut g = GaussianStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            g.push(x);
+        }
+        assert_eq!(g.count(), 4);
+        assert!((g.mean() - 2.5).abs() < 1e-12);
+        assert!((g.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_gets_floor_variance() {
+        let mut g = GaussianStats::new();
+        for _ in 0..10 {
+            g.push(5.0);
+        }
+        assert_eq!(g.variance(), VAR_FLOOR);
+        assert!(g.log_pdf(5.0).is_finite());
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let at_mean = gaussian_log_pdf(0.0, 0.0, 1.0);
+        let off = gaussian_log_pdf(2.0, 0.0, 1.0);
+        assert!(at_mean > off);
+        // Standard normal at mean: -0.5 ln(2π) ≈ -0.9189
+        assert!((at_mean + 0.9189385).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_pdf_integrates_to_one_numerically() {
+        let step = 0.01;
+        let sum: f64 =
+            (-1000..1000).map(|i| (gaussian_log_pdf(i as f64 * step, 0.0, 1.0)).exp() * step).sum();
+        assert!((sum - 1.0).abs() < 1e-3, "integral {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn zero_variance_panics() {
+        gaussian_log_pdf(0.0, 0.0, 0.0);
+    }
+}

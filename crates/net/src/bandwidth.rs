@@ -1,0 +1,154 @@
+use cad3_types::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Sliding-window bandwidth accounting used for the Fig. 6c/6d measurements.
+///
+/// Records `(time, bytes)` events and reports instantaneous (windowed) and
+/// long-run average rates.
+///
+/// # Example
+///
+/// ```
+/// use cad3_net::BandwidthMeter;
+/// use cad3_types::{SimDuration, SimTime};
+///
+/// let mut m = BandwidthMeter::new(SimDuration::from_secs(1));
+/// m.record(SimTime::ZERO, 12_500); // 100 kb
+/// let rate = m.rate_bps(SimTime::from_millis(500));
+/// assert!((rate - 100_000.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthMeter {
+    window: SimDuration,
+    events: VecDeque<(SimTime, u64)>,
+    window_bytes: u64,
+    total_bytes: u64,
+    first_event: Option<SimTime>,
+    last_event: Option<SimTime>,
+}
+
+impl BandwidthMeter {
+    /// Creates a meter with the given sliding-window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "bandwidth window must be positive");
+        BandwidthMeter {
+            window,
+            events: VecDeque::new(),
+            window_bytes: 0,
+            total_bytes: 0,
+            first_event: None,
+            last_event: None,
+        }
+    }
+
+    /// Records `bytes` transferred at `time`.
+    pub fn record(&mut self, time: SimTime, bytes: u64) {
+        self.events.push_back((time, bytes));
+        self.window_bytes += bytes;
+        self.total_bytes += bytes;
+        self.first_event.get_or_insert(time);
+        self.last_event = Some(self.last_event.map_or(time, |t| t.max(time)));
+        self.evict(time);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(SimTime::ZERO);
+        while let Some(&(t, b)) = self.events.front() {
+            if cutoff > (t - SimTime::ZERO) + self.window {
+                self.window_bytes -= b;
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Windowed rate in bits per second, considering events within one
+    /// window before `now`.
+    pub fn rate_bps(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        self.window_bytes as f64 * 8.0 / self.window.as_secs_f64()
+    }
+
+    /// Total bytes recorded over the meter's lifetime.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Long-run average rate between the first and last event (or over
+    /// `fallback_span` when fewer than two distinct instants were seen).
+    pub fn average_rate_bps(&self, fallback_span: SimDuration) -> f64 {
+        let span = match (self.first_event, self.last_event) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => fallback_span,
+        };
+        if span == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 8.0 / span.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_rate_counts_recent_events_only() {
+        let mut m = BandwidthMeter::new(SimDuration::from_secs(1));
+        m.record(SimTime::ZERO, 1_000);
+        m.record(SimTime::from_millis(500), 1_000);
+        // Both events inside the window.
+        assert!((m.rate_bps(SimTime::from_millis(900)) - 16_000.0).abs() < 1e-9);
+        // First event ages out.
+        assert!((m.rate_bps(SimTime::from_millis(1_400)) - 8_000.0).abs() < 1e-9);
+        // Everything ages out.
+        assert_eq!(m.rate_bps(SimTime::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn total_bytes_never_evicted() {
+        let mut m = BandwidthMeter::new(SimDuration::from_millis(10));
+        for i in 0..100u64 {
+            m.record(SimTime::from_millis(i * 100), 200);
+        }
+        assert_eq!(m.total_bytes(), 20_000);
+    }
+
+    #[test]
+    fn average_rate_paper_vehicle_load() {
+        // One vehicle: 200 B at 10 Hz for 10 s = 16 kb/s payload rate.
+        let mut m = BandwidthMeter::new(SimDuration::from_secs(1));
+        for i in 0..100u64 {
+            m.record(SimTime::from_millis(i * 100), 200);
+        }
+        let avg = m.average_rate_bps(SimDuration::from_secs(10));
+        assert!((avg - 16_161.6).abs() < 10.0, "avg {avg}"); // 9.9 s span
+    }
+
+    #[test]
+    fn average_rate_single_event_uses_fallback() {
+        let mut m = BandwidthMeter::new(SimDuration::from_secs(1));
+        m.record(SimTime::from_secs(1), 1_250);
+        let avg = m.average_rate_bps(SimDuration::from_secs(10));
+        assert!((avg - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let mut m = BandwidthMeter::new(SimDuration::from_secs(1));
+        assert_eq!(m.rate_bps(SimTime::from_secs(1)), 0.0);
+        assert_eq!(m.average_rate_bps(SimDuration::ZERO), 0.0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        BandwidthMeter::new(SimDuration::ZERO);
+    }
+}

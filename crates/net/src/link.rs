@@ -1,0 +1,124 @@
+use cad3_types::{SimDuration, SimTime};
+
+/// A point-to-point wired link with serialization and propagation delay and
+/// FIFO queueing — the 1 Gb/s Ethernet (or LTE/5G backhaul) connecting
+/// adjacent RSUs in the paper's testbed.
+///
+/// # Example
+///
+/// ```
+/// use cad3_net::WiredLink;
+/// use cad3_types::{SimDuration, SimTime};
+///
+/// let mut link = WiredLink::gigabit_ethernet();
+/// let arrival = link.transmit(SimTime::ZERO, 1500);
+/// assert!(arrival > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WiredLink {
+    bandwidth_bps: f64,
+    propagation: SimDuration,
+    next_free: SimTime,
+    bytes_carried: u64,
+}
+
+impl WiredLink {
+    /// Creates a link with the given bandwidth and one-way propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive.
+    pub fn new(bandwidth_bps: f64, propagation: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0.0, "link bandwidth must be positive");
+        WiredLink { bandwidth_bps, propagation, next_free: SimTime::ZERO, bytes_carried: 0 }
+    }
+
+    /// The testbed's RSU interconnect: 1 Gb/s with 100 µs propagation.
+    pub fn gigabit_ethernet() -> Self {
+        WiredLink::new(1e9, SimDuration::from_micros(100))
+    }
+
+    /// A cellular (LTE/5G) backhaul alternative for distant RSUs: 50 Mb/s
+    /// with 10 ms one-way latency, per the paper's deployment discussion.
+    pub fn cellular_backhaul() -> Self {
+        WiredLink::new(50e6, SimDuration::from_millis(10))
+    }
+
+    /// Link bandwidth in bits per second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Total bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Enqueues a `bytes`-sized frame at `now` and returns its arrival time
+    /// at the far end (serialization behind earlier frames + propagation).
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = now.max(self.next_free);
+        let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
+        self.next_free = start + ser;
+        self.bytes_carried += bytes as u64;
+        self.next_free + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_delay_is_serialization_plus_propagation() {
+        let mut link = WiredLink::new(1e6, SimDuration::from_millis(1));
+        // 1250 B = 10 kb at 1 Mb/s = 10 ms serialization + 1 ms propagation.
+        let arrival = link.transmit(SimTime::ZERO, 1250);
+        assert!((arrival.as_millis_f64() - 11.0).abs() < 1e-9, "{arrival}");
+    }
+
+    #[test]
+    fn frames_queue_fifo() {
+        let mut link = WiredLink::new(1e6, SimDuration::ZERO);
+        let a1 = link.transmit(SimTime::ZERO, 1250);
+        let a2 = link.transmit(SimTime::ZERO, 1250);
+        assert!((a1.as_millis_f64() - 10.0).abs() < 1e-9);
+        assert!((a2.as_millis_f64() - 20.0).abs() < 1e-9, "second frame queues: {a2}");
+    }
+
+    #[test]
+    fn idle_link_does_not_accumulate_capacity_debt() {
+        let mut link = WiredLink::new(1e6, SimDuration::ZERO);
+        let _ = link.transmit(SimTime::ZERO, 1250);
+        // A frame sent much later starts fresh.
+        let late = link.transmit(SimTime::from_secs(5), 1250);
+        assert!((late.as_secs_f64() - 5.01).abs() < 1e-9, "{late}");
+    }
+
+    #[test]
+    fn gigabit_is_fast() {
+        let mut link = WiredLink::gigabit_ethernet();
+        let arrival = link.transmit(SimTime::ZERO, 200);
+        // 1.6 kb at 1 Gb/s = 1.6 µs + 100 µs propagation.
+        assert!(arrival.as_millis_f64() < 0.110, "{arrival}");
+        assert_eq!(link.bytes_carried(), 200);
+    }
+
+    #[test]
+    fn cellular_has_higher_latency() {
+        let mut eth = WiredLink::gigabit_ethernet();
+        let mut cell = WiredLink::cellular_backhaul();
+        assert!(cell.transmit(SimTime::ZERO, 200) > eth.transmit(SimTime::ZERO, 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        WiredLink::new(0.0, SimDuration::ZERO);
+    }
+}

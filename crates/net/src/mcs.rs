@@ -1,0 +1,190 @@
+use std::fmt;
+
+/// Modulation scheme of an 802.11p MCS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Modulation {
+    Bpsk,
+    Qpsk,
+    Qam16,
+    Qam64,
+}
+
+impl fmt::Display for Modulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16-QAM",
+            Modulation::Qam64 => "64-QAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An IEEE 802.11p (10 MHz channel) modulation-and-coding scheme.
+///
+/// The paper numbers the eight 802.11p rates 1 through 8 ("64-QAM 3/4
+/// modulation (MCS 8)", "92.62 ms using MCS 3"); this type follows that
+/// 1-based numbering. Data rates are the standard 10 MHz set
+/// 3–27 Mb/s.
+///
+/// # Example
+///
+/// ```
+/// use cad3_net::Mcs;
+/// assert_eq!(Mcs::MCS8.data_rate_mbps(), 27.0);
+/// assert_eq!(Mcs::MCS3.data_rate_mbps(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mcs {
+    index: u8,
+}
+
+impl Mcs {
+    /// MCS 1: BPSK 1/2, 3 Mb/s.
+    pub const MCS1: Mcs = Mcs { index: 1 };
+    /// MCS 2: BPSK 3/4, 4.5 Mb/s.
+    pub const MCS2: Mcs = Mcs { index: 2 };
+    /// MCS 3: QPSK 1/2, 6 Mb/s (the robust default used in the paper's Eq. 5 analysis).
+    pub const MCS3: Mcs = Mcs { index: 3 };
+    /// MCS 4: QPSK 3/4, 9 Mb/s.
+    pub const MCS4: Mcs = Mcs { index: 4 };
+    /// MCS 5: 16-QAM 1/2, 12 Mb/s.
+    pub const MCS5: Mcs = Mcs { index: 5 };
+    /// MCS 6: 16-QAM 3/4, 18 Mb/s.
+    pub const MCS6: Mcs = Mcs { index: 6 };
+    /// MCS 7: 64-QAM 2/3, 24 Mb/s.
+    pub const MCS7: Mcs = Mcs { index: 7 };
+    /// MCS 8: 64-QAM 3/4, 27 Mb/s (the DSRC peak rate assumed paper-wide).
+    pub const MCS8: Mcs = Mcs { index: 8 };
+
+    /// All schemes, lowest rate first.
+    pub const ALL: [Mcs; 8] = [
+        Mcs::MCS1,
+        Mcs::MCS2,
+        Mcs::MCS3,
+        Mcs::MCS4,
+        Mcs::MCS5,
+        Mcs::MCS6,
+        Mcs::MCS7,
+        Mcs::MCS8,
+    ];
+
+    /// Creates an MCS from the paper's 1-based index.
+    ///
+    /// Returns `None` unless `1 <= index <= 8`.
+    pub fn from_index(index: u8) -> Option<Mcs> {
+        (1..=8).contains(&index).then_some(Mcs { index })
+    }
+
+    /// The paper's 1-based index.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// PHY data rate in Mb/s.
+    pub fn data_rate_mbps(self) -> f64 {
+        [3.0, 4.5, 6.0, 9.0, 12.0, 18.0, 24.0, 27.0][(self.index - 1) as usize]
+    }
+
+    /// PHY data rate in bits per second.
+    pub fn data_rate_bps(self) -> f64 {
+        self.data_rate_mbps() * 1e6
+    }
+
+    /// Data bits carried per 8 µs OFDM symbol.
+    pub fn bits_per_symbol(self) -> u32 {
+        // rate [Mb/s] × 8 µs symbol = bits per symbol.
+        (self.data_rate_mbps() * 8.0).round() as u32
+    }
+
+    /// Modulation of the scheme.
+    pub fn modulation(self) -> Modulation {
+        match self.index {
+            1 | 2 => Modulation::Bpsk,
+            3 | 4 => Modulation::Qpsk,
+            5 | 6 => Modulation::Qam16,
+            _ => Modulation::Qam64,
+        }
+    }
+
+    /// Coding rate as a fraction.
+    pub fn coding_rate(self) -> f64 {
+        match self.index {
+            1 | 3 | 5 => 0.5,
+            7 => 2.0 / 3.0,
+            _ => 0.75,
+        }
+    }
+
+    /// Approximate usable communication range in metres.
+    ///
+    /// Higher-order modulations need more SNR and therefore reach less far;
+    /// the paper's deployment discussion pairs MCS 8 with ~125 m RSU spacing
+    /// and the robust low rates with a few hundred metres.
+    pub fn typical_range_m(self) -> f64 {
+        [900.0, 750.0, 600.0, 450.0, 350.0, 250.0, 180.0, 125.0][(self.index - 1) as usize]
+    }
+}
+
+impl fmt::Display for Mcs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MCS{} ({} {:.2}, {} Mb/s)",
+            self.index,
+            self.modulation(),
+            self.coding_rate(),
+            self.data_rate_mbps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_the_standard_10mhz_set() {
+        let rates: Vec<f64> = Mcs::ALL.iter().map(|m| m.data_rate_mbps()).collect();
+        assert_eq!(rates, vec![3.0, 4.5, 6.0, 9.0, 12.0, 18.0, 24.0, 27.0]);
+    }
+
+    #[test]
+    fn paper_landmarks() {
+        assert_eq!(Mcs::MCS8.data_rate_mbps(), 27.0);
+        assert_eq!(Mcs::MCS8.modulation(), Modulation::Qam64);
+        assert!((Mcs::MCS8.coding_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(Mcs::MCS8.typical_range_m(), 125.0);
+    }
+
+    #[test]
+    fn bits_per_symbol_match_rate() {
+        for m in Mcs::ALL {
+            assert_eq!(m.bits_per_symbol() as f64, m.data_rate_mbps() * 8.0);
+        }
+        assert_eq!(Mcs::MCS3.bits_per_symbol(), 48);
+        assert_eq!(Mcs::MCS8.bits_per_symbol(), 216);
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert_eq!(Mcs::from_index(0), None);
+        assert_eq!(Mcs::from_index(9), None);
+        assert_eq!(Mcs::from_index(3), Some(Mcs::MCS3));
+    }
+
+    #[test]
+    fn range_decreases_with_rate() {
+        for w in Mcs::ALL.windows(2) {
+            assert!(w[0].typical_range_m() > w[1].typical_range_m());
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Mcs::MCS8.to_string();
+        assert!(s.contains("MCS8") && s.contains("64-QAM") && s.contains("27"));
+    }
+}

@@ -1,0 +1,271 @@
+use cad3_types::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type Action = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and, among
+        // ties, the earliest-scheduled one) pops first. This makes the
+        // simulation fully deterministic.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single-threaded discrete-event simulation.
+///
+/// Events are closures scheduled at virtual instants; [`Simulation::step`]
+/// pops the earliest one, advances the clock to its timestamp and runs it.
+/// Ties are broken by scheduling order, so runs are bit-for-bit reproducible.
+///
+/// Shared mutable state between events is typically held in
+/// `Rc<RefCell<...>>` captured by the event closures (see the crate-level
+/// example).
+#[derive(Default)]
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at the absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — the past cannot be
+    /// scheduled.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, action: Box::new(action) });
+    }
+
+    /// Schedules `action` to run after the given delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Runs the single earliest pending event.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs events until the queue is empty or the next event is strictly
+    /// after `deadline`; the clock then rests at `deadline` (or at the last
+    /// event's time, whichever is later).
+    ///
+    /// Returns the number of events executed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.executed;
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.executed - start
+    }
+
+    /// Runs until no events remain. Returns the number executed by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let start = self.executed;
+        while self.step() {}
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, ms) in [50u64, 10, 30, 20, 40].iter().enumerate() {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_millis(*ms), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(&*order.borrow(), &[1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_millis(5), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(&*order.borrow(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut sim = Simulation::new();
+        let seen = Rc::new(RefCell::new(SimTime::ZERO));
+        let s = Rc::clone(&seen);
+        sim.schedule_at(SimTime::from_millis(25), move |sim| {
+            *s.borrow_mut() = sim.now();
+        });
+        sim.run_to_completion();
+        assert_eq!(*seen.borrow(), SimTime::from_millis(25));
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0u32));
+
+        fn tick(sim: &mut Simulation, count: Rc<RefCell<u32>>, remaining: u32) {
+            *count.borrow_mut() += 1;
+            if remaining > 0 {
+                sim.schedule_in(SimDuration::from_millis(10), move |sim| {
+                    tick(sim, count, remaining - 1)
+                });
+            }
+        }
+
+        let c = Rc::clone(&count);
+        sim.schedule_at(SimTime::ZERO, move |sim| tick(sim, c, 4));
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0u32));
+        for ms in [10u64, 20, 30, 40] {
+            let count = Rc::clone(&count);
+            sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                *count.borrow_mut() += 1;
+            });
+        }
+        let executed = sim.run_until(SimTime::from_millis(25));
+        assert_eq!(executed, 2);
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+        assert_eq!(sim.pending(), 2);
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 4);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = Simulation::new();
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(10), |sim| {
+            sim.schedule_at(SimTime::from_millis(5), |_| {});
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut sim = Simulation::new();
+        for ms in 0..5u64 {
+            sim.schedule_at(SimTime::from_millis(ms), |_| {});
+        }
+        assert_eq!(sim.run_to_completion(), 5);
+        assert_eq!(sim.executed(), 5);
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sim = Simulation::new();
+        assert!(!format!("{sim:?}").is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+use crate::{Producer, StreamError};
+use bytes::Bytes;
+
+/// A buffering publisher that accumulates records and flushes them in
+/// batches — Kafka's `linger.ms`/`batch.size` behaviour, which the paper's
+/// producers use to amortise the per-record overhead of the shared link.
+///
+/// Records buffer until [`BatchingProducer::flush`] is called or the
+/// buffer reaches its configured size; dropping the producer flushes
+/// best-effort.
+///
+/// # Example
+///
+/// ```
+/// use cad3_stream::{BatchingProducer, Broker, Producer};
+/// use std::sync::Arc;
+///
+/// let broker = Arc::new(Broker::new("rsu"));
+/// broker.create_topic("IN-DATA", 3)?;
+/// let mut p = BatchingProducer::new(Producer::new(Arc::clone(&broker)), 10);
+/// for i in 0..5u64 {
+///     p.send("IN-DATA", None, vec![i as u8], i)?;
+/// }
+/// assert_eq!(broker.topic_len("IN-DATA")?, 0); // still buffered
+/// p.flush()?;
+/// assert_eq!(broker.topic_len("IN-DATA")?, 5);
+/// # Ok::<(), cad3_stream::StreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchingProducer {
+    inner: Producer,
+    max_batch: usize,
+    buffer: Vec<(String, Option<Bytes>, Bytes, u64)>,
+    batches_flushed: u64,
+}
+
+impl BatchingProducer {
+    /// Wraps a producer with a buffer of up to `max_batch` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn new(inner: Producer, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batch size must be at least one record");
+        BatchingProducer { inner, max_batch, buffer: Vec::new(), batches_flushed: 0 }
+    }
+
+    /// Buffers a record; auto-flushes when the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors (the triggering record stays buffered for
+    /// the next flush only if the flush failed before reaching it).
+    pub fn send(
+        &mut self,
+        topic: &str,
+        key: Option<&[u8]>,
+        value: impl Into<Bytes>,
+        timestamp: u64,
+    ) -> Result<(), StreamError> {
+        self.buffer.push((
+            topic.to_owned(),
+            key.map(Bytes::copy_from_slice),
+            value.into(),
+            timestamp,
+        ));
+        if self.buffer.len() >= self.max_batch {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes everything buffered, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first send error; unsent records stay buffered.
+    pub fn flush(&mut self) -> Result<(), StreamError> {
+        while !self.buffer.is_empty() {
+            let (topic, key, value, ts) = self.buffer.remove(0);
+            match self.inner.send(&topic, key.as_deref(), value.clone(), ts) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Put the failed record back at the front.
+                    self.buffer.insert(0, (topic, key, value, ts));
+                    return Err(e);
+                }
+            }
+        }
+        self.batches_flushed += 1;
+        Ok(())
+    }
+
+    /// Records currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Completed flushes.
+    pub fn batches_flushed(&self) -> u64 {
+        self.batches_flushed
+    }
+}
+
+impl Drop for BatchingProducer {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Broker;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Broker>, BatchingProducer) {
+        let broker = Arc::new(Broker::new("rsu"));
+        broker.create_topic("T", 1).unwrap();
+        let p = BatchingProducer::new(Producer::new(Arc::clone(&broker)), 4);
+        (broker, p)
+    }
+
+    #[test]
+    fn buffers_until_flush() {
+        let (broker, mut p) = setup();
+        p.send("T", None, &b"a"[..], 0).unwrap();
+        p.send("T", None, &b"b"[..], 1).unwrap();
+        assert_eq!(p.pending(), 2);
+        assert_eq!(broker.topic_len("T").unwrap(), 0);
+        p.flush().unwrap();
+        assert_eq!(p.pending(), 0);
+        assert_eq!(broker.topic_len("T").unwrap(), 2);
+        assert_eq!(p.batches_flushed(), 1);
+    }
+
+    #[test]
+    fn auto_flush_at_capacity() {
+        let (broker, mut p) = setup();
+        for i in 0..4u64 {
+            p.send("T", None, vec![i as u8], i).unwrap();
+        }
+        assert_eq!(broker.topic_len("T").unwrap(), 4, "batch size reached");
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn order_is_preserved_across_batches() {
+        let (broker, mut p) = setup();
+        for i in 0..10u64 {
+            p.send("T", None, vec![i as u8], i).unwrap();
+        }
+        p.flush().unwrap();
+        let recs = broker.fetch("T", 0, 0, 100).unwrap();
+        let values: Vec<u8> = recs.iter().map(|r| r.value[0]).collect();
+        assert_eq!(values, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn failed_flush_keeps_records() {
+        let broker = Arc::new(Broker::new("rsu"));
+        broker.create_topic("T", 1).unwrap();
+        let mut p = BatchingProducer::new(Producer::new(Arc::clone(&broker)), 100);
+        p.send("T", None, &b"good"[..], 0).unwrap();
+        p.send("MISSING", None, &b"bad"[..], 1).unwrap();
+        p.send("T", None, &b"after"[..], 2).unwrap();
+        let err = p.flush().unwrap_err();
+        assert!(matches!(err, StreamError::UnknownTopic(_)));
+        // The good record went through; the bad one and its successors wait.
+        assert_eq!(broker.topic_len("T").unwrap(), 1);
+        assert_eq!(p.pending(), 2);
+    }
+
+    #[test]
+    fn drop_flushes_best_effort() {
+        let (broker, mut p) = setup();
+        p.send("T", None, &b"x"[..], 0).unwrap();
+        drop(p);
+        assert_eq!(broker.topic_len("T").unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_batch_panics() {
+        let broker = Arc::new(Broker::new("rsu"));
+        BatchingProducer::new(Producer::new(broker), 0);
+    }
+}

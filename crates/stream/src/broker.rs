@@ -1,0 +1,352 @@
+use crate::{Record, StreamError, Topic};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Default)]
+struct GroupState {
+    generation: u64,
+    /// member id -> subscribed topics
+    subscriptions: HashMap<u64, Vec<String>>,
+    /// group-committed offsets
+    committed: HashMap<(String, u32), u64>,
+}
+
+/// A message broker: a registry of topics plus consumer-group coordination.
+///
+/// One broker is instantiated per emulated RSU, mirroring the paper's
+/// one-Kafka-broker-per-RSU deployment. All methods take `&self`; the broker
+/// is internally synchronised so it can be shared across threads in the
+/// real-time integration tests and across simulated actors in virtual time.
+#[derive(Debug)]
+pub struct Broker {
+    name: String,
+    topics: RwLock<HashMap<String, Mutex<Topic>>>,
+    groups: Mutex<HashMap<String, GroupState>>,
+    next_member: AtomicU64,
+}
+
+impl Broker {
+    /// Creates a broker with a human-readable name (e.g. `"rsu-motorway"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Broker {
+            name: name.into(),
+            topics: RwLock::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            next_member: AtomicU64::new(1),
+        }
+    }
+
+    /// Broker name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::TopicExists`] for duplicates and
+    /// [`StreamError::InvalidPartitionCount`] for zero partitions.
+    pub fn create_topic(&self, name: &str, partitions: u32) -> Result<(), StreamError> {
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(StreamError::TopicExists(name.to_owned()));
+        }
+        topics.insert(name.to_owned(), Mutex::new(Topic::new(name, partitions)?));
+        Ok(())
+    }
+
+    /// Names of all topics on this broker.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Partition count of a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn partition_count(&self, topic: &str) -> Result<u32, StreamError> {
+        self.with_topic(topic, |t| Ok(t.partition_count()))
+    }
+
+    fn with_topic<R>(
+        &self,
+        topic: &str,
+        f: impl FnOnce(&mut Topic) -> Result<R, StreamError>,
+    ) -> Result<R, StreamError> {
+        let topics = self.topics.read();
+        let t = topics.get(topic).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))?;
+        let mut guard = t.lock();
+        f(&mut guard)
+    }
+
+    /// Appends a record to a topic. Returns `(partition, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] or
+    /// [`StreamError::UnknownPartition`].
+    pub fn produce(
+        &self,
+        topic: &str,
+        partition: Option<u32>,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: u64,
+    ) -> Result<(u32, u64), StreamError> {
+        self.with_topic(topic, |t| t.append(partition, key, value, timestamp))
+    }
+
+    /// Fetches up to `max` records from `topic`/`partition` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`], [`StreamError::UnknownPartition`]
+    /// or [`StreamError::OffsetOutOfRange`].
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, StreamError> {
+        self.with_topic(topic, |t| t.fetch(partition, offset, max))
+    }
+
+    /// The end (next-produced) offset of a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] or [`StreamError::UnknownPartition`].
+    pub fn end_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError> {
+        self.with_topic(topic, |t| t.end_offset(partition))
+    }
+
+    /// The earliest retained offset of a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] or [`StreamError::UnknownPartition`].
+    pub fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError> {
+        self.with_topic(topic, |t| t.earliest_offset(partition))
+    }
+
+    /// Total retained records in a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn topic_len(&self, topic: &str) -> Result<usize, StreamError> {
+        self.with_topic(topic, |t| Ok(t.len()))
+    }
+
+    // ---- consumer-group coordination -------------------------------------
+
+    /// Allocates a broker-unique consumer member id.
+    pub fn allocate_member_id(&self) -> u64 {
+        self.next_member.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Joins (or re-subscribes) a member to a group, bumping the group
+    /// generation so other members rebalance.
+    pub fn join_group(&self, group: &str, member: u64, topics: Vec<String>) -> u64 {
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_owned()).or_default();
+        state.subscriptions.insert(member, topics);
+        state.generation += 1;
+        state.generation
+    }
+
+    /// Removes a member from a group, bumping the generation.
+    pub fn leave_group(&self, group: &str, member: u64) {
+        let mut groups = self.groups.lock();
+        if let Some(state) = groups.get_mut(group) {
+            if state.subscriptions.remove(&member).is_some() {
+                state.generation += 1;
+            }
+        }
+    }
+
+    /// Current generation of a group (0 if the group does not exist).
+    pub fn group_generation(&self, group: &str) -> u64 {
+        self.groups.lock().get(group).map_or(0, |s| s.generation)
+    }
+
+    /// Computes the member's current partition assignment by range
+    /// assignment: for each topic, partitions are split contiguously among
+    /// the subscribing members in member-id order.
+    pub fn assignments(&self, group: &str, member: u64) -> Vec<(String, u32)> {
+        let groups = self.groups.lock();
+        let Some(state) = groups.get(group) else { return Vec::new() };
+        let Some(my_topics) = state.subscriptions.get(&member) else { return Vec::new() };
+        let mut out = Vec::new();
+        for topic in my_topics {
+            let Ok(partitions) = self.partition_count(topic) else { continue };
+            // Members subscribed to this topic, sorted for determinism.
+            let mut members: Vec<u64> = state
+                .subscriptions
+                .iter()
+                .filter(|(_, ts)| ts.contains(topic))
+                .map(|(m, _)| *m)
+                .collect();
+            members.sort_unstable();
+            let n = members.len() as u32;
+            let my_rank = members.iter().position(|m| *m == member).expect("member present") as u32;
+            // Range assignment: ceil-sized head ranges.
+            let base = partitions / n;
+            let extra = partitions % n;
+            let start = my_rank * base + my_rank.min(extra);
+            let count = base + u32::from(my_rank < extra);
+            for p in start..start + count {
+                out.push((topic.clone(), p));
+            }
+        }
+        out
+    }
+
+    /// Commits a group offset for a topic partition.
+    pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_owned()).or_default();
+        state.committed.insert((topic.to_owned(), partition), offset);
+    }
+
+    /// The committed group offset for a topic partition, if any.
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.groups
+            .lock()
+            .get(group)
+            .and_then(|s| s.committed.get(&(topic.to_owned(), partition)).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn create_produce_fetch_round_trip() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("IN-DATA", 3).unwrap();
+        let (p, o) = b.produce("IN-DATA", None, Some(val("k")), val("v"), 7).unwrap();
+        let recs = b.fetch("IN-DATA", p, o, 10).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].value, val("v"));
+        assert_eq!(recs[0].timestamp, 7);
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 1).unwrap();
+        assert_eq!(b.create_topic("T", 1).unwrap_err(), StreamError::TopicExists("T".into()));
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let b = Broker::new("rsu-1");
+        assert!(matches!(b.produce("nope", None, None, val("v"), 0), Err(StreamError::UnknownTopic(_))));
+        assert!(matches!(b.fetch("nope", 0, 0, 1), Err(StreamError::UnknownTopic(_))));
+    }
+
+    #[test]
+    fn topic_names_sorted() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("OUT-DATA", 1).unwrap();
+        b.create_topic("CO-DATA", 1).unwrap();
+        b.create_topic("IN-DATA", 1).unwrap();
+        assert_eq!(b.topic_names(), vec!["CO-DATA", "IN-DATA", "OUT-DATA"]);
+    }
+
+    #[test]
+    fn range_assignment_single_member_gets_all() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 3).unwrap();
+        let m = b.allocate_member_id();
+        b.join_group("g", m, vec!["T".into()]);
+        let a = b.assignments("g", m);
+        assert_eq!(a, vec![("T".into(), 0), ("T".into(), 1), ("T".into(), 2)]);
+    }
+
+    #[test]
+    fn range_assignment_splits_without_overlap() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 3).unwrap();
+        let m1 = b.allocate_member_id();
+        let m2 = b.allocate_member_id();
+        b.join_group("g", m1, vec!["T".into()]);
+        b.join_group("g", m2, vec!["T".into()]);
+        let a1 = b.assignments("g", m1);
+        let a2 = b.assignments("g", m2);
+        let mut all: Vec<u32> = a1.iter().chain(a2.iter()).map(|(_, p)| *p).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "partitions covered exactly once");
+        assert_eq!(a1.len(), 2, "first member takes the larger range");
+        assert_eq!(a2.len(), 1);
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_change() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 2).unwrap();
+        let m1 = b.allocate_member_id();
+        assert_eq!(b.group_generation("g"), 0);
+        b.join_group("g", m1, vec!["T".into()]);
+        assert_eq!(b.group_generation("g"), 1);
+        let m2 = b.allocate_member_id();
+        b.join_group("g", m2, vec!["T".into()]);
+        assert_eq!(b.group_generation("g"), 2);
+        b.leave_group("g", m1);
+        assert_eq!(b.group_generation("g"), 3);
+        // After m1 leaves, m2 owns everything.
+        assert_eq!(b.assignments("g", m2).len(), 2);
+        assert!(b.assignments("g", m1).is_empty());
+    }
+
+    #[test]
+    fn committed_offsets_round_trip() {
+        let b = Broker::new("rsu-1");
+        assert_eq!(b.committed_offset("g", "T", 0), None);
+        b.commit_offset("g", "T", 0, 41);
+        assert_eq!(b.committed_offset("g", "T", 0), Some(41));
+        b.commit_offset("g", "T", 0, 42);
+        assert_eq!(b.committed_offset("g", "T", 0), Some(42));
+    }
+
+    #[test]
+    fn broker_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let b = Arc::new(Broker::new("rsu-1"));
+        b.create_topic("T", 4).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    b.produce("T", Some(t as u32), None, val(&i.to_string()), i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.topic_len("T").unwrap(), 400);
+        for p in 0..4 {
+            // Per-partition offsets are dense: every fetch sees 100 in order.
+            let recs = b.fetch("T", p, 0, 1000).unwrap();
+            assert_eq!(recs.len(), 100);
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(r.offset, i as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+use crate::Broker;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registry of named brokers — the multi-RSU deployment of the paper's
+/// Fig. 1 (e.g. four motorway brokers plus one motorway-link broker).
+///
+/// # Example
+///
+/// ```
+/// use cad3_stream::Cluster;
+///
+/// let cluster = Cluster::new();
+/// let mw = cluster.add_broker("rsu-motorway-1");
+/// mw.create_topic("IN-DATA", 3).unwrap();
+/// assert!(cluster.broker("rsu-motorway-1").is_some());
+/// assert_eq!(cluster.broker_names(), vec!["rsu-motorway-1"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Cluster {
+    brokers: RwLock<HashMap<String, Arc<Broker>>>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a broker with the given name and returns it.
+    pub fn add_broker(&self, name: &str) -> Arc<Broker> {
+        let broker = Arc::new(Broker::new(name));
+        self.brokers.write().insert(name.to_owned(), Arc::clone(&broker));
+        broker
+    }
+
+    /// Looks up a broker by name.
+    pub fn broker(&self, name: &str) -> Option<Arc<Broker>> {
+        self.brokers.read().get(name).cloned()
+    }
+
+    /// Sorted names of all brokers.
+    pub fn broker_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.brokers.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.read().len()
+    }
+
+    /// Whether the cluster has no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let cluster = Cluster::new();
+        assert!(cluster.is_empty());
+        let b = cluster.add_broker("rsu-1");
+        assert_eq!(b.name(), "rsu-1");
+        assert!(cluster.broker("rsu-1").is_some());
+        assert!(cluster.broker("rsu-2").is_none());
+        assert_eq!(cluster.len(), 1);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let cluster = Cluster::new();
+        cluster.add_broker("rsu-mw-2");
+        cluster.add_broker("rsu-link");
+        cluster.add_broker("rsu-mw-1");
+        assert_eq!(cluster.broker_names(), vec!["rsu-link", "rsu-mw-1", "rsu-mw-2"]);
+    }
+
+    #[test]
+    fn brokers_are_shared_handles() {
+        let cluster = Cluster::new();
+        let b1 = cluster.add_broker("rsu-1");
+        b1.create_topic("T", 1).unwrap();
+        let b2 = cluster.broker("rsu-1").unwrap();
+        assert_eq!(b2.topic_names(), vec!["T"]);
+    }
+}

@@ -1,0 +1,371 @@
+use crate::{Broker, FetchedRecord, StreamError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where a consumer starts when no committed offset exists for a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffsetReset {
+    /// Start from the earliest retained record.
+    #[default]
+    Earliest,
+    /// Start from the log end (only new records).
+    Latest,
+}
+
+/// A group consumer: joins a consumer group on one broker, receives a range
+/// assignment of partitions and polls them in order.
+///
+/// In the reproduction, each RSU's detection pipeline is a consumer group on
+/// `IN-DATA`/`CO-DATA`, and each vehicle is a single-member group on
+/// `OUT-DATA` (every vehicle must see every warning).
+#[derive(Debug)]
+pub struct Consumer {
+    broker: Arc<Broker>,
+    group: String,
+    member: u64,
+    reset: OffsetReset,
+    subscribed: bool,
+    seen_generation: u64,
+    assignments: Vec<(String, u32)>,
+    positions: HashMap<(String, u32), u64>,
+}
+
+impl Consumer {
+    /// Creates a consumer in `group` on `broker`.
+    pub fn new(broker: Arc<Broker>, group: impl Into<String>, reset: OffsetReset) -> Self {
+        let member = broker.allocate_member_id();
+        Consumer {
+            broker,
+            group: group.into(),
+            member,
+            reset,
+            subscribed: false,
+            seen_generation: 0,
+            assignments: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// This consumer's broker-unique member id.
+    pub fn member_id(&self) -> u64 {
+        self.member
+    }
+
+    /// Subscribes to a set of topics, (re)joining the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] if any topic does not exist.
+    pub fn subscribe(&mut self, topics: &[&str]) -> Result<(), StreamError> {
+        for t in topics {
+            // Validate eagerly so misconfiguration fails loudly.
+            self.broker.partition_count(t)?;
+        }
+        self.broker
+            .join_group(&self.group, self.member, topics.iter().map(|s| s.to_string()).collect());
+        self.subscribed = true;
+        self.refresh_assignments();
+        Ok(())
+    }
+
+    fn refresh_assignments(&mut self) {
+        self.seen_generation = self.broker.group_generation(&self.group);
+        self.assignments = self.broker.assignments(&self.group, self.member);
+        for (topic, partition) in &self.assignments {
+            let key = (topic.clone(), *partition);
+            if self.positions.contains_key(&key) {
+                continue;
+            }
+            let start = self
+                .broker
+                .committed_offset(&self.group, topic, *partition)
+                .unwrap_or_else(|| match self.reset {
+                    OffsetReset::Earliest => {
+                        self.broker.earliest_offset(topic, *partition).unwrap_or(0)
+                    }
+                    OffsetReset::Latest => self.broker.end_offset(topic, *partition).unwrap_or(0),
+                });
+            self.positions.insert(key, start);
+        }
+    }
+
+    /// The partitions currently assigned to this consumer.
+    pub fn assignments(&mut self) -> &[(String, u32)] {
+        if self.broker.group_generation(&self.group) != self.seen_generation {
+            self.refresh_assignments();
+        }
+        &self.assignments
+    }
+
+    /// Polls up to `max_records` across the assigned partitions, advancing
+    /// the consumer's in-memory positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NotSubscribed`] before [`Consumer::subscribe`]
+    /// and propagates fetch errors.
+    pub fn poll(&mut self, max_records: usize) -> Result<Vec<FetchedRecord>, StreamError> {
+        if !self.subscribed {
+            return Err(StreamError::NotSubscribed);
+        }
+        if self.broker.group_generation(&self.group) != self.seen_generation {
+            self.refresh_assignments();
+        }
+        let mut out = Vec::new();
+        for (topic, partition) in self.assignments.clone() {
+            if out.len() >= max_records {
+                break;
+            }
+            let key = (topic.clone(), partition);
+            let pos = *self.positions.get(&key).unwrap_or(&0);
+            let batch = match self.broker.fetch(&topic, partition, pos, max_records - out.len()) {
+                Ok(b) => b,
+                Err(StreamError::OffsetOutOfRange { earliest, .. }) => {
+                    // Retention overtook us; resume from the horizon.
+                    self.positions.insert(key.clone(), earliest);
+                    self.broker.fetch(&topic, partition, earliest, max_records - out.len())?
+                }
+                Err(e) => return Err(e),
+            };
+            if let Some(last) = batch.last() {
+                self.positions.insert(key, last.offset + 1);
+            }
+            out.extend(batch.into_iter().map(|r| FetchedRecord {
+                topic: topic.clone(),
+                partition,
+                offset: r.offset,
+                key: r.key,
+                value: r.value,
+                timestamp: r.timestamp,
+            }));
+        }
+        Ok(out)
+    }
+
+    /// Commits the current positions to the group.
+    pub fn commit(&self) {
+        for ((topic, partition), offset) in &self.positions {
+            self.broker.commit_offset(&self.group, topic, *partition, *offset);
+        }
+    }
+
+    /// Seeks every assigned partition to the log end (skip history).
+    pub fn seek_to_end(&mut self) {
+        for (topic, partition) in self.assignments.clone() {
+            if let Ok(end) = self.broker.end_offset(&topic, partition) {
+                self.positions.insert((topic, partition), end);
+            }
+        }
+    }
+
+    /// Seeks every assigned partition to the earliest retained offset.
+    pub fn seek_to_beginning(&mut self) {
+        for (topic, partition) in self.assignments.clone() {
+            if let Ok(earliest) = self.broker.earliest_offset(&topic, partition) {
+                self.positions.insert((topic, partition), earliest);
+            }
+        }
+    }
+
+    /// Total records between this consumer's positions and the log ends of
+    /// its assigned partitions — the lag a monitoring stack would alert on
+    /// when an RSU falls behind its vehicles.
+    pub fn lag(&mut self) -> u64 {
+        if self.broker.group_generation(&self.group) != self.seen_generation {
+            self.refresh_assignments();
+        }
+        self.assignments
+            .iter()
+            .map(|(topic, partition)| {
+                let end = self.broker.end_offset(topic, *partition).unwrap_or(0);
+                let pos = self
+                    .positions
+                    .get(&(topic.clone(), *partition))
+                    .copied()
+                    .unwrap_or(0);
+                end.saturating_sub(pos)
+            })
+            .sum()
+    }
+
+    /// Leaves the group explicitly (also done on drop).
+    pub fn unsubscribe(&mut self) {
+        if self.subscribed {
+            self.broker.leave_group(&self.group, self.member);
+            self.subscribed = false;
+            self.assignments.clear();
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.unsubscribe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Producer;
+    use bytes::Bytes;
+
+    fn setup() -> (Arc<Broker>, Producer) {
+        let broker = Arc::new(Broker::new("rsu"));
+        broker.create_topic("IN-DATA", 3).unwrap();
+        let producer = Producer::new(Arc::clone(&broker));
+        (broker, producer)
+    }
+
+    #[test]
+    fn poll_before_subscribe_errors() {
+        let (broker, _) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        assert_eq!(c.poll(10).unwrap_err(), StreamError::NotSubscribed);
+    }
+
+    #[test]
+    fn earliest_reset_sees_history() {
+        let (broker, producer) = setup();
+        for i in 0..10u64 {
+            producer.send("IN-DATA", Some(format!("v{i}").as_bytes()), &b"x"[..], i).unwrap();
+        }
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        let recs = c.poll(100).unwrap();
+        assert_eq!(recs.len(), 10);
+    }
+
+    #[test]
+    fn latest_reset_sees_only_new() {
+        let (broker, producer) = setup();
+        producer.send("IN-DATA", None, &b"old"[..], 0).unwrap();
+        let mut c = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Latest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        assert!(c.poll(100).unwrap().is_empty());
+        producer.send("IN-DATA", None, &b"new"[..], 1).unwrap();
+        let recs = c.poll(100).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(&recs[0].value[..], b"new");
+    }
+
+    #[test]
+    fn poll_advances_without_duplicates() {
+        let (broker, producer) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        for i in 0..5u64 {
+            producer.send("IN-DATA", None, Bytes::from(i.to_string()), i).unwrap();
+        }
+        let first = c.poll(100).unwrap();
+        let second = c.poll(100).unwrap();
+        assert_eq!(first.len(), 5);
+        assert!(second.is_empty(), "no duplicates on re-poll");
+    }
+
+    #[test]
+    fn per_vehicle_order_is_preserved() {
+        let (broker, producer) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        for i in 0..20u64 {
+            producer.send("IN-DATA", Some(b"veh-9"), Bytes::from(i.to_string()), i).unwrap();
+        }
+        let recs = c.poll(100).unwrap();
+        let values: Vec<u64> =
+            recs.iter().map(|r| String::from_utf8_lossy(&r.value).parse().unwrap()).collect();
+        assert_eq!(values, (0..20).collect::<Vec<_>>(), "keyed records arrive in order");
+    }
+
+    #[test]
+    fn two_members_split_partitions_and_cover_all_records() {
+        let (broker, producer) = setup();
+        let mut c1 = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+        let mut c2 = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+        c1.subscribe(&["IN-DATA"]).unwrap();
+        c2.subscribe(&["IN-DATA"]).unwrap();
+        for i in 0..60u64 {
+            producer
+                .send("IN-DATA", Some(format!("veh-{i}").as_bytes()), &b"x"[..], i)
+                .unwrap();
+        }
+        let r1 = c1.poll(1000).unwrap();
+        let r2 = c2.poll(1000).unwrap();
+        assert_eq!(r1.len() + r2.len(), 60, "each record consumed exactly once");
+        assert!(!r1.is_empty() && !r2.is_empty());
+        let p1: std::collections::HashSet<u32> = r1.iter().map(|r| r.partition).collect();
+        let p2: std::collections::HashSet<u32> = r2.iter().map(|r| r.partition).collect();
+        assert!(p1.is_disjoint(&p2));
+    }
+
+    #[test]
+    fn rebalance_on_member_departure() {
+        let (broker, producer) = setup();
+        let mut c1 = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+        let mut c2 = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+        c1.subscribe(&["IN-DATA"]).unwrap();
+        c2.subscribe(&["IN-DATA"]).unwrap();
+        assert!(c1.assignments().len() < 3);
+        drop(c2);
+        assert_eq!(c1.assignments().len(), 3, "survivor owns all partitions");
+        producer.send("IN-DATA", Some(b"any"), &b"x"[..], 0).unwrap();
+        assert_eq!(c1.poll(10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn committed_offsets_resume_new_member() {
+        let (broker, producer) = setup();
+        for i in 0..10u64 {
+            producer.send("IN-DATA", None, &b"x"[..], i).unwrap();
+        }
+        {
+            let mut c = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+            c.subscribe(&["IN-DATA"]).unwrap();
+            assert_eq!(c.poll(1000).unwrap().len(), 10);
+            c.commit();
+        }
+        // A fresh member of the same group resumes after the commit.
+        let mut c = Consumer::new(Arc::clone(&broker), "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        assert!(c.poll(1000).unwrap().is_empty());
+        producer.send("IN-DATA", None, &b"new"[..], 99).unwrap();
+        assert_eq!(c.poll(1000).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seek_to_end_skips_history() {
+        let (broker, producer) = setup();
+        for i in 0..5u64 {
+            producer.send("IN-DATA", None, &b"x"[..], i).unwrap();
+        }
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        c.seek_to_end();
+        assert!(c.poll(100).unwrap().is_empty());
+        c.seek_to_beginning();
+        assert_eq!(c.poll(100).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn lag_tracks_unconsumed_records() {
+        let (broker, producer) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        assert_eq!(c.lag(), 0);
+        for i in 0..7u64 {
+            producer.send("IN-DATA", Some(format!("v{i}").as_bytes()), &b"x"[..], i).unwrap();
+        }
+        assert_eq!(c.lag(), 7);
+        c.poll(3).unwrap();
+        assert_eq!(c.lag(), 4);
+        c.poll(100).unwrap();
+        assert_eq!(c.lag(), 0);
+    }
+
+    #[test]
+    fn subscribe_to_missing_topic_fails() {
+        let (broker, _) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        assert!(matches!(c.subscribe(&["NOPE"]), Err(StreamError::UnknownTopic(_))));
+    }
+}

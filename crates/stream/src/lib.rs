@@ -1,0 +1,71 @@
+//! Embedded event-streaming substrate — the reproduction's stand-in for
+//! Apache Kafka.
+//!
+//! The paper runs one Kafka broker per RSU with three topics: `IN-DATA`
+//! (vehicle status ingestion), `OUT-DATA` (detected-anomaly warnings) and
+//! `CO-DATA` (inter-RSU collaboration summaries), each with three
+//! partitions. This crate implements the semantics the paper's pipeline
+//! relies on, from scratch:
+//!
+//! * [`PartitionLog`] — append-only offset-addressed logs with retention.
+//! * [`Topic`] — key-hash partitioning across a fixed partition count.
+//! * [`Broker`] — thread-safe topic registry with produce/fetch and
+//!   consumer-group offset tracking.
+//! * [`Producer`] — the vehicle-side publisher.
+//! * [`Consumer`] — group membership, range partition assignment, `poll`,
+//!   commit and seek.
+//! * [`Cluster`] — a set of named brokers (one per emulated RSU).
+//!
+//! # Example
+//!
+//! ```
+//! use cad3_stream::{Broker, Consumer, OffsetReset, Producer};
+//! use std::sync::Arc;
+//!
+//! let broker = Arc::new(Broker::new("rsu-motorway"));
+//! broker.create_topic("IN-DATA", 3)?;
+//!
+//! let producer = Producer::new(Arc::clone(&broker));
+//! producer.send("IN-DATA", Some(b"veh-1"), b"hello".to_vec(), 0)?;
+//!
+//! let mut consumer = Consumer::new(Arc::clone(&broker), "detector", OffsetReset::Earliest);
+//! consumer.subscribe(&["IN-DATA"])?;
+//! let records = consumer.poll(10)?;
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(&records[0].value[..], b"hello");
+//! # Ok::<(), cad3_stream::StreamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batching;
+mod broker;
+mod cluster;
+mod consumer;
+mod error;
+mod partition;
+mod producer;
+mod record;
+mod topic;
+
+pub use batching::BatchingProducer;
+pub use broker::Broker;
+pub use cluster::Cluster;
+pub use consumer::{Consumer, OffsetReset};
+pub use error::StreamError;
+pub use partition::PartitionLog;
+pub use producer::Producer;
+pub use record::{FetchedRecord, Record};
+pub use topic::Topic;
+
+/// Topic name for vehicle status ingestion (the paper's `IN-DATA`).
+pub const TOPIC_IN_DATA: &str = "IN-DATA";
+/// Topic name for detected-anomaly warnings (the paper's `OUT-DATA`).
+pub const TOPIC_OUT_DATA: &str = "OUT-DATA";
+/// Topic name for inter-RSU collaboration summaries (the paper's `CO-DATA`).
+pub const TOPIC_CO_DATA: &str = "CO-DATA";
+
+/// Partitions per topic in the paper's setup ("we assign three partitions
+/// for each topic to speed up reading and writing").
+pub const PAPER_PARTITIONS: u32 = 3;

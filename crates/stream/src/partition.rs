@@ -1,0 +1,165 @@
+use crate::{Record, StreamError};
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// An append-only, offset-addressed log — one partition of a topic.
+///
+/// Offsets are dense and monotonically increasing. An optional retention
+/// limit bounds memory: old records are dropped from the head but offsets
+/// keep counting, exactly like a Kafka log after segment deletion.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionLog {
+    records: VecDeque<Record>,
+    base_offset: u64,
+    retention_records: Option<usize>,
+    total_bytes: u64,
+}
+
+impl PartitionLog {
+    /// Creates an empty log with unbounded retention.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty log that retains at most `max_records`.
+    pub fn with_retention(max_records: usize) -> Self {
+        PartitionLog { retention_records: Some(max_records), ..Self::default() }
+    }
+
+    /// Appends a record, returning its assigned offset.
+    pub fn append(&mut self, key: Option<Bytes>, value: Bytes, timestamp: u64) -> u64 {
+        let offset = self.next_offset();
+        self.total_bytes += value.len() as u64;
+        self.records.push_back(Record { offset, key, value, timestamp });
+        if let Some(max) = self.retention_records {
+            while self.records.len() > max {
+                self.records.pop_front();
+                self.base_offset += 1;
+            }
+        }
+        offset
+    }
+
+    /// Offset the next appended record will receive.
+    pub fn next_offset(&self) -> u64 {
+        self.base_offset + self.records.len() as u64
+    }
+
+    /// Earliest offset still retained.
+    pub fn earliest_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log retains no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes ever appended (not reduced by retention).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Reads up to `max` records starting at `offset`.
+    ///
+    /// An `offset` at or past the log end returns an empty batch (a caught-up
+    /// consumer), matching Kafka fetch semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::OffsetOutOfRange`] if `offset` has been
+    /// truncated by retention.
+    pub fn fetch(&self, offset: u64, max: usize) -> Result<Vec<Record>, StreamError> {
+        if offset < self.base_offset {
+            return Err(StreamError::OffsetOutOfRange {
+                requested: offset,
+                earliest: self.base_offset,
+            });
+        }
+        let start = (offset - self.base_offset) as usize;
+        if start >= self.records.len() {
+            return Ok(Vec::new());
+        }
+        Ok(self.records.iter().skip(start).take(max).cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn offsets_are_dense_from_zero() {
+        let mut log = PartitionLog::new();
+        for i in 0..5u64 {
+            assert_eq!(log.append(None, val("x"), i), i);
+        }
+        assert_eq!(log.next_offset(), 5);
+        assert_eq!(log.earliest_offset(), 0);
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn fetch_returns_requested_window() {
+        let mut log = PartitionLog::new();
+        for i in 0..10u64 {
+            log.append(None, val(&i.to_string()), i);
+        }
+        let batch = log.fetch(3, 4).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].offset, 3);
+        assert_eq!(batch[3].offset, 6);
+        assert_eq!(batch[0].value, val("3"));
+    }
+
+    #[test]
+    fn fetch_past_end_is_empty_not_error() {
+        let mut log = PartitionLog::new();
+        log.append(None, val("a"), 0);
+        assert!(log.fetch(1, 10).unwrap().is_empty());
+        assert!(log.fetch(100, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retention_drops_head_but_offsets_continue() {
+        let mut log = PartitionLog::with_retention(3);
+        for i in 0..10u64 {
+            log.append(None, val("x"), i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.earliest_offset(), 7);
+        assert_eq!(log.next_offset(), 10);
+        let err = log.fetch(2, 5).unwrap_err();
+        assert_eq!(err, StreamError::OffsetOutOfRange { requested: 2, earliest: 7 });
+        let batch = log.fetch(7, 5).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].offset, 7);
+    }
+
+    #[test]
+    fn total_bytes_accumulates() {
+        let mut log = PartitionLog::with_retention(1);
+        log.append(None, val("aaaa"), 0);
+        log.append(None, val("bb"), 1);
+        assert_eq!(log.total_bytes(), 6);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn preserves_keys_and_timestamps() {
+        let mut log = PartitionLog::new();
+        log.append(Some(val("k")), val("v"), 42);
+        let r = &log.fetch(0, 1).unwrap()[0];
+        assert_eq!(r.key.as_ref().unwrap(), &val("k"));
+        assert_eq!(r.timestamp, 42);
+    }
+}

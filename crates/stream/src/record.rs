@@ -1,0 +1,57 @@
+use bytes::Bytes;
+
+/// A record stored in a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Offset within the partition (assigned at append time).
+    pub offset: u64,
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// Payload.
+    pub value: Bytes,
+    /// Producer-supplied timestamp (virtual nanoseconds in the simulation).
+    pub timestamp: u64,
+}
+
+impl Record {
+    /// Approximate size of the record on the wire, in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.len()) + self.value.len() + 16
+    }
+}
+
+/// A record returned by [`crate::Consumer::poll`], annotated with its
+/// topic and partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchedRecord {
+    /// Topic the record came from.
+    pub topic: String,
+    /// Partition index within the topic.
+    pub partition: u32,
+    /// Offset within the partition.
+    pub offset: u64,
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// Payload.
+    pub value: Bytes,
+    /// Producer-supplied timestamp.
+    pub timestamp: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_key_value_and_header() {
+        let r = Record {
+            offset: 0,
+            key: Some(Bytes::from_static(b"abc")),
+            value: Bytes::from_static(b"0123456789"),
+            timestamp: 0,
+        };
+        assert_eq!(r.wire_size(), 3 + 10 + 16);
+        let keyless = Record { key: None, ..r };
+        assert_eq!(keyless.wire_size(), 10 + 16);
+    }
+}

@@ -1,0 +1,215 @@
+use crate::{PartitionLog, Record, StreamError};
+use bytes::Bytes;
+
+/// FNV-1a hash, the stable key-partitioner hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A named, partitioned log.
+///
+/// Keyed records are routed by key hash so all records of one vehicle land
+/// in one partition (preserving per-vehicle ordering); keyless records are
+/// spread round-robin.
+#[derive(Debug)]
+pub struct Topic {
+    name: String,
+    partitions: Vec<PartitionLog>,
+    round_robin: u64,
+}
+
+impl Topic {
+    /// Creates a topic with `partitions` partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidPartitionCount`] if `partitions == 0`.
+    pub fn new(name: impl Into<String>, partitions: u32) -> Result<Self, StreamError> {
+        if partitions == 0 {
+            return Err(StreamError::InvalidPartitionCount);
+        }
+        Ok(Topic {
+            name: name.into(),
+            partitions: (0..partitions).map(|_| PartitionLog::new()).collect(),
+            round_robin: 0,
+        })
+    }
+
+    /// Topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    /// The partition a key routes to.
+    pub fn partition_for_key(&self, key: &[u8]) -> u32 {
+        (fnv1a(key) % self.partitions.len() as u64) as u32
+    }
+
+    /// Appends a record, routing by `partition` if given, else by key hash,
+    /// else round-robin. Returns `(partition, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownPartition`] for an explicit partition
+    /// out of range.
+    pub fn append(
+        &mut self,
+        partition: Option<u32>,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: u64,
+    ) -> Result<(u32, u64), StreamError> {
+        let p = match (partition, &key) {
+            (Some(p), _) => {
+                if p >= self.partition_count() {
+                    return Err(StreamError::UnknownPartition {
+                        topic: self.name.clone(),
+                        partition: p,
+                    });
+                }
+                p
+            }
+            (None, Some(k)) => self.partition_for_key(k),
+            (None, None) => {
+                let p = (self.round_robin % self.partitions.len() as u64) as u32;
+                self.round_robin += 1;
+                p
+            }
+        };
+        let offset = self.partitions[p as usize].append(key, value, timestamp);
+        Ok((p, offset))
+    }
+
+    /// Fetches up to `max` records from a partition starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownPartition`] or
+    /// [`StreamError::OffsetOutOfRange`].
+    pub fn fetch(&self, partition: u32, offset: u64, max: usize) -> Result<Vec<Record>, StreamError> {
+        let log = self.partitions.get(partition as usize).ok_or_else(|| {
+            StreamError::UnknownPartition { topic: self.name.clone(), partition }
+        })?;
+        log.fetch(offset, max)
+    }
+
+    /// Next offset of a partition (the "end" position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownPartition`] for an invalid index.
+    pub fn end_offset(&self, partition: u32) -> Result<u64, StreamError> {
+        self.partitions
+            .get(partition as usize)
+            .map(PartitionLog::next_offset)
+            .ok_or_else(|| StreamError::UnknownPartition { topic: self.name.clone(), partition })
+    }
+
+    /// Earliest retained offset of a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownPartition`] for an invalid index.
+    pub fn earliest_offset(&self, partition: u32) -> Result<u64, StreamError> {
+        self.partitions
+            .get(partition as usize)
+            .map(PartitionLog::earliest_offset)
+            .ok_or_else(|| StreamError::UnknownPartition { topic: self.name.clone(), partition })
+    }
+
+    /// Total records currently retained across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(PartitionLog::len).sum()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert_eq!(Topic::new("t", 0).unwrap_err(), StreamError::InvalidPartitionCount);
+    }
+
+    #[test]
+    fn keyed_records_stay_in_one_partition() {
+        let mut t = Topic::new("IN-DATA", 3).unwrap();
+        let mut partitions = std::collections::HashSet::new();
+        for i in 0..20u64 {
+            let (p, _) = t.append(None, Some(val("veh-7")), val(&i.to_string()), i).unwrap();
+            partitions.insert(p);
+        }
+        assert_eq!(partitions.len(), 1, "same key must map to same partition");
+    }
+
+    #[test]
+    fn different_keys_spread_across_partitions() {
+        let mut t = Topic::new("IN-DATA", 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            let key = format!("veh-{i}");
+            let (p, _) = t.append(None, Some(Bytes::from(key)), val("x"), i).unwrap();
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 3, "100 keys should hit all 3 partitions");
+    }
+
+    #[test]
+    fn keyless_round_robin() {
+        let mut t = Topic::new("t", 3).unwrap();
+        let ps: Vec<u32> =
+            (0..6).map(|i| t.append(None, None, val("x"), i).unwrap().0).collect();
+        assert_eq!(ps, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn explicit_partition_respected_and_validated() {
+        let mut t = Topic::new("t", 2).unwrap();
+        let (p, o) = t.append(Some(1), None, val("x"), 0).unwrap();
+        assert_eq!((p, o), (1, 0));
+        let err = t.append(Some(5), None, val("x"), 0).unwrap_err();
+        assert!(matches!(err, StreamError::UnknownPartition { partition: 5, .. }));
+    }
+
+    #[test]
+    fn per_partition_offsets_are_independent() {
+        let mut t = Topic::new("t", 2).unwrap();
+        t.append(Some(0), None, val("a"), 0).unwrap();
+        let (_, o) = t.append(Some(1), None, val("b"), 0).unwrap();
+        assert_eq!(o, 0, "partition 1 starts at offset 0");
+        assert_eq!(t.end_offset(0).unwrap(), 1);
+        assert_eq!(t.end_offset(1).unwrap(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fetch_from_partition() {
+        let mut t = Topic::new("t", 1).unwrap();
+        for i in 0..5u64 {
+            t.append(None, None, val(&i.to_string()), i).unwrap();
+        }
+        let batch = t.fetch(0, 2, 10).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(t.fetch(9, 0, 1).is_err());
+    }
+}

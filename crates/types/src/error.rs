@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a wire message fails.
+///
+/// Produced by [`crate::WireDecode::decode`] when the buffer is truncated or
+/// contains an invalid discriminant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the full message could be read.
+    ///
+    /// Carries the number of additional bytes that were needed.
+    Truncated {
+        /// How many more bytes were required to finish decoding.
+        needed: usize,
+    },
+    /// A field contained a value outside its valid domain.
+    InvalidValue {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The raw value that failed validation.
+        value: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed } => {
+                write!(f, "buffer truncated, {needed} more bytes needed")
+            }
+            CodecError::InvalidValue { field, value } => {
+                write!(f, "invalid value {value} for field `{field}`")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CodecError::Truncated { needed: 4 };
+        assert_eq!(e.to_string(), "buffer truncated, 4 more bytes needed");
+        let e = CodecError::InvalidValue { field: "road_type", value: 99 };
+        assert!(e.to_string().contains("road_type"));
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

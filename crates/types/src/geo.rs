@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in metres, used for great-circle computations.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A WGS-84 geographic point (longitude, latitude) in degrees.
+///
+/// The paper computes instantaneous vehicle speed from consecutive GPS fixes
+/// using the great-circle distance (its Eq. 4); [`GeoPoint::haversine_m`] is
+/// that `Dist` function.
+///
+/// # Example
+///
+/// ```
+/// use cad3_types::GeoPoint;
+/// let a = GeoPoint::new(114.0, 22.5);
+/// let b = a.destination(90.0, 1000.0); // 1 km due east
+/// assert!((a.haversine_m(&b) - 1000.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from longitude and latitude in degrees.
+    pub fn new(lon: f64, lat: f64) -> Self {
+        GeoPoint { lon, lat }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres.
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// Initial bearing from `self` to `other`, in degrees clockwise from north
+    /// in `[0, 360)`.
+    pub fn bearing_deg(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance_m` metres from `self` along
+    /// the given initial `bearing_deg` (degrees clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let br = bearing_deg.to_radians();
+        let d = distance_m / EARTH_RADIUS_M;
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * d.cos() + lat1.cos() * d.sin() * br.cos()).asin();
+        let lon2 = lon1
+            + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
+        GeoPoint { lon: lon2.to_degrees(), lat: lat2.to_degrees() }
+    }
+
+    /// Shortest distance in metres from `self` to the segment `a`–`b`,
+    /// using a local equirectangular projection (accurate for the
+    /// sub-kilometre segments of road polylines).
+    pub fn distance_to_segment_m(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        const M_PER_DEG: f64 = 111_319.49;
+        let lat0 = a.lat.to_radians().cos();
+        let (px, py) = ((self.lon - a.lon) * lat0 * M_PER_DEG, (self.lat - a.lat) * M_PER_DEG);
+        let (bx, by) = ((b.lon - a.lon) * lat0 * M_PER_DEG, (b.lat - a.lat) * M_PER_DEG);
+        let len2 = bx * bx + by * by;
+        let t = if len2 == 0.0 { 0.0 } else { ((px * bx + py * by) / len2).clamp(0.0, 1.0) };
+        let (dx, dy) = (px - t * bx, py - t * by);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between `self` and `other` with `t` in `[0, 1]`.
+    ///
+    /// Accurate for the short (sub-kilometre) hops used when sampling
+    /// trajectories along road polylines.
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lon: self.lon + (other.lon - self.lon) * t,
+            lat: self.lat + (other.lat - self.lat) * t,
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lon, self.lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(114.06, 22.54);
+        assert_eq!(p.haversine_m(&p), 0.0);
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = GeoPoint::new(114.0, 22.5);
+        let b = GeoPoint::new(114.1, 22.6);
+        assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(114.0, 22.0);
+        let b = GeoPoint::new(114.0, 23.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let a = GeoPoint::new(114.06, 22.54);
+        for bearing in [0.0, 45.0, 90.0, 180.0, 270.0] {
+            let b = a.destination(bearing, 5_000.0);
+            assert!((a.haversine_m(&b) - 5_000.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let a = GeoPoint::new(114.0, 22.5);
+        let north = GeoPoint::new(114.0, 22.6);
+        let east = GeoPoint::new(114.1, 22.5);
+        assert!((a.bearing_deg(&north) - 0.0).abs() < 0.5);
+        assert!((a.bearing_deg(&east) - 90.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new(114.0, 22.0);
+        let b = GeoPoint::new(115.0, 23.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.lon - 114.5).abs() < 1e-12 && (m.lat - 22.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw numeric value of the identifier.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a vehicle (the dataset's `CarID` / `ObjectID` column).
+    VehicleId,
+    u64,
+    "veh-"
+);
+
+id_type!(
+    /// Identifier of a single trip of a vehicle.
+    TripId,
+    u64,
+    "trip-"
+);
+
+id_type!(
+    /// Identifier of a road-side unit (RSU) / edge node.
+    RsuId,
+    u32,
+    "rsu-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(VehicleId(7).to_string(), "veh-7");
+        assert_eq!(TripId(1).to_string(), "trip-1");
+        assert_eq!(RsuId(3).to_string(), "rsu-3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(VehicleId(1));
+        set.insert(VehicleId(1));
+        set.insert(VehicleId(2));
+        assert_eq!(set.len(), 2);
+        assert!(VehicleId(1) < VehicleId(2));
+    }
+
+    #[test]
+    fn conversion_from_raw() {
+        let id: RsuId = 5u32.into();
+        assert_eq!(id.raw(), 5);
+    }
+}

@@ -1,0 +1,468 @@
+//! Wire messages exchanged between vehicles and RSUs, with a compact binary
+//! codec.
+//!
+//! The paper's vehicles transmit ~200-byte status packets at 10 Hz;
+//! [`VehicleStatus`] is padded to exactly [`STATUS_WIRE_LEN`] bytes on the
+//! wire so the bandwidth experiments (Fig. 6c/6d) see the same payload size.
+
+use crate::{
+    CodecError, DayOfWeek, FeatureRecord, GeoPoint, HourOfDay, Label, RoadId, RoadType, RsuId,
+    SimTime, TripId, VehicleId,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Exact on-wire size of an encoded [`VehicleStatus`], in bytes.
+///
+/// Matches the ~200-byte packets assumed throughout the paper's bandwidth
+/// and MAC analysis.
+pub const STATUS_WIRE_LEN: usize = 200;
+
+/// Types that can be encoded into a binary wire representation.
+pub trait WireEncode {
+    /// Appends the encoded representation to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encodes into a fresh buffer.
+    fn encode_to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Number of bytes [`WireEncode::encode`] will append.
+    fn encoded_len(&self) -> usize;
+}
+
+/// Types that can be decoded from their binary wire representation.
+pub trait WireDecode: Sized {
+    /// Decodes one message from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if `buf` is too short and
+    /// [`CodecError::InvalidValue`] if a field fails validation.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated { needed: n - buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+/// The status packet a vehicle pushes to the `IN-DATA` topic of its RSU.
+///
+/// Carries the Table II features plus position and a send timestamp used for
+/// end-to-end latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleStatus {
+    /// Sender vehicle.
+    pub vehicle: VehicleId,
+    /// Trip the record belongs to.
+    pub trip: TripId,
+    /// Map-matched road trunk.
+    pub road: RoadId,
+    /// Instantaneous speed in km/h.
+    pub speed_kmh: f64,
+    /// Instantaneous acceleration in m/s².
+    pub accel_mps2: f64,
+    /// Hour of day.
+    pub hour: HourOfDay,
+    /// Day of week.
+    pub day: DayOfWeek,
+    /// Road type of the matched trunk.
+    pub road_type: RoadType,
+    /// Normal (average) road speed in km/h.
+    pub road_speed_kmh: f64,
+    /// Current GPS position.
+    pub position: GeoPoint,
+    /// Virtual time at which the packet left the vehicle.
+    pub sent_at: SimTime,
+    /// Per-vehicle monotonically increasing sequence number.
+    pub seq: u32,
+    /// Ground-truth label carried for evaluation only (a real deployment
+    /// would not have this field; it never reaches the detectors).
+    pub truth: Label,
+}
+
+impl VehicleStatus {
+    /// Builds a status packet from a preprocessed dataset record.
+    pub fn from_feature(rec: &FeatureRecord, position: GeoPoint, sent_at: SimTime, seq: u32) -> Self {
+        VehicleStatus {
+            vehicle: rec.vehicle,
+            trip: rec.trip,
+            road: rec.road,
+            speed_kmh: rec.speed_kmh,
+            accel_mps2: rec.accel_mps2,
+            hour: rec.hour,
+            day: rec.day,
+            road_type: rec.road_type,
+            road_speed_kmh: rec.road_speed_kmh,
+            position,
+            sent_at,
+            seq,
+            truth: rec.label,
+        }
+    }
+
+    /// Converts back to the [`FeatureRecord`] view used by the detectors.
+    pub fn to_feature(&self) -> FeatureRecord {
+        FeatureRecord {
+            vehicle: self.vehicle,
+            trip: self.trip,
+            road: self.road,
+            accel_mps2: self.accel_mps2,
+            speed_kmh: self.speed_kmh,
+            hour: self.hour,
+            day: self.day,
+            road_type: self.road_type,
+            road_speed_kmh: self.road_speed_kmh,
+            label: self.truth,
+        }
+    }
+}
+
+impl WireEncode for VehicleStatus {
+    fn encode(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.put_u64(self.vehicle.raw());
+        buf.put_u64(self.trip.raw());
+        buf.put_u64(self.road.raw());
+        buf.put_f64(self.speed_kmh);
+        buf.put_f64(self.accel_mps2);
+        buf.put_u8(self.hour.get());
+        buf.put_u8(self.day.index());
+        buf.put_u8(self.road_type.code());
+        buf.put_u8(self.truth.class());
+        buf.put_f64(self.road_speed_kmh);
+        buf.put_f64(self.position.lon);
+        buf.put_f64(self.position.lat);
+        buf.put_u64(self.sent_at.as_nanos());
+        buf.put_u32(self.seq);
+        // Pad to the fixed 200-byte packet size of the paper.
+        let written = buf.len() - start;
+        debug_assert!(written <= STATUS_WIRE_LEN);
+        buf.put_bytes(0, STATUS_WIRE_LEN - written);
+    }
+
+    fn encoded_len(&self) -> usize {
+        STATUS_WIRE_LEN
+    }
+}
+
+impl WireDecode for VehicleStatus {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, STATUS_WIRE_LEN)?;
+        let mut body = buf.split_to(STATUS_WIRE_LEN);
+        let vehicle = VehicleId(body.get_u64());
+        let trip = TripId(body.get_u64());
+        let road = RoadId(body.get_u64());
+        let speed_kmh = body.get_f64();
+        let accel_mps2 = body.get_f64();
+        let hour_raw = body.get_u8();
+        let hour = HourOfDay::new(hour_raw)
+            .ok_or(CodecError::InvalidValue { field: "hour", value: hour_raw as u64 })?;
+        let day_raw = body.get_u8();
+        if day_raw > 6 {
+            return Err(CodecError::InvalidValue { field: "day", value: day_raw as u64 });
+        }
+        let day = DayOfWeek::from_index_wrapping(day_raw as u64);
+        let rt_raw = body.get_u8();
+        let road_type = RoadType::from_code(rt_raw)
+            .ok_or(CodecError::InvalidValue { field: "road_type", value: rt_raw as u64 })?;
+        let truth = Label::from_class(body.get_u8());
+        let road_speed_kmh = body.get_f64();
+        let position = GeoPoint::new(body.get_f64(), body.get_f64());
+        let sent_at = SimTime::from_nanos(body.get_u64());
+        let seq = body.get_u32();
+        Ok(VehicleStatus {
+            vehicle,
+            trip,
+            road,
+            speed_kmh,
+            accel_mps2,
+            hour,
+            day,
+            road_type,
+            road_speed_kmh,
+            position,
+            sent_at,
+            seq,
+            truth,
+        })
+    }
+}
+
+/// Kind of abnormal driving behaviour announced in a warning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarningKind {
+    /// Speed well above the road's normal profile.
+    Speeding,
+    /// Speed well below the road's normal profile.
+    Slowing,
+    /// Sudden acceleration or deceleration.
+    SuddenAcceleration,
+}
+
+impl WarningKind {
+    fn code(self) -> u8 {
+        match self {
+            WarningKind::Speeding => 0,
+            WarningKind::Slowing => 1,
+            WarningKind::SuddenAcceleration => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(WarningKind::Speeding),
+            1 => Some(WarningKind::Slowing),
+            2 => Some(WarningKind::SuddenAcceleration),
+            _ => None,
+        }
+    }
+
+    /// Classifies a record into the most plausible warning kind.
+    pub fn classify(speed_kmh: f64, road_speed_kmh: f64, accel_mps2: f64) -> WarningKind {
+        if accel_mps2.abs() > 3.0 {
+            WarningKind::SuddenAcceleration
+        } else if speed_kmh >= road_speed_kmh {
+            WarningKind::Speeding
+        } else {
+            WarningKind::Slowing
+        }
+    }
+}
+
+/// The warning an RSU writes to `OUT-DATA` when it detects abnormal driving.
+///
+/// Vehicles in range consume these and raise an in-cabin alert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarningMessage {
+    /// Vehicle whose behaviour triggered the warning.
+    pub vehicle: VehicleId,
+    /// Road on which the behaviour was observed.
+    pub road: RoadId,
+    /// Kind of abnormality.
+    pub kind: WarningKind,
+    /// Probability the detector assigned to the abnormal class.
+    pub probability: f64,
+    /// `sent_at` of the status packet that triggered detection (for
+    /// end-to-end latency measurement).
+    pub source_sent_at: SimTime,
+    /// Virtual time the detection completed at the RSU.
+    pub detected_at: SimTime,
+    /// Sequence number of the offending status packet.
+    pub source_seq: u32,
+}
+
+impl WireEncode for WarningMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.vehicle.raw());
+        buf.put_u64(self.road.raw());
+        buf.put_u8(self.kind.code());
+        buf.put_f64(self.probability);
+        buf.put_u64(self.source_sent_at.as_nanos());
+        buf.put_u64(self.detected_at.as_nanos());
+        buf.put_u32(self.source_seq);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 1 + 8 + 8 + 8 + 4
+    }
+}
+
+impl WireDecode for WarningMessage {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 45)?;
+        let vehicle = VehicleId(buf.get_u64());
+        let road = RoadId(buf.get_u64());
+        let kind_raw = buf.get_u8();
+        let kind = WarningKind::from_code(kind_raw)
+            .ok_or(CodecError::InvalidValue { field: "kind", value: kind_raw as u64 })?;
+        let probability = buf.get_f64();
+        let source_sent_at = SimTime::from_nanos(buf.get_u64());
+        let detected_at = SimTime::from_nanos(buf.get_u64());
+        let source_seq = buf.get_u32();
+        Ok(WarningMessage {
+            vehicle,
+            road,
+            kind,
+            probability,
+            source_sent_at,
+            detected_at,
+            source_seq,
+        })
+    }
+}
+
+/// The per-vehicle prediction summary an RSU forwards to the next RSU's
+/// `CO-DATA` topic on handover (the paper's Fig. 3 step 2).
+///
+/// `mean_probability` is the `P̄_prevs` term of the paper's Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryMessage {
+    /// Vehicle the summary describes.
+    pub vehicle: VehicleId,
+    /// RSU that produced the summary.
+    pub from_rsu: RsuId,
+    /// Number of predictions aggregated along the previous road.
+    pub count: u32,
+    /// Mean predicted probability of the *abnormal* class over those
+    /// predictions (`P̄_prevs`).
+    pub mean_probability: f64,
+    /// Last predicted class on the previous road (1 = normal, 0 = abnormal).
+    pub last_class: u8,
+    /// Virtual send time.
+    pub sent_at: SimTime,
+}
+
+impl WireEncode for SummaryMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.vehicle.raw());
+        buf.put_u32(self.from_rsu.raw());
+        buf.put_u32(self.count);
+        buf.put_f64(self.mean_probability);
+        buf.put_u8(self.last_class);
+        buf.put_u64(self.sent_at.as_nanos());
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 4 + 8 + 1 + 8
+    }
+}
+
+impl WireDecode for SummaryMessage {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 33)?;
+        Ok(SummaryMessage {
+            vehicle: VehicleId(buf.get_u64()),
+            from_rsu: RsuId(buf.get_u32()),
+            count: buf.get_u32(),
+            mean_probability: buf.get_f64(),
+            last_class: buf.get_u8(),
+            sent_at: SimTime::from_nanos(buf.get_u64()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> VehicleStatus {
+        VehicleStatus {
+            vehicle: VehicleId(42),
+            trip: TripId(7),
+            road: RoadId(1001),
+            speed_kmh: 123.4,
+            accel_mps2: -1.5,
+            hour: HourOfDay::new(17).unwrap(),
+            day: DayOfWeek::Friday,
+            road_type: RoadType::MotorwayLink,
+            road_speed_kmh: 95.0,
+            position: GeoPoint::new(114.05, 22.54),
+            sent_at: SimTime::from_millis(1234),
+            seq: 99,
+            truth: Label::Abnormal,
+        }
+    }
+
+    #[test]
+    fn status_round_trip_is_exactly_200_bytes() {
+        let s = status();
+        let bytes = s.encode_to_bytes();
+        assert_eq!(bytes.len(), STATUS_WIRE_LEN);
+        assert_eq!(s.encoded_len(), STATUS_WIRE_LEN);
+        let mut buf = bytes;
+        let decoded = VehicleStatus::decode(&mut buf).unwrap();
+        assert_eq!(decoded, s);
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn status_truncated_buffer_errors() {
+        let bytes = status().encode_to_bytes();
+        let mut short = bytes.slice(..100);
+        let err = VehicleStatus::decode(&mut short).unwrap_err();
+        assert_eq!(err, CodecError::Truncated { needed: 100 });
+    }
+
+    #[test]
+    fn status_invalid_road_type_errors() {
+        let mut raw = BytesMut::new();
+        status().encode(&mut raw);
+        raw[26] = 200; // road_type byte offset: 8+8+8+... -> see layout
+        // Offset: vehicle(8)+trip(8)+road(8)+speed(8)+accel(8)+hour(1)+day(1)=42; road_type at 42.
+        let mut raw2 = BytesMut::new();
+        status().encode(&mut raw2);
+        raw2[42] = 200;
+        let mut buf = raw2.freeze();
+        let err = VehicleStatus::decode(&mut buf).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidValue { field: "road_type", .. }));
+    }
+
+    #[test]
+    fn warning_round_trip() {
+        let w = WarningMessage {
+            vehicle: VehicleId(1),
+            road: RoadId(2),
+            kind: WarningKind::Slowing,
+            probability: 0.93,
+            source_sent_at: SimTime::from_millis(10),
+            detected_at: SimTime::from_millis(43),
+            source_seq: 5,
+        };
+        let mut buf = w.encode_to_bytes();
+        assert_eq!(buf.len(), w.encoded_len());
+        assert_eq!(WarningMessage::decode(&mut buf).unwrap(), w);
+    }
+
+    #[test]
+    fn summary_round_trip() {
+        let s = SummaryMessage {
+            vehicle: VehicleId(9),
+            from_rsu: RsuId(3),
+            count: 120,
+            mean_probability: 0.71,
+            last_class: 0,
+            sent_at: SimTime::from_secs(2),
+        };
+        let mut buf = s.encode_to_bytes();
+        assert_eq!(buf.len(), s.encoded_len());
+        assert_eq!(SummaryMessage::decode(&mut buf).unwrap(), s);
+    }
+
+    #[test]
+    fn warning_kind_classification() {
+        assert_eq!(WarningKind::classify(160.0, 100.0, 0.0), WarningKind::Speeding);
+        assert_eq!(WarningKind::classify(20.0, 100.0, 0.0), WarningKind::Slowing);
+        assert_eq!(
+            WarningKind::classify(100.0, 100.0, 4.5),
+            WarningKind::SuddenAcceleration
+        );
+    }
+
+    #[test]
+    fn feature_round_trip_through_status() {
+        let s = status();
+        let f = s.to_feature();
+        let s2 = VehicleStatus::from_feature(&f, s.position, s.sent_at, s.seq);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn multiple_messages_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        status().encode(&mut buf);
+        status().encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let a = VehicleStatus::decode(&mut bytes).unwrap();
+        let b = VehicleStatus::decode(&mut bytes).unwrap();
+        assert_eq!(a, b);
+        assert!(bytes.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+use crate::{DayOfWeek, GeoPoint, HourOfDay, RoadId, RoadType, TripId, VehicleId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Ground-truth / predicted class of a driving record.
+///
+/// The paper encodes normal as class `1` and abnormal as class `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Driving within `[μ − σ, μ + σ]` of the road's speed/acceleration
+    /// profile (paper class `1`).
+    Normal,
+    /// Driving outside the normal band: speeding, slowing or sudden
+    /// acceleration (paper class `0`).
+    Abnormal,
+}
+
+impl Label {
+    /// The paper's numeric encoding: normal = 1, abnormal = 0.
+    pub fn class(self) -> u8 {
+        match self {
+            Label::Normal => 1,
+            Label::Abnormal => 0,
+        }
+    }
+
+    /// Inverse of [`Label::class`]; any non-zero value maps to `Normal`.
+    pub fn from_class(c: u8) -> Label {
+        if c == 0 {
+            Label::Abnormal
+        } else {
+            Label::Normal
+        }
+    }
+
+    /// Whether the label is [`Label::Abnormal`].
+    pub fn is_abnormal(self) -> bool {
+        self == Label::Abnormal
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Normal => f.write_str("normal"),
+            Label::Abnormal => f.write_str("abnormal"),
+        }
+    }
+}
+
+/// Behavioural profile of a synthetic driver.
+///
+/// The generator makes abnormality *driver-persistent*: an aggressive driver
+/// tends to speed on every road of a trip. This is the structure that lets
+/// the collaborative model (CAD3) outperform the standalone one — averaging
+/// predictions from previous roads (Eq. 1) carries driver-awareness across
+/// RSU handovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriverProfile {
+    /// Drives close to the road's normal speed profile.
+    Typical,
+    /// Persistently exceeds the road's normal speed (speeding).
+    Aggressive,
+    /// Persistently drives far below the road's normal speed (slowing).
+    Sluggish,
+    /// Alternates bursts of sudden acceleration/deceleration.
+    Erratic,
+}
+
+impl DriverProfile {
+    /// All profiles.
+    pub const ALL: [DriverProfile; 4] = [
+        DriverProfile::Typical,
+        DriverProfile::Aggressive,
+        DriverProfile::Sluggish,
+        DriverProfile::Erratic,
+    ];
+
+    /// Whether the profile produces abnormal driving behaviour.
+    pub fn is_abnormal(self) -> bool {
+        self != DriverProfile::Typical
+    }
+}
+
+impl fmt::Display for DriverProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DriverProfile::Typical => "typical",
+            DriverProfile::Aggressive => "aggressive",
+            DriverProfile::Sluggish => "sluggish",
+            DriverProfile::Erratic => "erratic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One raw GPS fix of a trip (the trajectory rows of the paper's Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// The vehicle that produced the fix.
+    pub vehicle: VehicleId,
+    /// The trip the fix belongs to.
+    pub trip: TripId,
+    /// GPS position (possibly noisy).
+    pub position: GeoPoint,
+    /// Seconds since the start of the dataset epoch.
+    pub gps_time_s: f64,
+    /// Accumulated mileage in metres since trip start.
+    pub ac_mileage_m: f64,
+}
+
+/// One trip of a vehicle (the trip rows of the paper's Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripRecord {
+    /// The vehicle.
+    pub vehicle: VehicleId,
+    /// The trip identifier.
+    pub trip: TripId,
+    /// Start position.
+    pub start: GeoPoint,
+    /// Stop position.
+    pub stop: GeoPoint,
+    /// Trip start, seconds since dataset epoch.
+    pub start_time_s: f64,
+    /// Trip end, seconds since dataset epoch.
+    pub stop_time_s: f64,
+    /// Total mileage in metres.
+    pub mileage_m: f64,
+    /// Day of week of the trip start.
+    pub day: DayOfWeek,
+    /// Road trunks traversed, in order.
+    pub roads: Vec<RoadId>,
+}
+
+impl TripRecord {
+    /// Trip duration in seconds (the `Period` column).
+    pub fn period_s(&self) -> f64 {
+        self.stop_time_s - self.start_time_s
+    }
+}
+
+/// A preprocessed, map-matched analysis record — the paper's Table II schema:
+/// `CarID, RdID, accel, Speed, Hour, Day, RdType, v̄_r`.
+///
+/// These records are what vehicles stream to RSUs and what the detectors are
+/// trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRecord {
+    /// The vehicle (`CarID`).
+    pub vehicle: VehicleId,
+    /// The trip this record belongs to (not in Table II but needed for the
+    /// mesoscopic analysis).
+    pub trip: TripId,
+    /// The matched road trunk (`RdID`).
+    pub road: RoadId,
+    /// Instantaneous acceleration in m/s² (`accel`).
+    pub accel_mps2: f64,
+    /// Instantaneous speed in km/h (`Speed`).
+    pub speed_kmh: f64,
+    /// Hour of day (`Hour`).
+    pub hour: HourOfDay,
+    /// Day of week (`Day`).
+    pub day: DayOfWeek,
+    /// Road type (`RdType`).
+    pub road_type: RoadType,
+    /// Average (normal) road speed in km/h (`v̄_r`).
+    pub road_speed_kmh: f64,
+    /// Ground-truth label assigned by the offline μ±σ labelling stage.
+    pub label: Label,
+}
+
+impl FeatureRecord {
+    /// Ratio of the record's speed to the road's normal speed.
+    ///
+    /// Greater than 1 means the vehicle is faster than the road norm.
+    pub fn speed_ratio(&self) -> f64 {
+        if self.road_speed_kmh <= 0.0 {
+            1.0
+        } else {
+            self.speed_kmh / self.road_speed_kmh
+        }
+    }
+
+    /// Whether the record is faster than the road's normal speed.
+    pub fn is_speeding(&self) -> bool {
+        self.speed_kmh > self.road_speed_kmh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_class_encoding_matches_paper() {
+        assert_eq!(Label::Normal.class(), 1);
+        assert_eq!(Label::Abnormal.class(), 0);
+        assert_eq!(Label::from_class(0), Label::Abnormal);
+        assert_eq!(Label::from_class(1), Label::Normal);
+        assert!(Label::Abnormal.is_abnormal());
+        assert!(!Label::Normal.is_abnormal());
+    }
+
+    #[test]
+    fn driver_profile_abnormality() {
+        assert!(!DriverProfile::Typical.is_abnormal());
+        for p in [DriverProfile::Aggressive, DriverProfile::Sluggish, DriverProfile::Erratic] {
+            assert!(p.is_abnormal());
+        }
+    }
+
+    #[test]
+    fn trip_period() {
+        let trip = TripRecord {
+            vehicle: VehicleId(1),
+            trip: TripId(1),
+            start: GeoPoint::new(114.0, 22.5),
+            stop: GeoPoint::new(114.1, 22.6),
+            start_time_s: 100.0,
+            stop_time_s: 160.0,
+            mileage_m: 1200.0,
+            day: DayOfWeek::Monday,
+            roads: vec![RoadId(1), RoadId(2)],
+        };
+        assert_eq!(trip.period_s(), 60.0);
+    }
+
+    fn record(speed: f64, road_speed: f64) -> FeatureRecord {
+        FeatureRecord {
+            vehicle: VehicleId(1),
+            trip: TripId(1),
+            road: RoadId(1),
+            accel_mps2: 0.0,
+            speed_kmh: speed,
+            hour: HourOfDay::new(8).unwrap(),
+            day: DayOfWeek::Monday,
+            road_type: RoadType::Motorway,
+            road_speed_kmh: road_speed,
+            label: Label::Normal,
+        }
+    }
+
+    #[test]
+    fn speed_ratio_and_speeding() {
+        let r = record(120.0, 100.0);
+        assert!((r.speed_ratio() - 1.2).abs() < 1e-12);
+        assert!(r.is_speeding());
+        let r = record(80.0, 100.0);
+        assert!(!r.is_speeding());
+        // Degenerate road speed does not divide by zero.
+        let r = record(80.0, 0.0);
+        assert_eq!(r.speed_ratio(), 1.0);
+    }
+}

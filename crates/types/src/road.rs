@@ -1,0 +1,295 @@
+use crate::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a road trunk (the dataset's `RdID` column).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RoadId(pub u64);
+
+impl RoadId {
+    /// Returns the raw numeric value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RoadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "road-{}", self.0)
+    }
+}
+
+impl From<u64> for RoadId {
+    fn from(v: u64) -> Self {
+        RoadId(v)
+    }
+}
+
+/// OpenStreetMap-style road classification (the paper's Table V road types).
+///
+/// The paper trains one model per road type; the two types used in the
+/// microscopic experiments are [`RoadType::Motorway`] and
+/// [`RoadType::MotorwayLink`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum RoadType {
+    Motorway,
+    MotorwayLink,
+    Trunk,
+    TrunkLink,
+    Primary,
+    PrimaryLink,
+    Secondary,
+    SecondaryLink,
+    Tertiary,
+    Residential,
+}
+
+impl RoadType {
+    /// All road types in Table V order.
+    pub const ALL: [RoadType; 10] = [
+        RoadType::Motorway,
+        RoadType::MotorwayLink,
+        RoadType::Trunk,
+        RoadType::TrunkLink,
+        RoadType::Primary,
+        RoadType::PrimaryLink,
+        RoadType::Secondary,
+        RoadType::SecondaryLink,
+        RoadType::Tertiary,
+        RoadType::Residential,
+    ];
+
+    /// Stable small integer code used on the wire and as an ML feature.
+    pub fn code(self) -> u8 {
+        match self {
+            RoadType::Motorway => 0,
+            RoadType::MotorwayLink => 1,
+            RoadType::Trunk => 2,
+            RoadType::TrunkLink => 3,
+            RoadType::Primary => 4,
+            RoadType::PrimaryLink => 5,
+            RoadType::Secondary => 6,
+            RoadType::SecondaryLink => 7,
+            RoadType::Tertiary => 8,
+            RoadType::Residential => 9,
+        }
+    }
+
+    /// Inverse of [`RoadType::code`]. Returns `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<RoadType> {
+        RoadType::ALL.get(code as usize).copied()
+    }
+
+    /// Whether this is a link (ramp/connector) road type.
+    pub fn is_link(self) -> bool {
+        matches!(
+            self,
+            RoadType::MotorwayLink
+                | RoadType::TrunkLink
+                | RoadType::PrimaryLink
+                | RoadType::SecondaryLink
+        )
+    }
+
+    /// The link type that connects roads of this type, if any.
+    ///
+    /// Motorways hand over to motorway links in the paper's microscopic
+    /// scenario; the same pairing exists for trunk/primary/secondary roads.
+    pub fn link_type(self) -> Option<RoadType> {
+        match self {
+            RoadType::Motorway => Some(RoadType::MotorwayLink),
+            RoadType::Trunk => Some(RoadType::TrunkLink),
+            RoadType::Primary => Some(RoadType::PrimaryLink),
+            RoadType::Secondary => Some(RoadType::SecondaryLink),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RoadType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoadType::Motorway => "motorway",
+            RoadType::MotorwayLink => "motorway_link",
+            RoadType::Trunk => "trunk",
+            RoadType::TrunkLink => "trunk_link",
+            RoadType::Primary => "primary",
+            RoadType::PrimaryLink => "primary_link",
+            RoadType::Secondary => "secondary",
+            RoadType::SecondaryLink => "secondary_link",
+            RoadType::Tertiary => "tertiary",
+            RoadType::Residential => "residential",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`RoadType`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRoadTypeError(String);
+
+impl fmt::Display for ParseRoadTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown road type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRoadTypeError {}
+
+impl FromStr for RoadType {
+    type Err = ParseRoadTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RoadType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.to_string() == s)
+            .ok_or_else(|| ParseRoadTypeError(s.to_owned()))
+    }
+}
+
+/// A road trunk: a polyline of geographic points with a type and length.
+///
+/// One RSU covers one road trunk in the paper's deployment model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadSegment {
+    /// Unique identifier of the trunk.
+    pub id: RoadId,
+    /// OSM-style classification.
+    pub road_type: RoadType,
+    /// Geometry; at least two points.
+    pub polyline: Vec<GeoPoint>,
+    /// Total polyline length in metres (cached).
+    pub length_m: f64,
+}
+
+impl RoadSegment {
+    /// Builds a segment from a polyline, computing its length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polyline` has fewer than two points.
+    pub fn new(id: RoadId, road_type: RoadType, polyline: Vec<GeoPoint>) -> Self {
+        assert!(polyline.len() >= 2, "road polyline needs at least two points");
+        let length_m = polyline.windows(2).map(|w| w[0].haversine_m(&w[1])).sum();
+        RoadSegment { id, road_type, polyline, length_m }
+    }
+
+    /// The point at a given distance along the polyline, clamped to the ends.
+    pub fn point_at(&self, distance_m: f64) -> GeoPoint {
+        if distance_m <= 0.0 {
+            return self.polyline[0];
+        }
+        let mut remaining = distance_m;
+        for w in self.polyline.windows(2) {
+            let seg = w[0].haversine_m(&w[1]);
+            if remaining <= seg && seg > 0.0 {
+                return w[0].lerp(&w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        *self.polyline.last().expect("polyline non-empty")
+    }
+
+    /// Shortest distance from `p` to the polyline, in metres (exact
+    /// point-to-segment projection per chord). Used by the map matcher as
+    /// an emission distance.
+    pub fn distance_to(&self, p: &GeoPoint) -> f64 {
+        self.polyline
+            .windows(2)
+            .map(|w| p.distance_to_segment_m(&w[0], &w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// First point of the polyline.
+    pub fn start(&self) -> GeoPoint {
+        self.polyline[0]
+    }
+
+    /// Last point of the polyline.
+    pub fn end(&self) -> GeoPoint {
+        *self.polyline.last().expect("polyline non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_road() -> RoadSegment {
+        let a = GeoPoint::new(114.0, 22.5);
+        let b = a.destination(90.0, 1000.0);
+        let c = a.destination(90.0, 2000.0);
+        RoadSegment::new(RoadId(1), RoadType::Motorway, vec![a, b, c])
+    }
+
+    #[test]
+    fn length_is_sum_of_chords() {
+        let r = straight_road();
+        assert!((r.length_m - 2000.0).abs() < 2.0, "got {}", r.length_m);
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let r = straight_road();
+        assert_eq!(r.point_at(-5.0), r.start());
+        let end = r.point_at(10_000.0);
+        assert!(end.haversine_m(&r.end()) < 1e-6);
+    }
+
+    #[test]
+    fn point_at_midway() {
+        let r = straight_road();
+        let mid = r.point_at(1000.0);
+        assert!(r.start().haversine_m(&mid) > 995.0);
+        assert!(r.start().haversine_m(&mid) < 1005.0);
+    }
+
+    #[test]
+    fn distance_to_on_road_is_small() {
+        let r = straight_road();
+        let p = r.point_at(500.0);
+        assert!(r.distance_to(&p) < 1.0);
+        // An off-road point is measured perpendicular to the polyline.
+        let off = r.point_at(500.0).destination(0.0, 250.0);
+        let d = r.distance_to(&off);
+        assert!((d - 250.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_polyline_panics() {
+        RoadSegment::new(RoadId(1), RoadType::Primary, vec![GeoPoint::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn road_type_codes_round_trip() {
+        for t in RoadType::ALL {
+            assert_eq!(RoadType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RoadType::from_code(99), None);
+    }
+
+    #[test]
+    fn road_type_parse_round_trip() {
+        for t in RoadType::ALL {
+            let parsed: RoadType = t.to_string().parse().unwrap();
+            assert_eq!(parsed, t);
+        }
+        assert!("autobahn".parse::<RoadType>().is_err());
+    }
+
+    #[test]
+    fn link_pairings() {
+        assert_eq!(RoadType::Motorway.link_type(), Some(RoadType::MotorwayLink));
+        assert_eq!(RoadType::Residential.link_type(), None);
+        assert!(RoadType::MotorwayLink.is_link());
+        assert!(!RoadType::Motorway.is_link());
+    }
+}

@@ -1,0 +1,333 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual (simulated) time, in nanoseconds since simulation start.
+///
+/// All latency experiments of the reproduction run on a deterministic
+/// discrete-event clock; `SimTime` is the instant type of that clock.
+///
+/// # Example
+///
+/// ```
+/// use cad3_types::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_millis(50);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(50));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant, saturating at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration seconds must be finite and non-negative");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Total nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Total microseconds, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Total milliseconds, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Total seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+
+    /// Subtraction saturating at zero.
+    pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// An hour of the day, `0..=23` (the `Hour` feature of the paper's Table II).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct HourOfDay(u8);
+
+impl HourOfDay {
+    /// Creates an hour of day.
+    ///
+    /// Returns `None` if `h > 23`.
+    pub fn new(h: u8) -> Option<Self> {
+        (h <= 23).then_some(HourOfDay(h))
+    }
+
+    /// Creates an hour of day, wrapping modulo 24.
+    pub fn wrapping(h: u64) -> Self {
+        HourOfDay((h % 24) as u8)
+    }
+
+    /// The raw hour value, `0..=23`.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this hour falls within a weekday rush-hour window
+    /// (07:00–09:59 or 17:00–19:59), the regime where the paper's Fig. 2
+    /// speed profiles dip.
+    pub fn is_rush_hour(self) -> bool {
+        matches!(self.0, 7..=9 | 17..=19)
+    }
+}
+
+impl fmt::Display for HourOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:00", self.0)
+    }
+}
+
+/// A day of the week.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum DayOfWeek {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All days, Monday first.
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// Index in `0..=6`, Monday = 0.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Creates a day from an index `0..=6` (Monday = 0), wrapping modulo 7.
+    pub fn from_index_wrapping(i: u64) -> Self {
+        Self::ALL[(i % 7) as usize]
+    }
+
+    /// Whether the day is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+}
+
+impl fmt::Display for DayOfWeek {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DayOfWeek::Monday => "Mon",
+            DayOfWeek::Tuesday => "Tue",
+            DayOfWeek::Wednesday => "Wed",
+            DayOfWeek::Thursday => "Thu",
+            DayOfWeek::Friday => "Fri",
+            DayOfWeek::Saturday => "Sat",
+            DayOfWeek::Sunday => "Sun",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_millis(10);
+        let t1 = t0 + SimDuration::from_millis(40);
+        assert_eq!(t1, SimTime::from_millis(50));
+        assert_eq!(t1 - t0, SimDuration::from_millis(40));
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        let d = SimDuration::from_secs_f64(0.0123);
+        assert!((d.as_millis_f64() - 12.3).abs() < 1e-9);
+        assert_eq!(SimDuration::from_micros(9).as_nanos(), 9_000);
+        assert_eq!(SimDuration::from_millis(2).mul(3), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn hour_of_day_bounds() {
+        assert!(HourOfDay::new(23).is_some());
+        assert!(HourOfDay::new(24).is_none());
+        assert_eq!(HourOfDay::wrapping(25).get(), 1);
+        assert!(HourOfDay::new(8).unwrap().is_rush_hour());
+        assert!(!HourOfDay::new(3).unwrap().is_rush_hour());
+        assert_eq!(HourOfDay::new(9).unwrap().to_string(), "09:00");
+    }
+
+    #[test]
+    fn day_of_week_helpers() {
+        assert!(DayOfWeek::Saturday.is_weekend());
+        assert!(!DayOfWeek::Friday.is_weekend());
+        assert_eq!(DayOfWeek::from_index_wrapping(7), DayOfWeek::Monday);
+        assert_eq!(DayOfWeek::Monday.index(), 0);
+        assert_eq!(DayOfWeek::Sunday.index(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis(50).to_string(), "50.000ms");
+        assert_eq!(SimTime::from_millis(1).to_string(), "t+1.000ms");
+        assert_eq!(DayOfWeek::Wednesday.to_string(), "Wed");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the wire codec and geo math.
+
+use bytes::Bytes;
+use cad3_types::{
+    DayOfWeek, GeoPoint, HourOfDay, Label, RoadId, RoadType, RsuId, SimTime, SummaryMessage,
+    TripId, VehicleId, VehicleStatus, WarningKind, WarningMessage, WireDecode, WireEncode,
+    STATUS_WIRE_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_road_type() -> impl Strategy<Value = RoadType> {
+    (0u8..10).prop_map(|c| RoadType::from_code(c).unwrap())
+}
+
+fn arb_status() -> impl Strategy<Value = VehicleStatus> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        -400.0f64..400.0,
+        -20.0f64..20.0,
+        0u8..24,
+        0u8..7,
+        arb_road_type(),
+        (0.0f64..300.0, -180.0f64..180.0, -90.0f64..90.0),
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(veh, trip, road, speed, accel, hour, day, rt, (rs, lon, lat), t, seq, abn)| {
+                VehicleStatus {
+                    vehicle: VehicleId(veh),
+                    trip: TripId(trip),
+                    road: RoadId(road),
+                    speed_kmh: speed,
+                    accel_mps2: accel,
+                    hour: HourOfDay::new(hour).unwrap(),
+                    day: DayOfWeek::from_index_wrapping(day as u64),
+                    road_type: rt,
+                    road_speed_kmh: rs,
+                    position: GeoPoint::new(lon, lat),
+                    sent_at: SimTime::from_nanos(t),
+                    seq,
+                    truth: if abn { Label::Abnormal } else { Label::Normal },
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn status_codec_round_trips(s in arb_status()) {
+        let encoded = s.encode_to_bytes();
+        prop_assert_eq!(encoded.len(), STATUS_WIRE_LEN);
+        let mut buf = encoded;
+        let decoded = VehicleStatus::decode(&mut buf).unwrap();
+        prop_assert_eq!(decoded, s);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn warning_codec_round_trips(
+        veh in any::<u64>(),
+        road in any::<u64>(),
+        kind in 0u8..3,
+        p in 0.0f64..1.0,
+        t1 in any::<u64>(),
+        t2 in any::<u64>(),
+        seq in any::<u32>(),
+    ) {
+        let w = WarningMessage {
+            vehicle: VehicleId(veh),
+            road: RoadId(road),
+            kind: match kind {
+                0 => WarningKind::Speeding,
+                1 => WarningKind::Slowing,
+                _ => WarningKind::SuddenAcceleration,
+            },
+            probability: p,
+            source_sent_at: SimTime::from_nanos(t1),
+            detected_at: SimTime::from_nanos(t2),
+            source_seq: seq,
+        };
+        let mut buf = w.encode_to_bytes();
+        prop_assert_eq!(WarningMessage::decode(&mut buf).unwrap(), w);
+    }
+
+    #[test]
+    fn summary_codec_round_trips(
+        veh in any::<u64>(),
+        rsu in any::<u32>(),
+        count in any::<u32>(),
+        p in 0.0f64..1.0,
+        class in 0u8..2,
+        t in any::<u64>(),
+    ) {
+        let s = SummaryMessage {
+            vehicle: VehicleId(veh),
+            from_rsu: RsuId(rsu),
+            count,
+            mean_probability: p,
+            last_class: class,
+            sent_at: SimTime::from_nanos(t),
+        };
+        let mut buf = s.encode_to_bytes();
+        prop_assert_eq!(SummaryMessage::decode(&mut buf).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_status_never_panics(s in arb_status(), cut in 0usize..STATUS_WIRE_LEN) {
+        let encoded = s.encode_to_bytes();
+        let mut short: Bytes = encoded.slice(..cut);
+        prop_assert!(VehicleStatus::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        lon1 in 113.0f64..115.0, lat1 in 22.0f64..23.0,
+        lon2 in 113.0f64..115.0, lat2 in 22.0f64..23.0,
+        lon3 in 113.0f64..115.0, lat3 in 22.0f64..23.0,
+    ) {
+        let a = GeoPoint::new(lon1, lat1);
+        let b = GeoPoint::new(lon2, lat2);
+        let c = GeoPoint::new(lon3, lat3);
+        let direct = a.haversine_m(&c);
+        let via = a.haversine_m(&b) + b.haversine_m(&c);
+        prop_assert!(direct <= via + 1e-6);
+    }
+
+    #[test]
+    fn destination_distance_matches(
+        lon in 113.0f64..115.0,
+        lat in 22.0f64..23.0,
+        bearing in 0.0f64..360.0,
+        dist in 1.0f64..50_000.0,
+    ) {
+        let a = GeoPoint::new(lon, lat);
+        let b = a.destination(bearing, dist);
+        let measured = a.haversine_m(&b);
+        prop_assert!((measured - dist).abs() < dist * 1e-3 + 0.5);
+    }
+}

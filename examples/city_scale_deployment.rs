@@ -1,0 +1,69 @@
+//! The paper's macroscopic feasibility analysis (Section VII, Tables V–VI,
+//! Fig. 9): how many RSUs does city-scale coverage need, can existing
+//! roadside infrastructure host them, and can the DSRC MAC carry peak-hour
+//! traffic?
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example city_scale_deployment
+//! ```
+
+use cad3_repro::data::{
+    infrastructure, InfrastructureKind, RoadNetwork, RoadNetworkConfig, RoadTypeSpec,
+    RoadsideInfrastructure,
+};
+use cad3_repro::net::{MacModel, Mcs};
+use cad3_repro::sim::SimRng;
+use cad3_repro::types::SimDuration;
+
+fn main() {
+    // --- Table V: RSUs required (one per km of used road). -------------
+    println!("RSUs required per road type (Table V):");
+    let reqs = infrastructure::rsu_requirements(&RoadTypeSpec::paper_table_v());
+    let mut total = 0;
+    for r in &reqs {
+        println!(
+            "  {:>14}: {:>4} roads × {:>6.0} m mean → {:>4} RSUs",
+            r.road_type.to_string(),
+            r.road_count,
+            r.mean_length_m,
+            r.rsus
+        );
+        total += r.rsus;
+    }
+    println!("  total: {total} RSUs for city-scale coverage\n");
+
+    // --- Table VI: can existing infrastructure host them? --------------
+    let network = RoadNetwork::generate(&RoadNetworkConfig::scaled(7, 0.2));
+    let mut rng = SimRng::seed_from(7);
+    for kind in [InfrastructureKind::TrafficLight, InfrastructureKind::LampPole] {
+        let infra = RoadsideInfrastructure::place(&network, kind, &mut rng);
+        let s = infra.spacing_stats();
+        println!(
+            "{kind:?}: {} installations, spacing avg {:.0} m (max {:.0} m); a 300 m DSRC \
+             radius covers {:.1}% of gaps",
+            s.count,
+            s.avg_m,
+            s.max_m,
+            infra.coverage_within(300.0) * 100.0
+        );
+    }
+
+    // --- Eq. 5–6: MAC capacity at peak hour. ----------------------------
+    println!("\nCan one RSU serve a packed road at 10 Hz? (Eq. 5-6)");
+    let mac = MacModel::default();
+    let period = SimDuration::from_millis(100);
+    for mcs in [Mcs::MCS3, Mcs::MCS8] {
+        let t = mac.medium_access_time(256, mcs, 200);
+        println!(
+            "  {mcs}: 256 vehicles need {:.2} ms of a {:.0} ms period -> {}",
+            t.as_millis_f64(),
+            period.as_millis_f64(),
+            if mac.supports_update_rate(256, mcs, 200, period) { "fits" } else { "does NOT fit" }
+        );
+    }
+    println!(
+        "\nWith ~13 M road users over 51 k road trunks at 5 Mb/s per RSU (< 27 Mb/s DSRC),\n\
+         the decentralized deployment scales past Shenzhen's 2 M-vehicle peak hour."
+    );
+}

@@ -1,0 +1,110 @@
+//! The dataset-preparation pipeline of the paper's Section V: noisy GPS
+//! trajectories → HMM (Newson–Krumm-style) map matching → Eq. 4
+//! preprocessing → μ±σ outlier labelling — reconstructing Table II records
+//! from raw fixes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example map_matching
+//! ```
+
+use cad3_repro::data::{
+    preprocess, DatasetConfig, HmmMapMatcher, LabelModel, SyntheticDataset,
+};
+use cad3_repro::types::{Label, TrajectoryPoint};
+
+fn main() {
+    // Generate a corpus that keeps its raw GPS fixes.
+    let config = DatasetConfig { keep_trajectories: true, ..DatasetConfig::small(9) };
+    let ds = SyntheticDataset::generate(&config);
+    println!(
+        "corpus: {} trips, {} raw GPS fixes over {} roads\n",
+        ds.trips.len(),
+        ds.trajectories.len(),
+        ds.network.len()
+    );
+
+    // Pick a typical driver's trip and pretend we only have its raw fixes.
+    let trip = ds
+        .trips
+        .iter()
+        .find(|t| ds.profiles[&t.vehicle] == cad3_repro::types::DriverProfile::Typical)
+        .expect("corpus has typical drivers");
+    let points: Vec<TrajectoryPoint> =
+        ds.trajectories.iter().filter(|p| p.trip == trip.trip).copied().collect();
+    println!("trip {}: {} fixes across {} roads", trip.trip, points.len(), trip.roads.len());
+
+    // 1. Map matching: recover the road of every fix by Viterbi decoding.
+    let matcher = HmmMapMatcher::new(&ds.network);
+    let matched = matcher.match_trajectory(&points);
+    let mut switches = 0;
+    for w in matched.windows(2) {
+        if w[0] != w[1] {
+            switches += 1;
+        }
+    }
+    println!(
+        "map matching: {} road assignments, {} road switches (route had {})",
+        matched.len(),
+        switches,
+        trip.roads.len() - 1
+    );
+
+    // 2. Eq. 4: instantaneous speeds and accelerations from consecutive
+    //    fixes, with erroneous-value filtering.
+    let records = preprocess::to_feature_records(
+        &ds.network,
+        &points,
+        &matched,
+        trip.day,
+        &preprocess::FilterConfig::default(),
+    );
+    let mean_speed = records.iter().map(|r| r.speed_kmh).sum::<f64>() / records.len() as f64;
+    println!(
+        "preprocessing: {} Table II records, mean derived speed {:.1} km/h",
+        records.len(),
+        mean_speed
+    );
+
+    // 3. Offline labelling: μ±1σ per spatio-temporal context, fitted on
+    //    GPS-derived records (the paper labels its own derived dataset —
+    //    derived accelerations are noisier than the true kinematics, so
+    //    the cut-offs must come from the same distribution).
+    let mut derived_corpus = Vec::new();
+    for t in ds.trips.iter().take(40) {
+        let pts: Vec<TrajectoryPoint> =
+            ds.trajectories.iter().filter(|p| p.trip == t.trip).copied().collect();
+        let m = matcher.match_trajectory(&pts);
+        derived_corpus.extend(preprocess::to_feature_records(
+            &ds.network,
+            &pts,
+            &m,
+            t.day,
+            &preprocess::FilterConfig::default(),
+        ));
+    }
+    let mut records = records;
+    let labeller = LabelModel::fit(derived_corpus.iter());
+    labeller.relabel(&mut records);
+    labeller.relabel(&mut derived_corpus);
+    let frac = |rs: &[cad3_repro::types::FeatureRecord]| {
+        rs.iter().filter(|r| r.label == Label::Abnormal).count() as f64 / rs.len() as f64 * 100.0
+    };
+    println!(
+        "labelling: {:.1}% of the derived corpus abnormal; {:.1}% of this trip",
+        frac(&derived_corpus),
+        frac(&records)
+    );
+    println!(
+        "(GPS-derived kinematics are far noisier than the onboard IMU values the
+         detectors consume — the paper's preprocessing exists precisely to tame this.)"
+    );
+
+    println!("\nFirst records (CarID | RdID | speed | accel | hour | label):");
+    for r in records.iter().take(8) {
+        println!(
+            "  {} | {} | {:6.1} km/h | {:+5.2} m/s² | {} | {}",
+            r.vehicle, r.road, r.speed_kmh, r.accel_mps2, r.hour, r.label
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: generate a Shenzhen-like corpus, train the three detectors,
+//! and classify a live stream of records — the whole CAD3 story in one
+//! minute.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cad3_repro::core::detector::{train_all, DetectionConfig, Detector};
+use cad3_repro::core::SummaryTracker;
+use cad3_repro::data::{DatasetConfig, SyntheticDataset};
+use cad3_repro::types::Label;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesise the dataset substrate (the paper uses a proprietary
+    //    corpus of 3,306 private cars in Shenzhen; we generate an
+    //    equivalent one).
+    println!("Generating synthetic driving corpus...");
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(42));
+    println!(
+        "  {} records from {} trips, {:.1}% labelled abnormal\n",
+        ds.features.len(),
+        ds.trips.len(),
+        ds.abnormal_fraction() * 100.0
+    );
+
+    // 2. Offline stage: train AD3 (per-road-type Naive Bayes), CAD3
+    //    (NB + summary-fused decision tree) and the centralized baseline.
+    let split = ds.features.len() * 8 / 10;
+    let (train, test) = ds.features.split_at(split);
+    println!("Training on {} records (80/20 split)...", train.len());
+    let models = train_all(train, &DetectionConfig::default())?;
+
+    // 3. Online stage: stream the test records through the detectors,
+    //    maintaining the cross-road summaries CAD3 fuses via Eq. 1.
+    let mut tracker = SummaryTracker::new();
+    let mut shown = 0;
+    let mut correct = [0u32; 3];
+    let mut total = 0u32;
+    for rec in test {
+        let Ok(p_nb) = models.cad3.naive_bayes().p_abnormal(rec) else { continue };
+        let summary = tracker.observe(rec.vehicle, rec.road, p_nb);
+        let central = models.centralized.detect(rec, None)?;
+        let ad3 = models.ad3.detect(rec, None)?;
+        let cad3 = models.cad3.detect(rec, summary.as_ref())?;
+
+        total += 1;
+        for (i, d) in [&central, &ad3, &cad3].iter().enumerate() {
+            if d.label == rec.label {
+                correct[i] += 1;
+            }
+        }
+
+        // Show the first few interesting detections.
+        if rec.label == Label::Abnormal && cad3.label == Label::Abnormal && shown < 5 {
+            shown += 1;
+            println!(
+                "  ⚠ {} on {}: {:.0} km/h where the norm is {:.0} km/h (p_abnormal {:.2})",
+                rec.vehicle, rec.road_type, rec.speed_kmh, rec.road_speed_kmh, cad3.p_abnormal
+            );
+        }
+    }
+
+    println!("\nAccuracy over {total} streamed records:");
+    for (name, c) in ["centralized", "ad3 (standalone)", "cad3 (collaborative)"]
+        .iter()
+        .zip(correct)
+    {
+        println!("  {name:>20}: {:.1}%", c as f64 / total as f64 * 100.0);
+    }
+    println!("\nThe collaborative model wins by carrying driver-awareness across RSUs.");
+    Ok(())
+}

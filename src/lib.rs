@@ -1,0 +1,25 @@
+//! Umbrella crate for the CAD3 reproduction workspace.
+//!
+//! Re-exports every member crate under one name so the examples and
+//! integration tests in this repository (and downstream users who want the
+//! whole stack) can depend on a single crate.
+//!
+//! * [`types`] — shared domain types (ids, geo, time, roads, records, wire messages).
+//! * [`sim`] — deterministic discrete-event simulation kernel and statistics.
+//! * [`net`] — DSRC / IEEE 802.11p MAC model, token buckets, links, bandwidth meters.
+//! * [`stream`] — embedded event-streaming substrate (Kafka equivalent).
+//! * [`engine`] — micro-batch stream-processing engine (Spark Streaming equivalent).
+//! * [`ml`] — naive Bayes, decision tree and evaluation metrics (MLlib equivalent).
+//! * [`data`] — synthetic Shenzhen-like driving dataset substrate.
+//! * [`core`] — the CAD3 system itself: detectors, RSU pipeline, testbed scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use cad3 as core;
+pub use cad3_data as data;
+pub use cad3_engine as engine;
+pub use cad3_ml as ml;
+pub use cad3_net as net;
+pub use cad3_sim as sim;
+pub use cad3_stream as stream;
+pub use cad3_types as types;
