@@ -18,8 +18,7 @@ fn ml_dataset(n: usize) -> Dataset {
     let mut ds = Dataset::new(schema, 2);
     for i in 0..n {
         let x = (i % 100) as f64;
-        ds.push(vec![x, -x / 10.0, (i % 24) as f64], usize::from(x > 50.0))
-            .expect("valid row");
+        ds.push(vec![x, -x / 10.0, (i % 24) as f64], usize::from(x > 50.0)).expect("valid row");
     }
     ds
 }
@@ -33,9 +32,7 @@ fn bench_ml(c: &mut Criterion) {
     });
     group.bench_function("decision_tree_fit_10k", |b| {
         b.iter(|| {
-            black_box(
-                DecisionTree::fit(&train, DecisionTreeParams::default()).expect("trainable"),
-            )
+            black_box(DecisionTree::fit(&train, DecisionTreeParams::default()).expect("trainable"))
         });
     });
     let nb = NaiveBayes::fit(&train).expect("trainable");
@@ -76,8 +73,7 @@ fn bench_detectors(c: &mut Criterion) {
     group.bench_function("train_all_small_corpus", |b| {
         b.iter(|| {
             black_box(
-                train_all(&ds.features[..4000], &DetectionConfig::default())
-                    .expect("trainable"),
+                train_all(&ds.features[..4000], &DetectionConfig::default()).expect("trainable"),
             )
         });
     });

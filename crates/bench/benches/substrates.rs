@@ -149,5 +149,12 @@ fn bench_geo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_broker, bench_net, bench_window_and_channels, bench_geo);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_broker,
+    bench_net,
+    bench_window_and_channels,
+    bench_geo
+);
 criterion_main!(benches);

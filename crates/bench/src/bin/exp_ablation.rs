@@ -10,11 +10,7 @@ fn main() {
         .fusion
         .iter()
         .map(|r| {
-            vec![
-                tables::f(r.weight, 2),
-                tables::f(r.f1, 4),
-                format!("{:.1} %", r.fn_rate_pct),
-            ]
+            vec![tables::f(r.weight, 2), tables::f(r.f1, 4), format!("{:.1} %", r.fn_rate_pct)]
         })
         .collect();
     println!("{}", tables::render(&["weight", "CAD3 F1", "CAD3 FN rate"], &rows));

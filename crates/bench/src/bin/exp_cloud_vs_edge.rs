@@ -48,7 +48,8 @@ fn main() {
         dissemination_ms: r.latency.dissemination_ms.mean(),
         total_ms: r.latency.total_ms.mean(),
     };
-    let rows_data = vec![row("edge RSU (CAD3)", &edge.per_rsu[0]), row("cloud node", &cloud.per_rsu[0])];
+    let rows_data =
+        vec![row("edge RSU (CAD3)", &edge.per_rsu[0]), row("cloud node", &cloud.per_rsu[0])];
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {

@@ -18,10 +18,7 @@ fn main() {
     }
     println!(
         "{}",
-        tables::render(
-            &["hour", "mw wkday", "mw wkend", "link wkday", "link wkend"],
-            &rows,
-        )
+        tables::render(&["hour", "mw wkday", "mw wkend", "link wkday", "link wkend"], &rows,)
     );
     println!("Paper shape: motorway >> motorway link; weekday rush-hour dips (07-09, 17-19);");
     println!("free-flowing nights; flatter weekends. Link traffic mostly 0-35 km/h.");

@@ -17,10 +17,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        tables::render(&["vehicles", "per-vehicle", "total", "of DSRC 27 Mb/s"], &rows)
-    );
+    println!("{}", tables::render(&["vehicles", "per-vehicle", "total", "of DSRC 27 Mb/s"], &rows));
     println!(
         "Paper: ~{} per vehicle; ~{} total at 256 vehicles (< 1/5 of DSRC capacity).",
         tables::bps(paper::FIG6C_PER_VEHICLE_BPS),

@@ -20,8 +20,8 @@ fn main() {
         .collect();
     println!("{}", tables::render(&["RSU", "vehicles", "CO-DATA", "total"], &rows));
     let link = &result.rows[0];
-    let mw_mean = result.rows[1..].iter().map(|r| r.total_bps).sum::<f64>()
-        / (result.rows.len() - 1) as f64;
+    let mw_mean =
+        result.rows[1..].iter().map(|r| r.total_bps).sum::<f64>() / (result.rows.len() - 1) as f64;
     println!(
         "Paper shape: Mw Link slightly above the Mw RSUs, all far below 27 Mb/s DSRC capacity."
     );

@@ -19,10 +19,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        tables::render(&["model", "accuracy", "F1", "precision", "recall"], &rows)
-    );
+    println!("{}", tables::render(&["model", "accuracy", "F1", "precision", "recall"], &rows));
     let (central, ad3, cad3) = (&result.rows[0], &result.rows[1], &result.rows[2]);
     println!(
         "Measured gains: CAD3 vs AD3: F1 {:+.4}, acc {:+.4}; CAD3 vs centralized: F1 {:+.4}, acc {:+.4}.",
@@ -37,6 +34,10 @@ fn main() {
         paper::FIG7_ACC_GAIN_OVER_AD3,
         paper::FIG7_GAIN_OVER_CENTRALIZED,
     );
-    println!("({} test records, {:.1}% abnormal)", result.test_records, result.abnormal_fraction * 100.0);
+    println!(
+        "({} test records, {:.1}% abnormal)",
+        result.test_records,
+        result.abnormal_fraction * 100.0
+    );
     write_json("fig7_detection_quality", &result);
 }

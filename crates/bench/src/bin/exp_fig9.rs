@@ -20,9 +20,7 @@ fn main() {
         "service-channel assignment: {} of 6 SCHs used, {} interference conflicts at 300 m",
         r.channels_used, r.channel_conflicts
     );
-    println!(
-        "\nPaper: existing roadside infrastructure almost covers the city; marked regions"
-    );
+    println!("\nPaper: existing roadside infrastructure almost covers the city; marked regions");
     println!("require dedicated installation, and channel management avoids interference.");
     write_json("fig9_deployment", &r);
 }

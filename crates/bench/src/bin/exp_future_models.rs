@@ -43,8 +43,10 @@ fn main() {
     let nb = Ad3Detector::train(train).expect("trainable");
     let lr = LogisticAd3Detector::train(train, LogisticParams::default()).expect("trainable");
 
-    let rows_data =
-        vec![evaluate("naive-bayes (paper)", &nb, test), evaluate("logistic (quadratic)", &lr, test)];
+    let rows_data = vec![
+        evaluate("naive-bayes (paper)", &nb, test),
+        evaluate("logistic (quadratic)", &lr, test),
+    ];
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {

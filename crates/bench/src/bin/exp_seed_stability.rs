@@ -26,11 +26,8 @@ fn main() {
     let seeds: Vec<u64> = (0..if quick { 3 } else { 5 }).map(|i| DEFAULT_SEED + i * 1000).collect();
     let mut rows_data = Vec::new();
     for &seed in &seeds {
-        let config = if quick {
-            DatasetConfig::small(seed)
-        } else {
-            DatasetConfig::paper_89k(seed)
-        };
+        let config =
+            if quick { DatasetConfig::small(seed) } else { DatasetConfig::paper_89k(seed) };
         let ds = SyntheticDataset::generate(&config);
         let rows = detection_comparison(&ds, &DetectionConfig::default(), seed)
             .expect("corpus is trainable");
@@ -57,13 +54,12 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        tables::render(&["seed", "F1 central", "F1 ad3", "F1 cad3", "FN c/a/k"], &rows)
-    );
+    println!("{}", tables::render(&["seed", "F1 central", "F1 ad3", "F1 cad3", "FN c/a/k"], &rows));
 
-    let edge_beats_central =
-        rows_data.iter().filter(|r| r.f1_ad3 > r.f1_centralized && r.f1_cad3 > r.f1_centralized).count();
+    let edge_beats_central = rows_data
+        .iter()
+        .filter(|r| r.f1_ad3 > r.f1_centralized && r.f1_cad3 > r.f1_centralized)
+        .count();
     let cad3_fn_best = rows_data
         .iter()
         .filter(|r| r.fn_pct_cad3 <= r.fn_pct_ad3 + 0.1 && r.fn_pct_cad3 < r.fn_pct_centralized)
@@ -73,10 +69,7 @@ fn main() {
         "\nedge models beat centralized on F1:      {edge_beats_central}/{} seeds",
         rows_data.len()
     );
-    println!(
-        "CAD3 has the lowest FN rate:              {cad3_fn_best}/{} seeds",
-        rows_data.len()
-    );
+    println!("CAD3 has the lowest FN rate:              {cad3_fn_best}/{} seeds", rows_data.len());
     println!(
         "CAD3 F1 ≥ AD3 (within noise):             {cad3_f1_ge_ad3}/{} seeds",
         rows_data.len()

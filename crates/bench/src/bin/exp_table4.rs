@@ -8,7 +8,12 @@ fn main() {
     let rows: Vec<Vec<String>> = result
         .rows
         .iter()
-        .zip(paper::TABLE4_TP_RATES.iter().zip(&paper::TABLE4_FN_RATES).zip(&paper::TABLE4_EXPECTED_ACCIDENTS))
+        .zip(
+            paper::TABLE4_TP_RATES
+                .iter()
+                .zip(&paper::TABLE4_FN_RATES)
+                .zip(&paper::TABLE4_EXPECTED_ACCIDENTS),
+        )
         .map(|(r, ((ptp, pfn), pacc))| {
             vec![
                 r.model.clone(),

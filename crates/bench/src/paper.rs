@@ -47,8 +47,7 @@ pub const MAC_ACCESS_256_MCS3_MS: f64 = 92.62;
 pub const MAC_ACCESS_256_MCS8_MS: f64 = 54.28;
 
 /// Table VI row for traffic lights: (count, avg m, std m, p75 m, max m).
-pub const TABLE6_TRAFFIC_LIGHTS: (usize, f64, f64, f64, f64) =
-    (3_278, 244.57, 299.7, 444.2, 999.5);
+pub const TABLE6_TRAFFIC_LIGHTS: (usize, f64, f64, f64, f64) = (3_278, 244.57, 299.7, 444.2, 999.5);
 /// Table VI row for lamp poles: (count, avg m, std m, p75 m, max m).
 pub const TABLE6_LAMP_POLES: (usize, f64, f64, f64, f64) = (116_000, 71.9, 82.8, 100.0, 520.0);
 

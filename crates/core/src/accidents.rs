@@ -138,10 +138,10 @@ mod tests {
     #[test]
     fn only_false_negatives_count() {
         let records = [
-            rec(Label::Abnormal, Label::Normal, 200.0),   // FN, δ = 0.75
+            rec(Label::Abnormal, Label::Normal, 200.0), // FN, δ = 0.75
             rec(Label::Abnormal, Label::Abnormal, 200.0), // detected
-            rec(Label::Normal, Label::Normal, 100.0),     // fine
-            rec(Label::Normal, Label::Abnormal, 100.0),   // false alarm: annoying, not counted
+            rec(Label::Normal, Label::Normal, 100.0),   // fine
+            rec(Label::Normal, Label::Abnormal, 100.0), // false alarm: annoying, not counted
         ];
         let e = expected_potential_accidents(records.iter());
         assert!((e - 0.75).abs() < 1e-12);
@@ -171,8 +171,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "speeds must be positive")]
-    fn nilsson_rejects_zero_speed()
-    {
+    fn nilsson_rejects_zero_speed() {
         nilsson_accidents(1.0, 0.0, 10.0);
     }
 }

@@ -109,7 +109,12 @@ impl SummaryTracker {
     /// returns the summary of *previous* roads applicable to this record
     /// (`None` while the vehicle is still on its first road), the
     /// `P̄_prevs` of the paper's Eq. 1.
-    pub fn observe(&mut self, vehicle: VehicleId, road: RoadId, p_abnormal: f64) -> Option<VehicleSummary> {
+    pub fn observe(
+        &mut self,
+        vehicle: VehicleId,
+        road: RoadId,
+        p_abnormal: f64,
+    ) -> Option<VehicleSummary> {
         let depth = self.road_depth;
         let state = self.vehicles.entry(vehicle).or_default();
         if state.current_road != Some(road) {
@@ -146,16 +151,19 @@ impl SummaryTracker {
     pub fn seed(&mut self, vehicle: VehicleId, summary: VehicleSummary) {
         let state = self.vehicles.entry(vehicle).or_default();
         state.history.clear();
-        state
-            .history
-            .push_back((summary.mean_probability * summary.count as f64, summary.count));
+        state.history.push_back((summary.mean_probability * summary.count as f64, summary.count));
         state.prev_last_class = summary.last_class;
     }
 
     /// The current exportable summary for `vehicle` — what this RSU would
     /// write to the next RSU's `CO-DATA` on handover (includes the road in
     /// progress).
-    pub fn export(&self, vehicle: VehicleId, from_rsu: RsuId, now: SimTime) -> Option<SummaryMessage> {
+    pub fn export(
+        &self,
+        vehicle: VehicleId,
+        from_rsu: RsuId,
+        now: SimTime,
+    ) -> Option<SummaryMessage> {
         let s = self.vehicles.get(&vehicle)?;
         let (prev_sum, prev_count) = s.prev_totals();
         let count = prev_count + s.road_count;

@@ -80,10 +80,7 @@ impl SystemConfig {
     /// Panics if the fusion weight is outside `[0, 1]` or any interval is
     /// zero.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.fusion_weight),
-            "fusion weight must be within [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&self.fusion_weight), "fusion weight must be within [0, 1]");
         assert!(self.batch_interval > SimDuration::ZERO, "batch interval must be positive");
         assert!(self.poll_interval > SimDuration::ZERO, "poll interval must be positive");
         assert!(self.update_period > SimDuration::ZERO, "update period must be positive");

@@ -65,8 +65,7 @@ impl Ad3Detector {
         }
         if models.is_empty() && pooled.is_empty() {
             return Err(CoreError::InsufficientTrainingData {
-                what: "no (road type, time regime) context had examples of both classes"
-                    .to_owned(),
+                what: "no (road type, time regime) context had examples of both classes".to_owned(),
             });
         }
         Ok(Ad3Detector { models, pooled })
@@ -74,12 +73,8 @@ impl Ad3Detector {
 
     /// Road types with at least one trained model.
     pub fn road_types(&self) -> Vec<RoadType> {
-        let mut v: Vec<RoadType> = self
-            .models
-            .keys()
-            .map(|(rt, _)| *rt)
-            .chain(self.pooled.keys().copied())
-            .collect();
+        let mut v: Vec<RoadType> =
+            self.models.keys().map(|(rt, _)| *rt).chain(self.pooled.keys().copied()).collect();
         v.sort();
         v.dedup();
         v
@@ -91,9 +86,7 @@ impl Ad3Detector {
             return Ok(m);
         }
         // Sparse context: the hour-pooled model of the same road type.
-        self.pooled
-            .get(&rec.road_type)
-            .ok_or(CoreError::NoModelForRoadType(rec.road_type))
+        self.pooled.get(&rec.road_type).ok_or(CoreError::NoModelForRoadType(rec.road_type))
     }
 
     /// The abnormal-class probability for a record.
@@ -112,7 +105,11 @@ impl Detector for Ad3Detector {
         "ad3"
     }
 
-    fn detect(&self, rec: &FeatureRecord, _summary: Option<&VehicleSummary>) -> Result<Detection, CoreError> {
+    fn detect(
+        &self,
+        rec: &FeatureRecord,
+        _summary: Option<&VehicleSummary>,
+    ) -> Result<Detection, CoreError> {
         Ok(Detection::from_p_abnormal(self.p_abnormal(rec)?))
     }
 }
@@ -192,12 +189,8 @@ mod tests {
         // normal free flow. A time-aware RSU must tell them apart.
         let ds = corpus();
         let det = Ad3Detector::train(&ds.features).unwrap();
-        let template = ds
-            .features
-            .iter()
-            .find(|f| f.road_type == RoadType::Motorway)
-            .copied()
-            .unwrap();
+        let template =
+            ds.features.iter().find(|f| f.road_type == RoadType::Motorway).copied().unwrap();
         let fast = |hour: u8| FeatureRecord {
             speed_kmh: 112.0,
             accel_mps2: 0.0,
@@ -220,12 +213,8 @@ mod tests {
         let motorway_only: Vec<FeatureRecord> =
             ds.features.iter().filter(|f| f.road_type == RoadType::Motorway).copied().collect();
         let det = Ad3Detector::train(&motorway_only).unwrap();
-        let link_rec = ds
-            .features
-            .iter()
-            .find(|f| f.road_type == RoadType::MotorwayLink)
-            .copied()
-            .unwrap();
+        let link_rec =
+            ds.features.iter().find(|f| f.road_type == RoadType::MotorwayLink).copied().unwrap();
         assert_eq!(
             det.detect(&link_rec, None).unwrap_err(),
             CoreError::NoModelForRoadType(RoadType::MotorwayLink)

@@ -45,7 +45,11 @@ impl Detector for CentralizedDetector {
         "centralized"
     }
 
-    fn detect(&self, rec: &FeatureRecord, _summary: Option<&VehicleSummary>) -> Result<Detection, CoreError> {
+    fn detect(
+        &self,
+        rec: &FeatureRecord,
+        _summary: Option<&VehicleSummary>,
+    ) -> Result<Detection, CoreError> {
         Ok(Detection::from_p_abnormal(self.p_abnormal(rec)?))
     }
 }

@@ -82,7 +82,11 @@ impl Detector for LogisticAd3Detector {
         "logistic-ad3"
     }
 
-    fn detect(&self, rec: &FeatureRecord, _summary: Option<&VehicleSummary>) -> Result<Detection, CoreError> {
+    fn detect(
+        &self,
+        rec: &FeatureRecord,
+        _summary: Option<&VehicleSummary>,
+    ) -> Result<Detection, CoreError> {
         Ok(Detection::from_p_abnormal(self.p_abnormal(rec)?))
     }
 }
@@ -98,8 +102,8 @@ mod tests {
     fn drops_into_the_detector_interface() {
         let ds = SyntheticDataset::generate(&DatasetConfig::small(71));
         let cut = ds.features.len() * 8 / 10;
-        let det = LogisticAd3Detector::train(&ds.features[..cut], LogisticParams::default())
-            .unwrap();
+        let det =
+            LogisticAd3Detector::train(&ds.features[..cut], LogisticParams::default()).unwrap();
         assert_eq!(det.name(), "logistic-ad3");
         let mut cm = ConfusionMatrix::new();
         for rec in &ds.features[cut..] {

@@ -35,10 +35,7 @@ pub struct Detection {
 impl Detection {
     /// Builds a detection from an abnormal-class probability.
     pub fn from_p_abnormal(p: f64) -> Self {
-        Detection {
-            label: if p >= 0.5 { Label::Abnormal } else { Label::Normal },
-            p_abnormal: p,
-        }
+        Detection { label: if p >= 0.5 { Label::Abnormal } else { Label::Normal }, p_abnormal: p }
     }
 }
 
@@ -90,7 +87,11 @@ pub trait Detector: Send + Sync {
     ///
     /// Returns [`CoreError::NoModelForRoadType`] when the record's road
     /// type was absent from training, and propagates model errors.
-    fn detect(&self, rec: &FeatureRecord, summary: Option<&VehicleSummary>) -> Result<Detection, CoreError>;
+    fn detect(
+        &self,
+        rec: &FeatureRecord,
+        summary: Option<&VehicleSummary>,
+    ) -> Result<Detection, CoreError>;
 
     /// The probability fed into the collaborative summaries (`P_NB` in the
     /// paper). For single-stage models this is the final probability; CAD3
@@ -124,12 +125,7 @@ pub(crate) fn nb_schema() -> Schema {
 
 /// Encodes a record into the NB feature vector.
 pub(crate) fn nb_features(rec: &FeatureRecord) -> Vec<f64> {
-    vec![
-        rec.speed_kmh,
-        rec.accel_mps2,
-        rec.hour.get() as f64,
-        rec.road_type.code() as f64,
-    ]
+    vec![rec.speed_kmh, rec.accel_mps2, rec.hour.get() as f64, rec.road_type.code() as f64]
 }
 
 /// The Decision Tree feature schema of the collaborative model:

@@ -32,7 +32,10 @@ pub struct TrainedModels {
 /// assert!((0.0..=1.0).contains(&d.p_abnormal));
 /// # Ok::<(), cad3::CoreError>(())
 /// ```
-pub fn train_all(records: &[FeatureRecord], config: &DetectionConfig) -> Result<TrainedModels, CoreError> {
+pub fn train_all(
+    records: &[FeatureRecord],
+    config: &DetectionConfig,
+) -> Result<TrainedModels, CoreError> {
     Ok(TrainedModels {
         ad3: Ad3Detector::train(records)?,
         cad3: Cad3Detector::train_with_depth(

@@ -60,11 +60,8 @@ mod tests {
 
     #[test]
     fn estimate_appears_after_enough_samples() {
-        let mut stats = OnlineRoadStats::with_window(
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(5),
-            10,
-        );
+        let mut stats =
+            OnlineRoadStats::with_window(SimDuration::from_secs(60), SimDuration::from_secs(5), 10);
         let road = RoadId(7);
         for i in 0..9u64 {
             stats.observe(road, SimTime::from_secs(i), 100.0);
@@ -79,11 +76,8 @@ mod tests {
     fn estimate_tracks_congestion_onset() {
         // Free flow at 100 km/h, then congestion at 40: the windowed norm
         // follows within a window length.
-        let mut stats = OnlineRoadStats::with_window(
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(5),
-            5,
-        );
+        let mut stats =
+            OnlineRoadStats::with_window(SimDuration::from_secs(60), SimDuration::from_secs(5), 5);
         let road = RoadId(1);
         for i in 0..120u64 {
             stats.observe(road, SimTime::from_secs(i), 100.0);
@@ -97,11 +91,8 @@ mod tests {
 
     #[test]
     fn roads_are_independent() {
-        let mut stats = OnlineRoadStats::with_window(
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(5),
-            1,
-        );
+        let mut stats =
+            OnlineRoadStats::with_window(SimDuration::from_secs(60), SimDuration::from_secs(5), 1);
         stats.observe(RoadId(1), SimTime::from_secs(1), 30.0);
         stats.observe(RoadId(2), SimTime::from_secs(1), 90.0);
         assert_eq!(stats.roads_tracked(), 2);

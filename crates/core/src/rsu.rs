@@ -97,8 +97,7 @@ impl RsuNode {
         for topic in [TOPIC_IN_DATA, TOPIC_OUT_DATA, TOPIC_CO_DATA] {
             broker.create_topic(topic, PAPER_PARTITIONS).expect("fresh broker has no topics");
         }
-        let mut in_consumer =
-            Consumer::new(Arc::clone(&broker), "detector", OffsetReset::Earliest);
+        let mut in_consumer = Consumer::new(Arc::clone(&broker), "detector", OffsetReset::Earliest);
         in_consumer.subscribe(&[TOPIC_IN_DATA]).expect("topic just created");
         let mut co_consumer =
             Consumer::new(Arc::clone(&broker), "collaboration", OffsetReset::Earliest);
@@ -206,8 +205,8 @@ impl RsuNode {
         /// (road, speed) observation feeding the road context.
         type RecordOutcome =
             (SimDuration, bool, Option<WarningMessage>, Option<(cad3_types::RoadId, f64)>);
-        let outcomes: Vec<RecordOutcome> =
-            PartitionedDataset::from_partitions(buckets).map_partitions(&self.executor, |part| {
+        let outcomes: Vec<RecordOutcome> = PartitionedDataset::from_partitions(buckets)
+            .map_partitions(&self.executor, |part| {
                 let mut out = Vec::with_capacity(part.len());
                 let Some((first_vehicle, _)) = part.first() else { return out };
                 let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
@@ -392,8 +391,7 @@ mod tests {
     fn abnormal_records_yield_warnings_with_latency_stamps() {
         let (mut rsu, _, ds) = rsu_with_vehicles();
         // Hand-craft a blatantly abnormal status: far above road speed.
-        let template =
-            ds.features.iter().find(|f| f.label == Label::Abnormal).copied().unwrap();
+        let template = ds.features.iter().find(|f| f.label == Label::Abnormal).copied().unwrap();
         let mut agent = VehicleAgent::new(VehicleId(999), vec![template]);
         let status = agent.next_status(SimTime::from_millis(5));
         push_status(&rsu, &status, SimTime::from_millis(6));
@@ -457,9 +455,7 @@ mod tests {
     #[test]
     fn malformed_messages_are_skipped_not_fatal() {
         let (mut rsu, _, _) = rsu_with_vehicles();
-        rsu.broker()
-            .produce(TOPIC_IN_DATA, None, None, Bytes::from_static(b"garbage"), 0)
-            .unwrap();
+        rsu.broker().produce(TOPIC_IN_DATA, None, None, Bytes::from_static(b"garbage"), 0).unwrap();
         let result = rsu.run_batch(SimTime::from_millis(50)).unwrap();
         assert_eq!(result.records, 1, "the record is consumed");
         assert!(result.warnings.is_empty(), "but produces nothing");
@@ -473,7 +469,8 @@ mod tests {
         let ds = SyntheticDataset::generate(&DatasetConfig::small(53));
         let models = train_all(&ds.features, &DetectionConfig::default()).unwrap();
         let det: Arc<dyn Detector> = Arc::new(models.cad3);
-        let mut parallel = RsuNode::new(RsuId(1), "p", Arc::clone(&det), ProcessingCostModel::default());
+        let mut parallel =
+            RsuNode::new(RsuId(1), "p", Arc::clone(&det), ProcessingCostModel::default());
         let mut sequential = RsuNode::with_executor(
             RsuId(2),
             "s",
@@ -494,10 +491,8 @@ mod tests {
             let rp = parallel.run_batch(now).unwrap();
             let rs = sequential.run_batch(now).unwrap();
             assert_eq!(rp.records, rs.records);
-            let mut wp: Vec<_> =
-                rp.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
-            let mut ws: Vec<_> =
-                rs.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
+            let mut wp: Vec<_> = rp.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
+            let mut ws: Vec<_> = rs.warnings.iter().map(|w| (w.vehicle, w.source_seq)).collect();
             wp.sort_unstable();
             ws.sort_unstable();
             assert_eq!(wp, ws, "step {step}");

@@ -440,12 +440,8 @@ mod tests {
         let mut trips: Vec<TripId> = ds.features.iter().map(|f| f.trip).collect();
         trips.dedup();
         let cut = (trips.len() * 8 / 10).max(1);
-        let train: Vec<FeatureRecord> = ds
-            .features
-            .iter()
-            .filter(|f| trips[..cut].contains(&f.trip))
-            .copied()
-            .collect();
+        let train: Vec<FeatureRecord> =
+            ds.features.iter().filter(|f| trips[..cut].contains(&f.trip)).copied().collect();
         let models = train_all(&train, &DetectionConfig::default()).unwrap();
         let trip = find_mesoscopic_trip(&ds, DriverProfile::Sluggish).expect("sluggish trip");
         let result = mesoscopic_trip(&ds, &models, trip).unwrap();

@@ -269,24 +269,49 @@ impl Testbed {
         // RSU batch loops, lightly staggered so multi-RSU runs do not tie.
         for rsu_idx in 0..n_rsus {
             let phase = SimDuration::from_micros(rsu_idx as u64 * 137);
-            schedule_batch(&mut sim, Rc::clone(&world), rsu_idx, SimTime::ZERO + config.batch_interval + phase);
+            schedule_batch(
+                &mut sim,
+                Rc::clone(&world),
+                rsu_idx,
+                SimTime::ZERO + config.batch_interval + phase,
+            );
         }
         // Dissemination poll loops.
         for rsu_idx in 0..n_rsus {
             let phase = SimDuration::from_micros(rsu_idx as u64 * 613);
-            schedule_poll(&mut sim, Rc::clone(&world), rsu_idx, SimTime::ZERO + config.poll_interval + phase);
+            schedule_poll(
+                &mut sim,
+                Rc::clone(&world),
+                rsu_idx,
+                SimTime::ZERO + config.poll_interval + phase,
+            );
         }
         // Summary forwarding loops.
-        let forwarding: Vec<(usize, usize)> =
-            spec.rsus.iter().enumerate().filter_map(|(i, r)| r.forwards_to.map(|t| (i, t))).collect();
+        let forwarding: Vec<(usize, usize)> = spec
+            .rsus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.forwards_to.map(|t| (i, t)))
+            .collect();
         for (from, to) in forwarding {
-            schedule_summary(&mut sim, Rc::clone(&world), from, to, SimTime::ZERO + spec.summary_interval, spec.summary_interval);
+            schedule_summary(
+                &mut sim,
+                Rc::clone(&world),
+                from,
+                to,
+                SimTime::ZERO + spec.summary_interval,
+                spec.summary_interval,
+            );
         }
         // Optional mid-run handover.
         if let Some(m) = spec.migration {
             assert!(m.from < n_rsus && m.to < n_rsus && m.from != m.to, "invalid migration");
             assert!(!m.new_records.is_empty(), "migration needs a new record pool");
-            world.borrow_mut().links.entry((m.from, m.to)).or_insert_with(WiredLink::gigabit_ethernet);
+            world
+                .borrow_mut()
+                .links
+                .entry((m.from, m.to))
+                .or_insert_with(WiredLink::gigabit_ethernet);
             schedule_migration(&mut sim, Rc::clone(&world), m);
         }
 
@@ -386,11 +411,9 @@ fn schedule_batch(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usiz
             // queuing = batch start − broker arrival, where arrival is the
             // send time plus the stored tx component.
             for warning in &warnings {
-                if let Some(entry) =
-                    w.pending.get_mut(&(warning.vehicle.raw(), warning.source_seq))
+                if let Some(entry) = w.pending.get_mut(&(warning.vehicle.raw(), warning.source_seq))
                 {
-                    entry.1 =
-                        now.saturating_since(warning.source_sent_at).saturating_sub(entry.0);
+                    entry.1 = now.saturating_since(warning.source_sent_at).saturating_sub(entry.0);
                     entry.2 = processing;
                 }
             }
@@ -427,12 +450,10 @@ fn schedule_poll(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usize
                 // artefact into the measurement.)
                 let fetch_mean = w.config.fetch_latency_mean.as_secs_f64();
                 let fetch_std = w.config.fetch_latency_std.as_secs_f64();
-                let fetch =
-                    SimDuration::from_secs_f64(w.rng.normal(fetch_mean, fetch_std).abs());
+                let fetch = SimDuration::from_secs_f64(w.rng.normal(fetch_mean, fetch_std).abs());
                 let poll_s = w.config.poll_interval.as_secs_f64();
                 let poll_wait = SimDuration::from_secs_f64(w.rng.uniform(0.0, poll_s));
-                let delivery =
-                    warning.detected_at + poll_wait + fetch + w.backhauls[rsu_idx];
+                let delivery = warning.detected_at + poll_wait + fetch + w.backhauls[rsu_idx];
                 if delivery < w.warmup {
                     continue;
                 }
@@ -482,7 +503,9 @@ fn schedule_migration(sim: &mut Simulation, world: Rc<RefCell<World>>, m: Migrat
                 moved += 1;
                 // The former RSU hands the vehicle's prediction summary to
                 // the next RSU over the wired backhaul (Fig. 3, step 2).
-                if let Some(msg) = w.rsus[m.from].export_summaries(now).into_iter().find(|s| s.vehicle == vehicle) {
+                if let Some(msg) =
+                    w.rsus[m.from].export_summaries(now).into_iter().find(|s| s.vehicle == vehicle)
+                {
                     let bytes = msg.encoded_len() + w.wire_overhead;
                     let link = w.links.get_mut(&(m.from, m.to)).expect("link created at setup");
                     let arrival = link.transmit(now, bytes);

@@ -1,4 +1,6 @@
-use cad3_types::{FeatureRecord, GeoPoint, RoadId, SimTime, VehicleId, VehicleStatus, WarningMessage};
+use cad3_types::{
+    FeatureRecord, GeoPoint, RoadId, SimTime, VehicleId, VehicleStatus, WarningMessage,
+};
 
 /// A simulated connected vehicle: replays dataset records as 10 Hz status
 /// packets, the role the paper's Kafka producers play on PC1.

@@ -68,10 +68,7 @@ fn latency_grows_gently_with_vehicles() {
         t_large >= t_small - 1.0,
         "latency should not shrink with load: {t_small} -> {t_large}"
     );
-    assert!(
-        t_large - t_small < 15.0,
-        "growth stays gentle as in Fig. 6a: {t_small} -> {t_large}"
-    );
+    assert!(t_large - t_small < 15.0, "growth stays gentle as in Fig. 6a: {t_small} -> {t_large}");
     // Processing grows with batch size (Fig. 6a's 7.3 -> 11.7 ms trend).
     assert!(large.latency.processing_ms.mean() > small.latency.processing_ms.mean());
 }

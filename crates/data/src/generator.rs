@@ -56,11 +56,7 @@ impl DatasetConfig {
 
     /// A corpus sized like the paper's 89 k-record accuracy evaluation.
     pub fn paper_89k(seed: u64) -> Self {
-        DatasetConfig {
-            n_vehicles: 120,
-            trips_per_vehicle: 3,
-            ..Self::paper_500k(seed)
-        }
+        DatasetConfig { n_vehicles: 120, trips_per_vehicle: 3, ..Self::paper_500k(seed) }
     }
 }
 
@@ -88,8 +84,10 @@ impl SyntheticDataset {
     /// Generates a corpus from a configuration. Deterministic in the seed.
     pub fn generate(config: &DatasetConfig) -> Self {
         let mut rng = SimRng::seed_from(config.seed);
-        let network =
-            RoadNetwork::generate(&RoadNetworkConfig::scaled(config.seed ^ 0xA5A5, config.network_scale));
+        let network = RoadNetwork::generate(&RoadNetworkConfig::scaled(
+            config.seed ^ 0xA5A5,
+            config.network_scale,
+        ));
         let generator = TripGenerator::new(&network);
 
         let mut trips = Vec::new();

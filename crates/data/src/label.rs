@@ -207,14 +207,11 @@ mod tests {
         // arises naturally from this rule.
         let mut rng = cad3_sim::SimRng::seed_from(5);
         let records: Vec<FeatureRecord> = (0..20_000)
-            .map(|_| {
-                rec(rng.normal(100.0, 10.0), rng.normal(0.0, 1.0), RoadType::Motorway)
-            })
+            .map(|_| rec(rng.normal(100.0, 10.0), rng.normal(0.0, 1.0), RoadType::Motorway))
             .collect();
         let model = LabelModel::fit(records.iter());
-        let abnormal =
-            records.iter().filter(|r| model.label(r) == Label::Abnormal).count() as f64
-                / records.len() as f64;
+        let abnormal = records.iter().filter(|r| model.label(r) == Label::Abnormal).count() as f64
+            / records.len() as f64;
         assert!((0.40..0.60).contains(&abnormal), "got {abnormal}");
     }
 
@@ -223,9 +220,8 @@ mod tests {
         let records = corpus();
         let strict = LabelModel::fit_with_sigma(records.iter(), 0.5);
         let loose = LabelModel::fit_with_sigma(records.iter(), 2.0);
-        let count = |m: &LabelModel| {
-            records.iter().filter(|r| m.label(r) == Label::Abnormal).count()
-        };
+        let count =
+            |m: &LabelModel| records.iter().filter(|r| m.label(r) == Label::Abnormal).count();
         assert!(count(&strict) > count(&loose));
     }
 

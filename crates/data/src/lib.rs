@@ -55,7 +55,9 @@ mod trips;
 
 pub use deployment::{DeploymentPlan, RsuSite};
 pub use generator::{DatasetConfig, SyntheticDataset};
-pub use infrastructure::{InfrastructureKind, RoadsideInfrastructure, RsuRequirement, SpacingStats};
+pub use infrastructure::{
+    InfrastructureKind, RoadsideInfrastructure, RsuRequirement, SpacingStats,
+};
 pub use label::{LabelModel, TimeBucket};
 pub use mapmatch::HmmMapMatcher;
 pub use profile_mix::ProfileMix;

@@ -92,7 +92,8 @@ impl<'a> HmmMapMatcher<'a> {
                     .roads_near(&p.position, self.candidate_radius_m)
                     .into_iter()
                     .map(|id| {
-                        let d = self.network.road(id).expect("road exists").distance_to(&p.position);
+                        let d =
+                            self.network.road(id).expect("road exists").distance_to(&p.position);
                         (id, d)
                     })
                     .collect();

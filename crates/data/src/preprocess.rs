@@ -87,11 +87,7 @@ pub fn to_feature_records(
     day: DayOfWeek,
     filter: &FilterConfig,
 ) -> Vec<FeatureRecord> {
-    assert_eq!(
-        points.len(),
-        matched_roads.len(),
-        "one matched road per trajectory point required"
-    );
+    assert_eq!(points.len(), matched_roads.len(), "one matched road per trajectory point required");
     let speeds = smooth(&instantaneous_speeds(points), filter.smoothing_window);
     let mut road_speed: HashMap<RoadId, GaussianStats> = HashMap::new();
     let mut out = Vec::new();
@@ -200,10 +196,9 @@ mod tests {
         );
         assert!(recs.len() > trip.points.len() / 2, "most points survive preprocessing");
         // Derived speeds track the generator's ground-truth speeds.
-        let derived_mean =
-            recs.iter().map(|r| r.speed_kmh).sum::<f64>() / recs.len() as f64;
-        let truth_mean = trip.features.iter().map(|f| f.speed_kmh).sum::<f64>()
-            / trip.features.len() as f64;
+        let derived_mean = recs.iter().map(|r| r.speed_kmh).sum::<f64>() / recs.len() as f64;
+        let truth_mean =
+            trip.features.iter().map(|f| f.speed_kmh).sum::<f64>() / trip.features.len() as f64;
         assert!(
             (derived_mean - truth_mean).abs() < truth_mean * 0.25,
             "derived {derived_mean} vs truth {truth_mean}"
@@ -238,8 +233,7 @@ mod tests {
                 &FilterConfig { smoothing_window: window, ..FilterConfig::default() },
             );
             let mean = recs.iter().map(|r| r.accel_mps2).sum::<f64>() / recs.len() as f64;
-            (recs.iter().map(|r| (r.accel_mps2 - mean).powi(2)).sum::<f64>()
-                / recs.len() as f64)
+            (recs.iter().map(|r| (r.accel_mps2 - mean).powi(2)).sum::<f64>() / recs.len() as f64)
                 .sqrt()
         };
         let raw = accel_spread(1);

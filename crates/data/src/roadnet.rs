@@ -129,9 +129,8 @@ impl RoadNetwork {
             for _ in 0..n {
                 let id = RoadId(next_id);
                 next_id += 1;
-                let parent = by_type
-                    .get(&parent_type)
-                    .and_then(|v| (!v.is_empty()).then(|| *rng.pick(v)));
+                let parent =
+                    by_type.get(&parent_type).and_then(|v| (!v.is_empty()).then(|| *rng.pick(v)));
                 let anchor = parent.map(|p| roads[&p].end());
                 let seg = Self::random_road(&mut rng, spec, config.extent_m, anchor);
                 by_type.entry(spec.road_type).or_default().push(id);
@@ -213,11 +212,7 @@ impl RoadNetwork {
 
     /// Roads whose geometry passes within `radius_m` of `p`.
     pub fn roads_near(&self, p: &GeoPoint, radius_m: f64) -> Vec<RoadId> {
-        self.roads
-            .values()
-            .filter(|r| r.distance_to(p) <= radius_m)
-            .map(|r| r.id)
-            .collect()
+        self.roads.values().filter(|r| r.distance_to(p) <= radius_m).map(|r| r.id).collect()
     }
 }
 

@@ -99,9 +99,7 @@ impl SpeedProfile {
 
     /// The Fig. 2 series: mean speed for each hour of a day.
     pub fn daily_series(&self, day: DayOfWeek) -> Vec<f64> {
-        (0..24)
-            .map(|h| self.mean_kmh(HourOfDay::new(h).expect("hour in range"), day))
-            .collect()
+        (0..24).map(|h| self.mean_kmh(HourOfDay::new(h).expect("hour in range"), day)).collect()
     }
 }
 
@@ -118,7 +116,10 @@ mod tests {
         let mw = SpeedProfile::for_road_type(RoadType::Motorway);
         let link = SpeedProfile::for_road_type(RoadType::MotorwayLink);
         for hour in 0..24u8 {
-            assert!(mw.mean_kmh(h(hour), DayOfWeek::Monday) > 2.0 * link.mean_kmh(h(hour), DayOfWeek::Monday));
+            assert!(
+                mw.mean_kmh(h(hour), DayOfWeek::Monday)
+                    > 2.0 * link.mean_kmh(h(hour), DayOfWeek::Monday)
+            );
         }
     }
 

@@ -87,11 +87,7 @@ mod tests {
         assert!(mw.mean_speed_kmh > link.mean_speed_kmh);
         assert!(mw.mean_speed_kmh > city.mean_speed_kmh);
         // City row aggregates everything.
-        assert_eq!(
-            city.trajectories,
-            ds.features.len(),
-            "city row counts all trajectories"
-        );
+        assert_eq!(city.trajectories, ds.features.len(), "city row counts all trajectories");
         assert!(city.cars <= ds.config.n_vehicles as usize);
         assert_eq!(city.trips, ds.trips.len());
         // Sub-rows are subsets.

@@ -51,12 +51,7 @@ impl<'a> TripGenerator<'a> {
     /// Creates a generator over a network with 5 m GPS noise, 4 km/h
     /// speed-measurement noise and 0.15 m/s² accelerometer noise.
     pub fn new(network: &'a RoadNetwork) -> Self {
-        TripGenerator {
-            network,
-            gps_noise_m: 5.0,
-            speed_noise_kmh: 5.0,
-            accel_noise_mps2: 0.15,
-        }
+        TripGenerator { network, gps_noise_m: 5.0, speed_noise_kmh: 5.0, accel_noise_mps2: 0.15 }
     }
 
     /// Overrides the GPS noise level.
@@ -148,11 +143,7 @@ impl<'a> TripGenerator<'a> {
         let mut erratic_high = rng.chance(0.5);
         let mut erratic_countdown: usize = 3 + rng.index(5);
 
-        let start_pos = self
-            .network
-            .road(route[0])
-            .expect("route road exists")
-            .start();
+        let start_pos = self.network.road(route[0]).expect("route road exists").start();
 
         for &road_id in route {
             let road = self.network.road(road_id).expect("route road exists").clone();
@@ -160,9 +151,7 @@ impl<'a> TripGenerator<'a> {
             let mut dist_on_road = 0.0;
             // Initialise speed near the context's norm.
             let hour = HourOfDay::wrapping((t / 3600.0) as u64);
-            let mut v = prev_speed_kmh
-                .unwrap_or_else(|| sp.sample_kmh(rng, hour, day))
-                .max(1.0);
+            let mut v = prev_speed_kmh.unwrap_or_else(|| sp.sample_kmh(rng, hour, day)).max(1.0);
 
             while dist_on_road < road.length_m {
                 let hour = HourOfDay::wrapping((t / 3600.0) as u64);
@@ -171,9 +160,7 @@ impl<'a> TripGenerator<'a> {
                 // Behavioural target speed.
                 let (target, pull, noise) = match profile {
                     DriverProfile::Typical => (rng.normal(mean, std * 0.7), 0.35, 1.2),
-                    DriverProfile::Aggressive => {
-                        (mean + rng.normal(2.4, 0.3) * std, 0.5, 1.2)
-                    }
+                    DriverProfile::Aggressive => (mean + rng.normal(2.4, 0.3) * std, 0.5, 1.2),
                     DriverProfile::Sluggish => {
                         ((mean - rng.normal(2.4, 0.3) * std).max(2.0), 0.5, 1.2)
                     }
@@ -207,8 +194,7 @@ impl<'a> TripGenerator<'a> {
                 true_roads.push(road_id);
                 // Detectors see measured kinematics; the labelling ground
                 // truth keeps the noise-free values.
-                let measured_speed =
-                    (v + rng.normal(0.0, self.speed_noise_kmh)).max(0.0);
+                let measured_speed = (v + rng.normal(0.0, self.speed_noise_kmh)).max(0.0);
                 let measured_accel = accel_mps2 + rng.normal(0.0, self.accel_noise_mps2);
                 features.push(FeatureRecord {
                     vehicle,

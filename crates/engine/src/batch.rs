@@ -155,10 +155,12 @@ mod tests {
     fn empty_batch_still_runs_job() {
         let (_producer, mut runner) = runner();
         let mut ran = false;
-        let m = runner.run_batch(|ds| {
-            ran = true;
-            assert!(ds.is_empty());
-        }).unwrap();
+        let m = runner
+            .run_batch(|ds| {
+                ran = true;
+                assert!(ds.is_empty());
+            })
+            .unwrap();
         assert!(ran);
         assert_eq!(m.records, 0);
     }

@@ -111,8 +111,7 @@ impl<T: Send + Sync> PartitionedDataset<T> {
         U: Send,
         F: Fn(&[T]) -> Vec<U> + Sync,
     {
-        let parts =
-            exec.run(self.partitions.iter().collect::<Vec<_>>(), |p| f(p.as_slice()));
+        let parts = exec.run(self.partitions.iter().collect::<Vec<_>>(), |p| f(p.as_slice()));
         PartitionedDataset { partitions: parts }
     }
 
@@ -168,13 +167,11 @@ where
                 acc.into_iter().collect::<Vec<(K, V)>>()
             });
         // Reduce-side combine via the grouped shuffle.
-        PartitionedDataset { partitions: combined }
-            .group_by_key(exec)
-            .map(exec, |(k, vs)| {
-                let mut it = vs.iter().cloned();
-                let first = it.next().expect("groups are non-empty");
-                (k.clone(), it.fold(first, &op))
-            })
+        PartitionedDataset { partitions: combined }.group_by_key(exec).map(exec, |(k, vs)| {
+            let mut it = vs.iter().cloned();
+            let first = it.next().expect("groups are non-empty");
+            (k.clone(), it.fold(first, &op))
+        })
     }
 
     /// Counts occurrences per key (Spark's `countByKey` as a dataset).

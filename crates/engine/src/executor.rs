@@ -62,6 +62,9 @@ impl Executor {
         crossbeam::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
                 scope.spawn(move |_| loop {
+                    // ordering: Relaxed — the counter only hands out unique
+                    // indices; slot contents are published by the per-slot
+                    // mutexes and the scope join, not by this atomic.
                     let idx = next_ref.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
                         break;

@@ -36,12 +36,15 @@ impl RealtimeScheduler {
 
         let handle = std::thread::spawn(move || {
             let mut next_tick = Instant::now() + interval;
+            // ordering: Relaxed — `stop` is a lone advisory flag; the join in
+            // `stop()`/`drop` provides the happens-before for everything else.
             while !stop2.load(Ordering::Relaxed) {
                 match runner.run_batch(&mut job) {
                     Ok(m) => metrics2.lock().push(m),
                     Err(e) => {
                         // A torn-down broker during shutdown is expected;
                         // anything else is a bug we surface loudly.
+                        // ordering: Relaxed — same advisory stop flag as above.
                         if !stop2.load(Ordering::Relaxed) {
                             panic!("micro-batch failed: {e}");
                         }
@@ -65,6 +68,8 @@ impl RealtimeScheduler {
 
     /// Signals the ticker to stop and waits for the thread to exit.
     pub fn stop(mut self) -> Vec<BatchMetrics> {
+        // ordering: Relaxed — the subsequent join() synchronises with the
+        // ticker thread; the flag itself carries no payload.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -76,6 +81,7 @@ impl RealtimeScheduler {
 
 impl Drop for RealtimeScheduler {
     fn drop(&mut self) {
+        // ordering: Relaxed — see `stop()`; join() below is the sync point.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -98,10 +104,8 @@ mod tests {
         let producer = Producer::new(Arc::clone(&broker));
         let mut consumer = Consumer::new(Arc::clone(&broker), "spark", OffsetReset::Earliest);
         consumer.subscribe(&["IN-DATA"]).unwrap();
-        let runner = MicroBatchRunner::new(
-            consumer,
-            BatchConfig { interval_ms: 10, max_records: 10_000 },
-        );
+        let runner =
+            MicroBatchRunner::new(consumer, BatchConfig { interval_ms: 10, max_records: 10_000 });
 
         let processed = Arc::new(AtomicUsize::new(0));
         let p2 = Arc::clone(&processed);
@@ -130,10 +134,8 @@ mod tests {
         broker.create_topic("T", 1).unwrap();
         let mut consumer = Consumer::new(broker, "g", OffsetReset::Earliest);
         consumer.subscribe(&["T"]).unwrap();
-        let runner = MicroBatchRunner::new(
-            consumer,
-            BatchConfig { interval_ms: 5, max_records: 10 },
-        );
+        let runner =
+            MicroBatchRunner::new(consumer, BatchConfig { interval_ms: 5, max_records: 10 });
         let scheduler = RealtimeScheduler::start(runner, |_| {});
         std::thread::sleep(Duration::from_millis(20));
         let metrics = scheduler.stop();

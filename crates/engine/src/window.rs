@@ -63,10 +63,8 @@ impl SlidingWindow {
     /// Returns `(0, 0.0)` for an empty window.
     pub fn stats_at(&mut self, now_ns: u64) -> (u64, f64) {
         self.evict(now_ns);
-        let (count, sum) = self
-            .buckets
-            .iter()
-            .fold((0u64, 0.0), |(c, s), (_, bc, bs)| (c + bc, s + bs));
+        let (count, sum) =
+            self.buckets.iter().fold((0u64, 0.0), |(c, s), (_, bc, bs)| (c + bc, s + bs));
         if count == 0 {
             (0, 0.0)
         } else {

@@ -196,10 +196,7 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            FeatureKind::Continuous,
-            FeatureKind::Categorical { cardinality: 24 },
-        ])
+        Schema::new(vec![FeatureKind::Continuous, FeatureKind::Categorical { cardinality: 24 }])
     }
 
     #[test]
@@ -226,10 +223,7 @@ mod tests {
             ds.push(vec![1.0, 24.0], 0).unwrap_err(),
             MlError::InvalidCategory { feature: 1, .. }
         ));
-        assert!(matches!(
-            ds.push(vec![1.0, 3.5], 0).unwrap_err(),
-            MlError::InvalidCategory { .. }
-        ));
+        assert!(matches!(ds.push(vec![1.0, 3.5], 0).unwrap_err(), MlError::InvalidCategory { .. }));
         assert!(matches!(
             ds.push(vec![1.0, -1.0], 0).unwrap_err(),
             MlError::InvalidCategory { .. }

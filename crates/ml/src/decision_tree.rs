@@ -29,15 +29,8 @@ impl Default for DecisionTreeParams {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
-    Leaf {
-        probs: Vec<f64>,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { probs: Vec<f64> },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A CART decision tree with Gini impurity — the collaborative classifier
@@ -120,10 +113,7 @@ impl DecisionTree {
     fn build(data: &Dataset, idx: &[usize], depth: usize, params: &DecisionTreeParams) -> Node {
         let counts = class_counts(data, idx);
         let node_gini = gini(&counts, idx.len());
-        if depth >= params.max_depth
-            || idx.len() < params.min_samples_split
-            || node_gini == 0.0
-        {
+        if depth >= params.max_depth || idx.len() < params.min_samples_split || node_gini == 0.0 {
             return Self::leaf(data, idx);
         }
         let Some(best) = Self::best_split(data, idx, node_gini, params) else {
@@ -183,8 +173,8 @@ impl DecisionTree {
                 if nl == 0 || nr == 0 {
                     continue;
                 }
-                let weighted = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr))
-                    / idx.len() as f64;
+                let weighted =
+                    (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / idx.len() as f64;
                 // Allow zero-gain splits (like sklearn's CART): XOR-shaped
                 // data has no first-split gain but becomes separable one
                 // level deeper. Termination is still guaranteed by the
@@ -365,9 +355,7 @@ mod tests {
         )
         .unwrap();
         let correct = (0..1000)
-            .filter(|&i| {
-                tree.predict(&[i as f64 / 3.0]).unwrap() == usize::from(i >= 500)
-            })
+            .filter(|&i| tree.predict(&[i as f64 / 3.0]).unwrap() == usize::from(i >= 500))
             .count();
         assert!(correct >= 990, "quantile thresholds should nearly separate: {correct}");
     }

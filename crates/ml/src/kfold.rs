@@ -20,8 +20,7 @@ pub fn kfold_indices(n: usize, k: usize, rng: &mut SplitRng) -> Vec<(Vec<usize>,
     for f in 0..k {
         let test: Vec<usize> = indices.iter().copied().skip(f).step_by(k).collect();
         let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train: Vec<usize> =
-            indices.iter().copied().filter(|i| !test_set.contains(i)).collect();
+        let train: Vec<usize> = indices.iter().copied().filter(|i| !test_set.contains(i)).collect();
         folds.push((train, test));
     }
     folds

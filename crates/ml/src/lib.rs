@@ -37,10 +37,10 @@
 #![warn(missing_docs)]
 
 mod dataset;
-mod kfold;
-mod logistic;
 mod decision_tree;
 mod error;
+mod kfold;
+mod logistic;
 mod metrics;
 mod naive_bayes;
 mod split;

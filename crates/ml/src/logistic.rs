@@ -99,8 +99,7 @@ impl LogisticRegression {
         for (f, kind) in schema.kinds().enumerate() {
             if kind == FeatureKind::Continuous {
                 let mean = data.iter().map(|(row, _)| row[f]).sum::<f64>() / n;
-                let var =
-                    data.iter().map(|(row, _)| (row[f] - mean).powi(2)).sum::<f64>() / n;
+                let var = data.iter().map(|(row, _)| (row[f] - mean).powi(2)).sum::<f64>() / n;
                 standardise[f] = (mean, var.sqrt().max(1e-9));
             }
         }
@@ -112,17 +111,14 @@ impl LogisticRegression {
             weights: vec![0.0; width],
             bias: 0.0,
         };
-        let designs: Vec<(Vec<(usize, f64)>, f64)> = data
-            .iter()
-            .map(|(row, label)| (model.design_row(row), label as f64))
-            .collect();
+        let designs: Vec<(Vec<(usize, f64)>, f64)> =
+            data.iter().map(|(row, label)| (model.design_row(row), label as f64)).collect();
 
         for _ in 0..params.epochs {
             let mut grad_w = vec![0.0; width];
             let mut grad_b = 0.0;
             for (design, y) in &designs {
-                let z = model.bias
-                    + design.iter().map(|(i, x)| model.weights[*i] * x).sum::<f64>();
+                let z = model.bias + design.iter().map(|(i, x)| model.weights[*i] * x).sum::<f64>();
                 let err = sigmoid(z) - y;
                 for (i, x) in design {
                     grad_w[*i] += err * x;
@@ -166,8 +162,8 @@ impl LogisticRegression {
     /// Returns [`MlError::DimensionMismatch`] or [`MlError::InvalidCategory`].
     pub fn predict_proba_one(&self, row: &[f64]) -> Result<f64, MlError> {
         self.schema.validate(row)?;
-        let z = self.bias
-            + self.design_row(row).iter().map(|(i, x)| self.weights[*i] * x).sum::<f64>();
+        let z =
+            self.bias + self.design_row(row).iter().map(|(i, x)| self.weights[*i] * x).sum::<f64>();
         Ok(sigmoid(z))
     }
 
@@ -196,10 +192,8 @@ mod tests {
     use super::*;
 
     fn separable() -> Dataset {
-        let schema = Schema::new(vec![
-            FeatureKind::Continuous,
-            FeatureKind::Categorical { cardinality: 3 },
-        ]);
+        let schema =
+            Schema::new(vec![FeatureKind::Continuous, FeatureKind::Categorical { cardinality: 3 }]);
         let mut ds = Dataset::new(schema, 2);
         for i in 0..120 {
             let x = (i % 60) as f64;
@@ -222,10 +216,8 @@ mod tests {
     #[test]
     fn categorical_signal_is_used() {
         // Label depends only on the categorical column.
-        let schema = Schema::new(vec![
-            FeatureKind::Continuous,
-            FeatureKind::Categorical { cardinality: 2 },
-        ]);
+        let schema =
+            Schema::new(vec![FeatureKind::Continuous, FeatureKind::Categorical { cardinality: 2 }]);
         let mut ds = Dataset::new(schema, 2);
         for i in 0..100 {
             let cat = i % 2;

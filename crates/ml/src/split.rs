@@ -45,11 +45,12 @@ impl SplitRng {
 /// assert_eq!(test.len(), 20);
 /// # Ok::<(), cad3_ml::MlError>(())
 /// ```
-pub fn train_test_split(data: &Dataset, train_fraction: f64, rng: &mut SplitRng) -> (Dataset, Dataset) {
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train fraction must be within (0, 1)"
-    );
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    rng: &mut SplitRng,
+) -> (Dataset, Dataset) {
+    assert!(train_fraction > 0.0 && train_fraction < 1.0, "train fraction must be within (0, 1)");
     let n = data.len();
     let mut indices: Vec<usize> = (0..n).collect();
     rng.shuffle_indices(&mut indices);
@@ -83,11 +84,8 @@ mod tests {
     fn split_is_a_partition() {
         let ds = dataset(50);
         let (train, test) = train_test_split(&ds, 0.6, &mut SplitRng::seed_from(2));
-        let mut values: Vec<i64> = train
-            .iter()
-            .chain(test.iter())
-            .map(|(row, _)| row[0] as i64)
-            .collect();
+        let mut values: Vec<i64> =
+            train.iter().chain(test.iter()).map(|(row, _)| row[0] as i64).collect();
         values.sort_unstable();
         assert_eq!(values, (0..50).collect::<Vec<_>>());
     }

@@ -8,24 +8,28 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     // 2 continuous + 1 categorical feature, 2 classes, 20..200 rows with at
     // least one row of each class.
-    prop::collection::vec(
-        (-100.0f64..100.0, -10.0f64..10.0, 0u8..5, 0usize..2),
-        20..200,
+    prop::collection::vec((-100.0f64..100.0, -10.0f64..10.0, 0u8..5, 0usize..2), 20..200).prop_map(
+        |rows| {
+            let schema = Schema::new(vec![
+                FeatureKind::Continuous,
+                FeatureKind::Continuous,
+                FeatureKind::Categorical { cardinality: 5 },
+            ]);
+            let mut ds = Dataset::new(schema, 2);
+            for (i, (a, b, c, label)) in rows.iter().enumerate() {
+                // Force both classes to exist.
+                let label = if i == 0 {
+                    0
+                } else if i == 1 {
+                    1
+                } else {
+                    *label
+                };
+                ds.push(vec![*a, *b, *c as f64], label).unwrap();
+            }
+            ds
+        },
     )
-    .prop_map(|rows| {
-        let schema = Schema::new(vec![
-            FeatureKind::Continuous,
-            FeatureKind::Continuous,
-            FeatureKind::Categorical { cardinality: 5 },
-        ]);
-        let mut ds = Dataset::new(schema, 2);
-        for (i, (a, b, c, label)) in rows.iter().enumerate() {
-            // Force both classes to exist.
-            let label = if i == 0 { 0 } else if i == 1 { 1 } else { *label };
-            ds.push(vec![*a, *b, *c as f64], label).unwrap();
-        }
-        ds
-    })
 }
 
 proptest! {

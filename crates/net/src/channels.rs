@@ -126,9 +126,7 @@ mod tests {
         let positions = line(20, 150.0);
         let few = assign_channels(&positions, 400.0, 2);
         let many = assign_channels(&positions, 400.0, 6);
-        assert!(
-            many.conflicts(&positions, 400.0).len() <= few.conflicts(&positions, 400.0).len()
-        );
+        assert!(many.conflicts(&positions, 400.0).len() <= few.conflicts(&positions, 400.0).len());
     }
 
     #[test]

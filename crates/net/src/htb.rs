@@ -130,10 +130,7 @@ impl HtbShaper {
     pub fn depart(&mut self, sender: u64, now: SimTime, bytes: usize) -> SimTime {
         let assured = self.assured_rate_bps;
         let burst = self.leaf_burst_bits;
-        let leaf = self
-            .leaves
-            .entry(sender)
-            .or_insert_with(|| TokenBucket::new(assured, burst));
+        let leaf = self.leaves.entry(sender).or_insert_with(|| TokenBucket::new(assured, burst));
         self.total_bytes += bytes as u64;
 
         // htb semantics: a packet covered by the leaf's own tokens is
@@ -187,7 +184,7 @@ mod tests {
         let mut b = TokenBucket::new(1.0 * MB, 8000.0);
         assert_eq!(b.available_bits(SimTime::ZERO), 8000.0);
         let _ = b.depart(SimTime::ZERO, 1000); // drain
-        // After a long idle period the bucket holds exactly one burst.
+                                               // After a long idle period the bucket holds exactly one burst.
         assert_eq!(b.available_bits(SimTime::from_secs(100)), 8000.0);
     }
 

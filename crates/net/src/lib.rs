@@ -20,16 +20,16 @@
 #![warn(missing_docs)]
 
 mod bandwidth;
-pub mod channels;
 mod channel;
+pub mod channels;
 mod htb;
 mod link;
 mod mac;
 mod mcs;
 
 pub use bandwidth::BandwidthMeter;
-pub use channels::{assign_channels, ChannelPlan, DSRC_SERVICE_CHANNELS};
 pub use channel::{ChannelStats, DsrcChannel};
+pub use channels::{assign_channels, ChannelPlan, DSRC_SERVICE_CHANNELS};
 pub use htb::{HtbShaper, TokenBucket};
 pub use link::WiredLink;
 pub use mac::{MacModel, MacParams};

@@ -97,10 +97,14 @@ impl MacModel {
     /// The paper's Eq. 5: time for `num_vehicles` stations to each transmit
     /// one `payload_bytes` packet through the shared medium,
     /// `t_v = t_backoff + n · (DIFS + t_pkt)`.
-    pub fn medium_access_time(&self, num_vehicles: u32, mcs: Mcs, payload_bytes: usize) -> SimDuration {
+    pub fn medium_access_time(
+        &self,
+        num_vehicles: u32,
+        mcs: Mcs,
+        payload_bytes: usize,
+    ) -> SimDuration {
         let p = &self.params;
-        let per_pkt_us =
-            p.difs_us() + self.frame_airtime(mcs, payload_bytes).as_micros_f64();
+        let per_pkt_us = p.difs_us() + self.frame_airtime(mcs, payload_bytes).as_micros_f64();
         let total_us = p.expected_backoff_us() + num_vehicles as f64 * per_pkt_us;
         SimDuration::from_nanos((total_us * 1_000.0).round() as u64)
     }
@@ -127,8 +131,7 @@ impl MacModel {
         payload_bytes: usize,
         update_period: SimDuration,
     ) -> f64 {
-        let busy =
-            self.frame_airtime(mcs, payload_bytes).as_secs_f64() * num_vehicles as f64;
+        let busy = self.frame_airtime(mcs, payload_bytes).as_secs_f64() * num_vehicles as f64;
         busy / update_period.as_secs_f64()
     }
 
@@ -262,13 +265,8 @@ mod tests {
         let mut rng = SimRng::seed_from(6);
         let floor = mac.params().difs_us() + mac.frame_airtime(Mcs::MCS3, 200).as_micros_f64();
         for _ in 0..500 {
-            let d = mac.sample_access_delay(
-                &mut rng,
-                Mcs::MCS3,
-                200,
-                1,
-                SimDuration::from_millis(100),
-            );
+            let d =
+                mac.sample_access_delay(&mut rng, Mcs::MCS3, 200, 1, SimDuration::from_millis(100));
             assert!(d.as_micros_f64() >= floor - 1e-6);
         }
     }

@@ -60,16 +60,8 @@ impl Mcs {
     pub const MCS8: Mcs = Mcs { index: 8 };
 
     /// All schemes, lowest rate first.
-    pub const ALL: [Mcs; 8] = [
-        Mcs::MCS1,
-        Mcs::MCS2,
-        Mcs::MCS3,
-        Mcs::MCS4,
-        Mcs::MCS5,
-        Mcs::MCS6,
-        Mcs::MCS7,
-        Mcs::MCS8,
-    ];
+    pub const ALL: [Mcs; 8] =
+        [Mcs::MCS1, Mcs::MCS2, Mcs::MCS3, Mcs::MCS4, Mcs::MCS5, Mcs::MCS6, Mcs::MCS7, Mcs::MCS8];
 
     /// Creates an MCS from the paper's 1-based index.
     ///

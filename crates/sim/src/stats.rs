@@ -92,8 +92,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -274,10 +274,7 @@ impl Histogram {
 
     /// Per-bucket counts, with each bucket's lower edge.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + i as f64 * self.width, c))
+        self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo + i as f64 * self.width, c))
     }
 
     /// Samples below the histogram range.
@@ -300,8 +297,7 @@ mod tests {
         let data = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3];
         let w: Welford = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.sample_variance() - var).abs() < 1e-12);
         assert!((w.std_err() - var.sqrt() / (data.len() as f64).sqrt()).abs() < 1e-12);

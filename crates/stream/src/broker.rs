@@ -1,8 +1,7 @@
+use crate::sync::{Arc, AtomicU64, Mutex, Ordering, RwLock};
 use crate::{Record, StreamError, Topic};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Debug, Default)]
 struct GroupState {
@@ -19,12 +18,58 @@ struct GroupState {
 /// one-Kafka-broker-per-RSU deployment. All methods take `&self`; the broker
 /// is internally synchronised so it can be shared across threads in the
 /// real-time integration tests and across simulated actors in virtual time.
+///
+/// # Lock hierarchy
+///
+/// The broker holds three levels of locks, acquired strictly in this order
+/// (enforced by `cargo xtask lint`'s lock-order rule):
+///
+/// 1. `topics` registry `RwLock` (level 1),
+/// 2. an individual `Topic` `Mutex` (level 2),
+/// 3. the `groups` coordination `Mutex` (level 3).
+///
+/// Any method needing topic data *and* group state reads the topic side
+/// first, drops those guards, then locks `groups` — never the reverse.
 #[derive(Debug)]
 pub struct Broker {
     name: String,
-    topics: RwLock<HashMap<String, Mutex<Topic>>>,
+    topics: RwLock<HashMap<String, Arc<Mutex<Topic>>>>,
     groups: Mutex<HashMap<String, GroupState>>,
     next_member: AtomicU64,
+}
+
+/// The contiguous partition range assigned to one member rank by range
+/// assignment: `partitions` split among `members` ranks, with the first
+/// `partitions % members` ranks taking one extra partition.
+///
+/// Pure function of its inputs; the proptest in
+/// `tests/assignment_props.rs` checks that the ranges over all ranks are
+/// disjoint and cover `0..partitions` exactly.
+pub fn range_assignment(partitions: u32, members: u32, rank: u32) -> std::ops::Range<u32> {
+    debug_assert!(rank < members, "rank {rank} out of {members} members");
+    let base = partitions / members;
+    let extra = partitions % members;
+    let start = rank * base + rank.min(extra);
+    let count = base + u32::from(rank < extra);
+    start..start + count
+}
+
+/// Debug-only invariant: the ranges over all ranks are mutually disjoint and
+/// cover `0..partitions` exactly (each range starts where the previous one
+/// ended, and the last ends at `partitions`).
+fn debug_assert_covering(partitions: u32, members: u32) {
+    #[cfg(debug_assertions)]
+    {
+        let mut next = 0;
+        for rank in 0..members {
+            let r = range_assignment(partitions, members, rank);
+            debug_assert_eq!(r.start, next, "rank {rank}/{members} range is not contiguous");
+            next = r.end;
+        }
+        debug_assert_eq!(next, partitions, "{members} ranges do not cover {partitions} partitions");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (partitions, members);
 }
 
 impl Broker {
@@ -54,7 +99,7 @@ impl Broker {
         if topics.contains_key(name) {
             return Err(StreamError::TopicExists(name.to_owned()));
         }
-        topics.insert(name.to_owned(), Mutex::new(Topic::new(name, partitions)?));
+        topics.insert(name.to_owned(), Arc::new(Mutex::new(Topic::new(name, partitions)?)));
         Ok(())
     }
 
@@ -79,8 +124,16 @@ impl Broker {
         topic: &str,
         f: impl FnOnce(&mut Topic) -> Result<R, StreamError>,
     ) -> Result<R, StreamError> {
-        let topics = self.topics.read();
-        let t = topics.get(topic).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))?;
+        // The registry guard (level 1) is released before the topic mutex
+        // (level 2) is taken, so `f` never runs under the map lock and a
+        // slow caller cannot block `create_topic`/`topic_names`. Cloning
+        // the Arc is sound because topics are never removed once created.
+        let t = {
+            let topics = self.topics.read();
+            Arc::clone(
+                topics.get(topic).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))?,
+            )
+        };
         let mut guard = t.lock();
         f(&mut guard)
     }
@@ -149,6 +202,8 @@ impl Broker {
 
     /// Allocates a broker-unique consumer member id.
     pub fn allocate_member_id(&self) -> u64 {
+        // ordering: Relaxed — ids only need uniqueness, which fetch_add's
+        // atomicity alone guarantees; no other memory is published with them.
         self.next_member.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -181,12 +236,22 @@ impl Broker {
     /// assignment: for each topic, partitions are split contiguously among
     /// the subscribing members in member-id order.
     pub fn assignments(&self, group: &str, member: u64) -> Vec<(String, u32)> {
+        // Partition counts are snapshotted before `groups` is locked:
+        // `partition_count` acquires the level-1/2 topic locks, which must
+        // never be taken while holding the level-3 groups mutex. A topic
+        // created between the snapshot and the lock is simply not assigned
+        // until the next rebalance, which is indistinguishable from the
+        // subscription racing the topic creation.
+        let partition_counts: HashMap<String, u32> = {
+            let topics = self.topics.read();
+            topics.iter().map(|(name, t)| (name.clone(), t.lock().partition_count())).collect()
+        };
         let groups = self.groups.lock();
         let Some(state) = groups.get(group) else { return Vec::new() };
         let Some(my_topics) = state.subscriptions.get(&member) else { return Vec::new() };
         let mut out = Vec::new();
         for topic in my_topics {
-            let Ok(partitions) = self.partition_count(topic) else { continue };
+            let Some(&partitions) = partition_counts.get(topic) else { continue };
             // Members subscribed to this topic, sorted for determinism.
             let mut members: Vec<u64> = state
                 .subscriptions
@@ -196,13 +261,9 @@ impl Broker {
                 .collect();
             members.sort_unstable();
             let n = members.len() as u32;
-            let my_rank = members.iter().position(|m| *m == member).expect("member present") as u32;
-            // Range assignment: ceil-sized head ranges.
-            let base = partitions / n;
-            let extra = partitions % n;
-            let start = my_rank * base + my_rank.min(extra);
-            let count = base + u32::from(my_rank < extra);
-            for p in start..start + count {
+            let Some(rank) = members.iter().position(|m| *m == member) else { continue };
+            debug_assert_covering(partitions, n);
+            for p in range_assignment(partitions, n, rank as u32) {
                 out.push((topic.clone(), p));
             }
         }
@@ -210,7 +271,21 @@ impl Broker {
     }
 
     /// Commits a group offset for a topic partition.
+    ///
+    /// Debug builds check the committed-≤-end invariant: a group cannot
+    /// acknowledge records that were never produced.
     pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        // The end offset is read before `groups` is locked (lock hierarchy:
+        // topics/topic before groups). The log only ever grows, so an
+        // offset valid against this earlier snapshot is still valid when
+        // the commit lands.
+        #[cfg(debug_assertions)]
+        if let Ok(end) = self.end_offset(topic, partition) {
+            debug_assert!(
+                offset <= end,
+                "group {group} commits offset {offset} past end {end} on {topic}/{partition}"
+            );
+        }
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_owned()).or_default();
         state.committed.insert((topic.to_owned(), partition), offset);
@@ -254,7 +329,10 @@ mod tests {
     #[test]
     fn unknown_topic_errors() {
         let b = Broker::new("rsu-1");
-        assert!(matches!(b.produce("nope", None, None, val("v"), 0), Err(StreamError::UnknownTopic(_))));
+        assert!(matches!(
+            b.produce("nope", None, None, val("v"), 0),
+            Err(StreamError::UnknownTopic(_))
+        ));
         assert!(matches!(b.fetch("nope", 0, 0, 1), Err(StreamError::UnknownTopic(_))));
     }
 

@@ -1,7 +1,6 @@
+use crate::sync::{Arc, RwLock};
 use crate::Broker;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A registry of named brokers — the multi-RSU deployment of the paper's
 /// Fig. 1 (e.g. four motorway brokers plus one motorway-link broker).

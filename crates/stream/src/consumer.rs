@@ -1,6 +1,6 @@
+use crate::sync::Arc;
 use crate::{Broker, FetchedRecord, StreamError};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Where a consumer starts when no committed offset exists for a partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,8 +61,11 @@ impl Consumer {
             // Validate eagerly so misconfiguration fails loudly.
             self.broker.partition_count(t)?;
         }
-        self.broker
-            .join_group(&self.group, self.member, topics.iter().map(|s| s.to_string()).collect());
+        self.broker.join_group(
+            &self.group,
+            self.member,
+            topics.iter().map(|s| s.to_string()).collect(),
+        );
         self.subscribed = true;
         self.refresh_assignments();
         Ok(())
@@ -178,11 +181,7 @@ impl Consumer {
             .iter()
             .map(|(topic, partition)| {
                 let end = self.broker.end_offset(topic, *partition).unwrap_or(0);
-                let pos = self
-                    .positions
-                    .get(&(topic.clone(), *partition))
-                    .copied()
-                    .unwrap_or(0);
+                let pos = self.positions.get(&(topic.clone(), *partition)).copied().unwrap_or(0);
                 end.saturating_sub(pos)
             })
             .sum()
@@ -285,9 +284,7 @@ mod tests {
         c1.subscribe(&["IN-DATA"]).unwrap();
         c2.subscribe(&["IN-DATA"]).unwrap();
         for i in 0..60u64 {
-            producer
-                .send("IN-DATA", Some(format!("veh-{i}").as_bytes()), &b"x"[..], i)
-                .unwrap();
+            producer.send("IN-DATA", Some(format!("veh-{i}").as_bytes()), &b"x"[..], i).unwrap();
         }
         let r1 = c1.poll(1000).unwrap();
         let r2 = c2.poll(1000).unwrap();

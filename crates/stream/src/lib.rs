@@ -47,10 +47,11 @@ mod error;
 mod partition;
 mod producer;
 mod record;
+mod sync;
 mod topic;
 
 pub use batching::BatchingProducer;
-pub use broker::Broker;
+pub use broker::{range_assignment, Broker};
 pub use cluster::Cluster;
 pub use consumer::{Consumer, OffsetReset};
 pub use error::StreamError;

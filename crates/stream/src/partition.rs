@@ -27,8 +27,16 @@ impl PartitionLog {
     }
 
     /// Appends a record, returning its assigned offset.
+    ///
+    /// Debug builds check the offsets-monotone invariant: every append lands
+    /// exactly one past the previously stored record.
     pub fn append(&mut self, key: Option<Bytes>, value: Bytes, timestamp: u64) -> u64 {
         let offset = self.next_offset();
+        debug_assert_eq!(
+            offset,
+            self.records.back().map_or(self.base_offset, |r| r.offset + 1),
+            "log offsets must stay dense and monotone"
+        );
         self.total_bytes += value.len() as u64;
         self.records.push_back(Record { offset, key, value, timestamp });
         if let Some(max) = self.retention_records {

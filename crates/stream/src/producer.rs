@@ -1,13 +1,22 @@
+use crate::sync::{Arc, AtomicU64, Ordering};
 use crate::{Broker, StreamError};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// A publisher bound to one broker — the role each emulated vehicle's DSRC
 /// uplink plays in the paper's testbed (a Kafka producer per vehicle).
 ///
 /// Sends are synchronous: the record is on the log when `send` returns,
 /// like a flushed Kafka producer with `acks=1` against a single broker.
+///
+/// # Counter ordering policy
+///
+/// `records_sent`/`bytes_sent` are monitoring statistics: each is an
+/// independent monotone counter that no code uses to synchronise with other
+/// memory — the records themselves are published through the broker's locks.
+/// Every access therefore uses `Ordering::Relaxed`; a reader may observe
+/// counts that lag concurrent in-flight sends, and the two counters are not
+/// guaranteed mutually consistent at any instant. Any future use of these
+/// counters as a happens-before signal must upgrade the policy, not one site.
 #[derive(Debug, Clone)]
 pub struct Producer {
     broker: Arc<Broker>,
@@ -45,13 +54,10 @@ impl Producer {
     ) -> Result<(u32, u64), StreamError> {
         let value = value.into();
         let n = value.len() as u64;
-        let result = self.broker.produce(
-            topic,
-            None,
-            key.map(Bytes::copy_from_slice),
-            value,
-            timestamp,
-        )?;
+        let result =
+            self.broker.produce(topic, None, key.map(Bytes::copy_from_slice), value, timestamp)?;
+        // ordering: Relaxed — independent statistic counters; see the
+        // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(n, Ordering::Relaxed);
         Ok(result)
@@ -80,6 +86,8 @@ impl Producer {
             value,
             timestamp,
         )?;
+        // ordering: Relaxed — independent statistic counters; see the
+        // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(n, Ordering::Relaxed);
         Ok(result)
@@ -87,11 +95,13 @@ impl Producer {
 
     /// Records published so far (shared across clones).
     pub fn records_sent(&self) -> u64 {
+        // ordering: Relaxed — statistic read; see "Counter ordering policy".
         self.records_sent.load(Ordering::Relaxed)
     }
 
     /// Payload bytes published so far (shared across clones).
     pub fn bytes_sent(&self) -> u64 {
+        // ordering: Relaxed — statistic read; see "Counter ordering policy".
         self.bytes_sent.load(Ordering::Relaxed)
     }
 }
@@ -127,10 +137,7 @@ mod tests {
     fn unknown_topic_propagates() {
         let broker = Arc::new(Broker::new("rsu"));
         let p = Producer::new(broker);
-        assert!(matches!(
-            p.send("missing", None, &b"x"[..], 0),
-            Err(StreamError::UnknownTopic(_))
-        ));
+        assert!(matches!(p.send("missing", None, &b"x"[..], 0), Err(StreamError::UnknownTopic(_))));
         assert_eq!(p.records_sent(), 0, "failed sends are not counted");
     }
 

@@ -96,10 +96,16 @@ impl Topic {
     ///
     /// Returns [`StreamError::UnknownPartition`] or
     /// [`StreamError::OffsetOutOfRange`].
-    pub fn fetch(&self, partition: u32, offset: u64, max: usize) -> Result<Vec<Record>, StreamError> {
-        let log = self.partitions.get(partition as usize).ok_or_else(|| {
-            StreamError::UnknownPartition { topic: self.name.clone(), partition }
-        })?;
+    pub fn fetch(
+        &self,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, StreamError> {
+        let log = self
+            .partitions
+            .get(partition as usize)
+            .ok_or_else(|| StreamError::UnknownPartition { topic: self.name.clone(), partition })?;
         log.fetch(offset, max)
     }
 
@@ -177,8 +183,7 @@ mod tests {
     #[test]
     fn keyless_round_robin() {
         let mut t = Topic::new("t", 3).unwrap();
-        let ps: Vec<u32> =
-            (0..6).map(|i| t.append(None, None, val("x"), i).unwrap().0).collect();
+        let ps: Vec<u32> = (0..6).map(|i| t.append(None, None, val("x"), i).unwrap().0).collect();
         assert_eq!(ps, vec![0, 1, 2, 0, 1, 2]);
     }
 

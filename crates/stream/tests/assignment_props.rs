@@ -1,0 +1,41 @@
+//! Property-based checks of consumer-group range assignment.
+
+use cad3_stream::range_assignment;
+use proptest::prelude::*;
+
+proptest! {
+    /// Over arbitrary member/partition counts, the per-rank ranges are
+    /// mutually disjoint and their union covers `0..partitions` exactly.
+    #[test]
+    fn range_assignment_is_disjoint_and_covering(
+        partitions in 0u32..512,
+        members in 1u32..128,
+    ) {
+        let mut owner = vec![None::<u32>; partitions as usize];
+        for rank in 0..members {
+            for p in range_assignment(partitions, members, rank) {
+                prop_assert!(p < partitions, "rank {} assigned out-of-range {}", rank, p);
+                prop_assert_eq!(
+                    owner[p as usize].replace(rank), None,
+                    "partition {} assigned to two ranks", p
+                );
+            }
+        }
+        for (p, o) in owner.iter().enumerate() {
+            prop_assert!(o.is_some(), "partition {} left unassigned", p);
+        }
+    }
+
+    /// Load balance: range sizes differ by at most one across ranks.
+    #[test]
+    fn range_assignment_is_balanced(
+        partitions in 0u32..512,
+        members in 1u32..128,
+    ) {
+        let sizes: Vec<u32> =
+            (0..members).map(|r| range_assignment(partitions, members, r).len() as u32).collect();
+        let min = *sizes.iter().min().expect("members >= 1");
+        let max = *sizes.iter().max().expect("members >= 1");
+        prop_assert!(max - min <= 1, "unbalanced ranges: min {} max {}", min, max);
+    }
+}

@@ -59,8 +59,8 @@ impl GeoPoint {
         let lat1 = self.lat.to_radians();
         let lon1 = self.lon.to_radians();
         let lat2 = (lat1.sin() * d.cos() + lat1.cos() * d.sin() * br.cos()).asin();
-        let lon2 = lon1
-            + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
         GeoPoint { lon: lon2.to_degrees(), lat: lat2.to_degrees() }
     }
 

@@ -90,7 +90,12 @@ pub struct VehicleStatus {
 
 impl VehicleStatus {
     /// Builds a status packet from a preprocessed dataset record.
-    pub fn from_feature(rec: &FeatureRecord, position: GeoPoint, sent_at: SimTime, seq: u32) -> Self {
+    pub fn from_feature(
+        rec: &FeatureRecord,
+        position: GeoPoint,
+        sent_at: SimTime,
+        seq: u32,
+    ) -> Self {
         VehicleStatus {
             vehicle: rec.vehicle,
             trip: rec.trip,
@@ -396,7 +401,7 @@ mod tests {
         let mut raw = BytesMut::new();
         status().encode(&mut raw);
         raw[26] = 200; // road_type byte offset: 8+8+8+... -> see layout
-        // Offset: vehicle(8)+trip(8)+road(8)+speed(8)+accel(8)+hour(1)+day(1)=42; road_type at 42.
+                       // Offset: vehicle(8)+trip(8)+road(8)+speed(8)+accel(8)+hour(1)+day(1)=42; road_type at 42.
         let mut raw2 = BytesMut::new();
         status().encode(&mut raw2);
         raw2[42] = 200;
@@ -440,10 +445,7 @@ mod tests {
     fn warning_kind_classification() {
         assert_eq!(WarningKind::classify(160.0, 100.0, 0.0), WarningKind::Speeding);
         assert_eq!(WarningKind::classify(20.0, 100.0, 0.0), WarningKind::Slowing);
-        assert_eq!(
-            WarningKind::classify(100.0, 100.0, 4.5),
-            WarningKind::SuddenAcceleration
-        );
+        assert_eq!(WarningKind::classify(100.0, 100.0, 4.5), WarningKind::SuddenAcceleration);
     }
 
     #[test]

@@ -33,9 +33,7 @@ impl From<u64> for RoadId {
 /// The paper trains one model per road type; the two types used in the
 /// microscopic experiments are [`RoadType::Motorway`] and
 /// [`RoadType::MotorwayLink`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum RoadType {
     Motorway,

@@ -221,9 +221,7 @@ impl fmt::Display for HourOfDay {
 }
 
 /// A day of the week.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum DayOfWeek {
     Monday,

@@ -1,0 +1,96 @@
+//! The checked-in violation baseline (`crates/xtask/baseline.toml`).
+//!
+//! The baseline is a ratchet: it records, per `rule:file` key, how many
+//! violations existed when it was last regenerated. The lint fails only when
+//! a count *exceeds* its baselined value, so pre-existing debt doesn't block
+//! CI but every new violation does — and regenerating with
+//! `--update-baseline` after paying debt down locks in the improvement.
+//!
+//! The file is a restricted TOML subset written and parsed by hand (the
+//! workspace intentionally has no TOML dependency): a `[violations]` table
+//! of `"rule:path" = count` entries, sorted by key.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Loads the baseline; a missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<BTreeMap<String, u64>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut map = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line == "[violations]" {
+            continue;
+        }
+        let parse_err = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: malformed baseline line: {raw}", path.display(), idx + 1),
+            )
+        };
+        let (key, value) = line.split_once('=').ok_or_else(parse_err)?;
+        let key = key.trim().trim_matches('"');
+        let count: u64 = value.trim().parse().map_err(|_| parse_err())?;
+        map.insert(key.to_owned(), count);
+    }
+    Ok(map)
+}
+
+/// Writes the baseline, sorted, with a regeneration header.
+pub fn save(path: &Path, counts: &BTreeMap<String, u64>) -> io::Result<()> {
+    let mut out = String::from(
+        "# Violation baseline for `cargo xtask lint` — a ratchet, not an allowlist.\n\
+         # CI fails on counts above these; regenerate with `cargo xtask lint --update-baseline`\n\
+         # after reducing debt so the ratchet only ever tightens.\n\n\
+         [violations]\n",
+    );
+    for (key, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("\"{key}\" = {count}\n"));
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_disk_format() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.toml");
+        let mut counts = BTreeMap::new();
+        counts.insert("no-panic:crates/core/src/lib.rs".to_owned(), 3u64);
+        counts.insert("no-as-cast:crates/net/src/lib.rs".to_owned(), 12u64);
+        counts.insert("empty:crates/x.rs".to_owned(), 0u64);
+        save(&path, &counts).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.get("no-panic:crates/core/src/lib.rs"), Some(&3));
+        assert_eq!(loaded.get("no-as-cast:crates/net/src/lib.rs"), Some(&12));
+        assert!(!loaded.contains_key("empty:crates/x.rs"), "zero counts are dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let loaded = load(Path::new("/nonexistent/baseline.toml")).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.toml");
+        std::fs::write(&path, "[violations]\nnot a valid line\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,310 @@
+//! A small line-oriented Rust lexer for the lint pass.
+//!
+//! The rules in this crate are token-level: they need to know, for each
+//! source line, which characters are *code* and which are *comment*, with
+//! string/char-literal contents blanked out so `".unwrap()"` inside a string
+//! or a doc comment never trips a rule. Full parsing is out of scope — the
+//! lexer only has to be right about the three lexical modes Rust interleaves
+//! (code, comments, literals), including nested block comments, raw strings
+//! with hash fences, byte strings, and the `'a` lifetime vs `'a'` char
+//! ambiguity.
+
+/// One physical source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code characters, with string/char-literal bodies replaced by spaces.
+    pub code: String,
+    /// Comment characters (both `//` and `/* */` content), concatenated.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    /// Per physical line (0-indexed; line numbers in reports are 1-based).
+    pub lines: Vec<Line>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits source text into per-line code and comment parts.
+pub fn lex(src: &str) -> SourceFile {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                    let (fence, consumed) = raw_fence(&bytes, i);
+                    cur.code.push_str("r\"");
+                    mode = Mode::RawStr(fence);
+                    i += consumed;
+                }
+                'b' if next == Some('"') => {
+                    cur.code.push_str("b\"");
+                    mode = Mode::Str;
+                    i += 2;
+                }
+                'b' if next == Some('\'') => {
+                    cur.code.push_str("b'");
+                    mode = Mode::Char;
+                    i += 2;
+                }
+                '\'' => {
+                    // Lifetime (`'a`, `'static`) or char literal (`'a'`)?
+                    // A lifetime is `'` + ident not followed by another `'`.
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2).copied() != Some('\'');
+                    cur.code.push('\'');
+                    if !is_lifetime {
+                        mode = Mode::Char;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Never consume a newline here: `\` line continuations
+                    // must still produce a line break so line numbers align.
+                    cur.code.push(' ');
+                    i += 1;
+                    if matches!(bytes.get(i), Some(n) if *n != '\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(fence) => {
+                if c == '"' && closes_raw(&bytes, i, fence) {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + fence as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 1;
+                    if matches!(bytes.get(i), Some(n) if *n != '\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    let mut file = SourceFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` etc. starting at `i`?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Length of the `r##"`-style opener at `i` and its hash-fence size.
+fn raw_fence(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut fence = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (fence, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `fence` hashes?
+fn closes_raw(bytes: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items as test code.
+///
+/// After an attribute line matches, everything up to the close of the next
+/// brace-balanced block is test code. This covers the idiomatic
+/// `#[cfg(test)] mod tests { ... }` and `#[test] fn ...` shapes; it does not
+/// try to resolve `cfg_attr` indirection.
+fn mark_test_regions(file: &mut SourceFile) {
+    let mut i = 0usize;
+    while i < file.lines.len() {
+        let code = file.lines[i].code.trim().to_owned();
+        let is_test_attr = code.starts_with("#[cfg(test)]")
+            || code.starts_with("#[cfg(all(test")
+            || code.starts_with("#[test]");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the item's opening brace, then to its close.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < file.lines.len() {
+            file.lines[j].in_test = true;
+            for c in file.lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // An un-braced item (e.g. `#[cfg(test)] use ...;`) ends
+                    // at the first statement-level semicolon.
+                    ';' if !opened && depth == 0 => {
+                        opened = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let f = lex("let x = \".unwrap()\"; // ordering: because\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("ordering: because"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = lex("let x = r#\"panic!(\"no\")\"#; let y = 1;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'a str { x as &str }\n");
+        assert!(f.lines[0].code.contains("as &str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let f = lex("let c = 'a'; let d = '\\n'; let e = 5;\n");
+        assert!(f.lines[0].code.contains("let e = 5;"));
+        assert!(!f.lines[0].code.contains('a'), "char body blanked: {}", f.lines[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = lex("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(
+            f.lines[1].in_test && f.lines[2].in_test && f.lines[3].in_test && f.lines[4].in_test
+        );
+        assert!(!f.lines[5].in_test, "code after the test module is live again");
+    }
+}

@@ -1,0 +1,183 @@
+//! `cargo xtask` — workspace automation for the CAD3 reproduction.
+//!
+//! One subcommand today:
+//!
+//! ```sh
+//! cargo xtask lint                    # check against crates/xtask/baseline.toml
+//! cargo xtask lint --update-baseline  # regenerate the ratchet
+//! ```
+//!
+//! The lint is a from-scratch token-level pass (no rustc/syn involvement)
+//! over every workspace `src/` tree except `vendor/`, applying the five
+//! CAD3-specific rules described in `DESIGN.md` §"Verification strategy".
+
+mod baseline;
+mod lexer;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            if args.iter().skip(1).any(|a| a != "--update-baseline") {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            match lint(update) {
+                Ok(clean) => {
+                    if clean {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Every linted source file, as (absolute path, repo-relative path).
+///
+/// Scope: the root package's `src/` and each `crates/*/src/` tree. `vendor/`
+/// stubs mimic third-party API and are exempt; `tests/`, `benches/` and
+/// `examples/` are non-library code outside the rules' remit (in-file
+/// `#[cfg(test)]` regions are excluded by the lexer instead).
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    let mut src_roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            src_roots.push(src);
+        }
+    }
+    for src_root in src_roots {
+        walk(&src_root, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((path, rel));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the lint; returns `Ok(true)` when clean against the baseline.
+fn lint(update_baseline: bool) -> std::io::Result<bool> {
+    let root = workspace_root();
+    let baseline_path = root.join("crates/xtask/baseline.toml");
+    let sources = collect_sources(&root)?;
+
+    let mut violations = Vec::new();
+    for (path, rel) in &sources {
+        let text = std::fs::read_to_string(path)?;
+        violations.extend(rules::check_file(rel, &lexer::lex(&text)));
+    }
+
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for v in &violations {
+        *counts.entry(format!("{}:{}", v.rule, v.file)).or_insert(0) += 1;
+    }
+
+    let mut per_rule: BTreeMap<&str, u64> = BTreeMap::new();
+    for v in &violations {
+        *per_rule.entry(v.rule).or_insert(0) += 1;
+    }
+    println!("xtask lint: scanned {} files", sources.len());
+    for rule in rules::RULE_NAMES {
+        println!("  {rule:<18} {} violation(s)", per_rule.get(rule).copied().unwrap_or(0));
+    }
+
+    if update_baseline {
+        baseline::save(&baseline_path, &counts)?;
+        println!(
+            "baseline regenerated: {} ({} keys, {} total violations)",
+            baseline_path.display(),
+            counts.len(),
+            counts.values().sum::<u64>(),
+        );
+        return Ok(true);
+    }
+
+    let baselined = baseline::load(&baseline_path)?;
+    let mut clean = true;
+    for (key, &count) in &counts {
+        let allowed = baselined.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            clean = false;
+            println!("\nNEW violations for {key}: {count} found, {allowed} baselined. Sites:");
+            let (rule, file) = key.split_once(':').unwrap_or((key, ""));
+            for v in violations.iter().filter(|v| v.rule == rule && v.file == file).take(10) {
+                println!("  {}:{}: {}", v.file, v.line, v.message);
+            }
+        }
+    }
+    let improved: u64 = baselined
+        .iter()
+        .map(|(key, &allowed)| allowed.saturating_sub(counts.get(key).copied().unwrap_or(0)))
+        .sum();
+    if clean {
+        if improved > 0 {
+            println!(
+                "clean — and {improved} baselined violation(s) no longer exist; \
+                 run `cargo xtask lint --update-baseline` to tighten the ratchet"
+            );
+        } else {
+            println!("clean: no new violations against the baseline");
+        }
+    } else {
+        println!("\nxtask lint failed: fix the sites above or justify them per DESIGN.md");
+    }
+    Ok(clean)
+}

@@ -1,0 +1,409 @@
+//! The five CAD3-specific lint rules.
+//!
+//! Each rule works on the lexed [`SourceFile`] model (code/comment split,
+//! test regions marked) and reports [`Violation`]s keyed by
+//! `rule-name:repo-relative-path`, which is the granularity the baseline
+//! ratchet tracks.
+
+use crate::lexer::SourceFile;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable rule name (the first half of a baseline key).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented description of the finding.
+    pub message: String,
+}
+
+/// Rule names, in reporting order.
+pub const RULE_NAMES: [&str; 5] =
+    ["ordering-comment", "no-panic", "no-as-cast", "lock-order", "no-wallclock"];
+
+/// Crates whose hot paths reject bare `as` casts.
+const AS_CAST_CRATES: [&str; 3] = ["crates/stream/", "crates/engine/", "crates/net/"];
+
+/// The one file allowed to touch the wall clock.
+const WALLCLOCK_ALLOWED: &str = "crates/engine/src/realtime.rs";
+
+/// The file carrying the documented lock hierarchy.
+const LOCK_ORDER_FILE: &str = "crates/stream/src/broker.rs";
+
+/// Runs every rule on one file.
+pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    ordering_comment(rel_path, file, &mut out);
+    no_panic(rel_path, file, &mut out);
+    no_as_cast(rel_path, file, &mut out);
+    if rel_path == LOCK_ORDER_FILE {
+        lock_order(rel_path, file, &mut out);
+    }
+    no_wallclock(rel_path, file, &mut out);
+    out
+}
+
+/// Byte offsets of word-boundary occurrences of `needle` in `hay`.
+fn find_words<'a>(hay: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    hay.match_indices(needle).filter_map(move |(pos, _)| {
+        let before_ok = hay[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = hay[pos + needle.len()..].chars().next().is_none_or(|c| !is_ident(c));
+        (before_ok && after_ok).then_some(pos)
+    })
+}
+
+/// Rule 1: every atomic `Ordering::` use needs an `// ordering:` comment on
+/// the same line or within the three lines above it. The comparison enum's
+/// `Ordering::Less/Equal/Greater` are ignored.
+fn ordering_comment(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    const ATOMIC_VARIANTS: [&str; 5] = [
+        "Ordering::Relaxed",
+        "Ordering::SeqCst",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(variant) = ATOMIC_VARIANTS.iter().find(|v| line.code.contains(**v)) else {
+            continue;
+        };
+        let justified = (idx.saturating_sub(3)..=idx)
+            .any(|j| file.lines[j].comment.trim_start().starts_with("ordering:"));
+        if !justified {
+            out.push(Violation {
+                rule: "ordering-comment",
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                message: format!("{variant} without an `// ordering:` justification comment"),
+            });
+        }
+    }
+}
+
+/// Rule 2: no `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+fn no_panic(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect(", "panic!"] {
+            for _ in line.code.match_indices(pat) {
+                out.push(Violation {
+                    rule: "no-panic",
+                    file: rel_path.to_owned(),
+                    line: idx + 1,
+                    message: format!("`{pat}` in non-test library code"),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3: no bare `as` casts in the hot-path crates — numeric narrowing in
+/// the stream/engine/net data planes must use `From`/`TryFrom` or a named
+/// helper so truncation is visible. `use ... as alias` imports are exempt.
+fn no_as_cast(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !AS_CAST_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        for _ in find_words(&line.code, "as") {
+            out.push(Violation {
+                rule: "no-as-cast",
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                message: "bare `as` cast in a hot-path crate".to_owned(),
+            });
+        }
+    }
+}
+
+/// Rule 5: wall-clock reads and sleeps are confined to the real-time driver.
+fn no_wallclock(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if rel_path == WALLCLOCK_ALLOWED {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime::now", "thread::sleep"] {
+            if line.code.contains(pat) {
+                out.push(Violation {
+                    rule: "no-wallclock",
+                    file: rel_path.to_owned(),
+                    line: idx + 1,
+                    message: format!("`{pat}` outside {WALLCLOCK_ALLOWED}"),
+                });
+            }
+        }
+    }
+}
+
+// ---- rule 4: lock ordering ------------------------------------------------
+
+/// Lock levels of the broker's documented hierarchy; acquisition order
+/// within a function must be non-decreasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Level {
+    /// `topics` registry `RwLock`.
+    Topics = 1,
+    /// An individual `Topic` `Mutex`.
+    Topic = 2,
+    /// The `groups` coordination `Mutex`.
+    Groups = 3,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Acquire(Level, usize),
+    Call(String, usize),
+}
+
+/// Rule 4: in `broker.rs`, lock acquisitions inside each function — including
+/// those reached through calls to the file's own helpers — must follow the
+/// documented `topics (1) → Topic (2) → groups (3)` hierarchy. The check is
+/// order-based: once a level has been reached in a function's acquisition
+/// sequence, no lower level may be acquired later in that function.
+/// Re-acquiring after a drop still counts; split the function instead.
+fn lock_order(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    let fns = parse_functions(file);
+    for (name, events) in &fns {
+        let mut flat = Vec::new();
+        let mut stack = vec![name.clone()];
+        flatten(events, &fns, &mut stack, None, &mut flat);
+        let mut max_seen: Option<Level> = None;
+        for (level, line, via) in flat {
+            if matches!(max_seen, Some(m) if level < m) {
+                let via = via.map(|v| format!(" (via call to `{v}`)")).unwrap_or_default();
+                out.push(Violation {
+                    rule: "lock-order",
+                    file: rel_path.to_owned(),
+                    line,
+                    message: format!(
+                        "`{name}` acquires level-{} lock after level-{} — violates topics → Topic → groups{via}",
+                        level as u8,
+                        max_seen.map_or(0, |m| m as u8),
+                    ),
+                });
+                // Report once per function to keep the signal readable.
+                break;
+            }
+            max_seen = Some(max_seen.map_or(level, |m| m.max(level)));
+        }
+    }
+}
+
+/// Extracts each `fn`'s acquisition/call event sequence from the lexed file.
+fn parse_functions(file: &SourceFile) -> Vec<(String, Vec<Event>)> {
+    // Build a flat code string with line bookkeeping.
+    let mut code = String::new();
+    let mut line_starts = Vec::new();
+    for line in &file.lines {
+        line_starts.push(code.len());
+        code.push_str(&line.code);
+        code.push('\n');
+    }
+    let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos);
+
+    // First pass: function names and body ranges.
+    let mut headers = Vec::new();
+    for pos in find_words(&code, "fn") {
+        let rest = &code[pos + 2..];
+        let name: String =
+            rest.trim_start().chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(open_rel) = rest.find('{') else { continue };
+        // Skip `fn` uses in types/trait bounds: require the `{` before any `;`.
+        if rest[..open_rel].contains(';') {
+            continue;
+        }
+        let body_start = pos + 2 + open_rel + 1;
+        let mut depth = 1i64;
+        let mut body_end = code.len();
+        for (off, c) in code[body_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = body_start + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        headers.push((name, body_start, body_end));
+    }
+
+    // Second pass: event sequences per function body.
+    let names: Vec<String> = headers.iter().map(|(n, ..)| n.clone()).collect();
+    headers
+        .iter()
+        .map(|(name, start, end)| {
+            let body = &code[*start..*end];
+            let mut events: Vec<(usize, Event)> = Vec::new();
+            for (pat, level) in [
+                (".topics.read(", Level::Topics),
+                (".topics.write(", Level::Topics),
+                (".groups.lock(", Level::Groups),
+            ] {
+                for (off, _) in body.match_indices(pat) {
+                    events.push((off, Event::Acquire(level, line_of(start + off))));
+                }
+            }
+            // Any other `.lock(` in this file is a `Topic` mutex.
+            for (off, _) in body.match_indices(".lock(") {
+                if !body[..off].ends_with(".groups") && !body[..off].ends_with(".topics") {
+                    events.push((off, Event::Acquire(Level::Topic, line_of(start + off))));
+                }
+            }
+            for callee in &names {
+                if callee == name {
+                    continue;
+                }
+                for off in find_words(body, callee).collect::<Vec<_>>() {
+                    // Only `self.<helper>(` splices: a bare or `.`-qualified
+                    // name is a method on some other receiver (e.g. a
+                    // `Topic` method reached through a guard), whose locks
+                    // are already counted at the guard acquisition.
+                    if body[off + callee.len()..].starts_with('(') && body[..off].ends_with("self.")
+                    {
+                        events.push((off, Event::Call(callee.clone(), line_of(start + off))));
+                    }
+                }
+            }
+            events.sort_by_key(|(off, _)| *off);
+            (name.clone(), events.into_iter().map(|(_, e)| e).collect())
+        })
+        .collect()
+}
+
+/// Splices callee acquisition sequences into the caller's, cycle-safe.
+fn flatten(
+    events: &[Event],
+    fns: &[(String, Vec<Event>)],
+    stack: &mut Vec<String>,
+    via: Option<&str>,
+    out: &mut Vec<(Level, usize, Option<String>)>,
+) {
+    for event in events {
+        match event {
+            Event::Acquire(level, line) => out.push((*level, *line, via.map(str::to_owned))),
+            Event::Call(callee, line) => {
+                if stack.iter().any(|s| s == callee) {
+                    continue;
+                }
+                if let Some((_, callee_events)) = fns.iter().find(|(n, _)| n == callee) {
+                    stack.push(callee.clone());
+                    // Attribute spliced acquisitions to the call site line.
+                    let mut spliced = Vec::new();
+                    flatten(callee_events, fns, stack, Some(callee), &mut spliced);
+                    for (level, _, v) in spliced {
+                        out.push((level, *line, v));
+                    }
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn violations_of(rule: &str, rel: &str, src: &str) -> Vec<Violation> {
+        check_file(rel, &lex(src)).into_iter().filter(|v| v.rule == rule).collect()
+    }
+
+    #[test]
+    fn ordering_without_comment_flagged() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        assert_eq!(violations_of("ordering-comment", "crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ordering_with_comment_above_passes() {
+        let src = "fn f(a: &AtomicU64) {\n    // ordering: stats only\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(violations_of("ordering-comment", "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let src = "fn f() -> Ordering { Ordering::Less }\n";
+        assert!(violations_of("ordering-comment", "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_flagged_but_not_in_tests() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let v = violations_of("no-panic", "crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0).min(x.unwrap_or(1)) }\n";
+        assert!(violations_of("no-panic", "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn as_cast_only_flagged_in_hot_path_crates() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(violations_of("no-as-cast", "crates/stream/src/lib.rs", src).len(), 1);
+        assert!(violations_of("no-as-cast", "crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_exempt() {
+        let src = "use std::sync::Mutex as StdMutex;\nfn f() {}\n";
+        assert!(violations_of("no-as-cast", "crates/stream/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged_outside_realtime() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(violations_of("no-wallclock", "crates/engine/src/batch.rs", src).len(), 1);
+        assert!(violations_of("no-wallclock", "crates/engine/src/realtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_catches_groups_then_topics() {
+        let src = "impl Broker {\n\
+                   fn helper(&self) { let t = self.topics.read(); t.lock(); }\n\
+                   fn bad(&self) { let g = self.groups.lock(); self.helper(); }\n\
+                   }\n";
+        let v = violations_of("lock-order", "crates/stream/src/broker.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("bad"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn lock_order_accepts_hierarchy_order() {
+        let src = "impl Broker {\n\
+                   fn helper(&self) { let t = self.topics.read(); t.lock(); }\n\
+                   fn good(&self) { self.helper(); let g = self.groups.lock(); }\n\
+                   }\n";
+        assert!(violations_of("lock-order", "crates/stream/src/broker.rs", src).is_empty());
+    }
+}

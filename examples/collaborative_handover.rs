@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|t| {
             ds.profiles[&t.vehicle] == DriverProfile::Aggressive
                 && t.roads.len() >= 2
-                && ds.network.road(t.roads[0]).map(|r| r.road_type)
-                    == Some(RoadType::Motorway)
+                && ds.network.road(t.roads[0]).map(|r| r.road_type) == Some(RoadType::Motorway)
         })
         .map(|t| (t.vehicle, t.trip))
         .expect("corpus contains an aggressive motorway trip");
@@ -60,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rec in &records {
         seq += 1;
         now += SimDuration::from_millis(100);
-        let status = VehicleStatus::from_feature(rec, ds.network.road(rec.road).unwrap().start(), now, seq);
+        let status =
+            VehicleStatus::from_feature(rec, ds.network.road(rec.road).unwrap().start(), now, seq);
         let target = if rec.road_type == RoadType::Motorway { &motorway_rsu } else { &link_rsu };
         target.broker().produce(
             TOPIC_IN_DATA,

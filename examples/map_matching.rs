@@ -8,9 +8,7 @@
 //! cargo run --release --example map_matching
 //! ```
 
-use cad3_repro::data::{
-    preprocess, DatasetConfig, HmmMapMatcher, LabelModel, SyntheticDataset,
-};
+use cad3_repro::data::{preprocess, DatasetConfig, HmmMapMatcher, LabelModel, SyntheticDataset};
 use cad3_repro::types::{Label, TrajectoryPoint};
 
 fn main() {

@@ -63,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nAccuracy over {total} streamed records:");
-    for (name, c) in ["centralized", "ad3 (standalone)", "cad3 (collaborative)"]
-        .iter()
-        .zip(correct)
+    for (name, c) in ["centralized", "ad3 (standalone)", "cad3 (collaborative)"].iter().zip(correct)
     {
         println!("  {name:>20}: {:.1}%", c as f64 / total as f64 * 100.0);
     }

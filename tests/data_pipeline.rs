@@ -3,9 +3,7 @@
 //! training — the paper's Section V end to end.
 
 use cad3_repro::core::detector::{Ad3Detector, Detector};
-use cad3_repro::data::{
-    preprocess, DatasetConfig, HmmMapMatcher, LabelModel, SyntheticDataset,
-};
+use cad3_repro::data::{preprocess, DatasetConfig, HmmMapMatcher, LabelModel, SyntheticDataset};
 use cad3_repro::sim::SimRng;
 use cad3_repro::types::{FeatureRecord, Label, TrajectoryPoint, TripId};
 
@@ -61,9 +59,8 @@ fn gps_to_detection_pipeline() {
     // Offline labelling on the reconstructed records.
     let labeller = LabelModel::fit(reconstructed.iter());
     labeller.relabel(&mut reconstructed);
-    let abnormal =
-        reconstructed.iter().filter(|r| r.label == Label::Abnormal).count() as f64
-            / reconstructed.len() as f64;
+    let abnormal = reconstructed.iter().filter(|r| r.label == Label::Abnormal).count() as f64
+        / reconstructed.len() as f64;
     assert!((0.05..0.7).contains(&abnormal), "labelled fraction {abnormal}");
 
     // The reconstructed corpus trains a working detector when both classes

@@ -29,10 +29,8 @@ fn realtime_rsu_detects_and_disseminates() {
     // Detection job: decode each status, classify, publish warnings.
     let mut consumer = Consumer::new(Arc::clone(&broker), "detector", OffsetReset::Earliest);
     consumer.subscribe(&["IN-DATA"]).unwrap();
-    let runner = MicroBatchRunner::new(
-        consumer,
-        BatchConfig { interval_ms: 20, max_records: 100_000 },
-    );
+    let runner =
+        MicroBatchRunner::new(consumer, BatchConfig { interval_ms: 20, max_records: 100_000 });
     let warn_broker = Arc::clone(&broker);
     let det = Arc::clone(&detector);
     let processed = Arc::new(AtomicUsize::new(0));
@@ -57,13 +55,7 @@ fn realtime_rsu_detects_and_disseminates() {
                     detected_at: status.sent_at,
                     source_seq: status.seq,
                 };
-                let _ = warn_broker.produce(
-                    "OUT-DATA",
-                    None,
-                    None,
-                    warning.encode_to_bytes(),
-                    0,
-                );
+                let _ = warn_broker.produce("OUT-DATA", None, None, warning.encode_to_bytes(), 0);
             }
         }
     });

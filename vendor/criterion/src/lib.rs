@@ -1,0 +1,289 @@
+//! Minimal, API-compatible stand-in for the subset of [`criterion`] the CAD3
+//! benches use: `Criterion`, benchmark groups with throughput annotation,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — a short warm-up then a fixed-budget
+//! timed loop reporting mean ns/iter (and derived throughput). No statistics,
+//! plots or comparison against saved baselines. When invoked with `--test`
+//! (as `cargo test --benches` does), each benchmark runs exactly once as a
+//! smoke test.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Creates an id from a parameter display value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<MeasuredRun>,
+}
+
+struct MeasuredRun {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some(MeasuredRun { iters: 1, total: Duration::ZERO });
+            return;
+        }
+        // Warm-up: let caches settle and estimate the per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        // Timed run: ~200 ms budget.
+        let budget_ns: u128 = 200_000_000;
+        let iters = (budget_ns / per_iter.max(1)).clamp(10, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(MeasuredRun { iters, total: start.elapsed() });
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// timing only coarsely: the stub times setup+routine batches and is
+    /// suitable for smoke comparison, not precision measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.measured = Some(MeasuredRun { iters: 1, total: Duration::ZERO });
+            return;
+        }
+        let iters: u64 = 200;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(MeasuredRun { iters, total });
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for compatibility; the stub's budget
+    /// is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { test_mode: self.criterion.test_mode, measured: None };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), self.throughput, bencher.measured.as_ref());
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { test_mode: self.criterion.test_mode, measured: None };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), self.throughput, bencher.measured.as_ref());
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, name: &str, throughput: Option<Throughput>, run: Option<&MeasuredRun>) {
+    let Some(run) = run else {
+        println!("{group}/{name}: no measurement (closure never called iter)");
+        return;
+    };
+    if run.total.is_zero() {
+        println!("{group}/{name}: ok (test mode)");
+        return;
+    }
+    let ns_per_iter = run.total.as_nanos() as f64 / run.iters as f64;
+    let mut line = format!("{group}/{name}: {ns_per_iter:.1} ns/iter ({} iters)", run.iters);
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gbps = b as f64 / ns_per_iter;
+            line.push_str(&format!(", {gbps:.3} GB/s"));
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 * 1e3 / ns_per_iter;
+            line.push_str(&format!(", {meps:.3} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver (stub: no CLI filtering beyond `--test` detection).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { test_mode: self.test_mode, measured: None };
+        f(&mut bencher);
+        report("bench", name, None, bencher.measured.as_ref());
+        self
+    }
+
+    /// Accepted for compatibility with `criterion_group!` configs.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Finalizes (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn group_machinery_runs() {
+        let mut c = Criterion { test_mode: true };
+        quick_bench(&mut c);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iter() {
+        let mut b = Bencher { test_mode: true, measured: None };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.measured.is_some());
+    }
+}

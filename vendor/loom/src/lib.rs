@@ -1,0 +1,305 @@
+//! Offline stand-in for [`loom`]: a bounded *randomized-schedule* model
+//! runner with loom-shaped synchronization types.
+//!
+//! The real loom exhaustively enumerates thread interleavings with a DPOR
+//! scheduler; that cannot be vendored in a single offline file. This stub
+//! keeps the programming model — wrap the test body in [`model`], build it
+//! against `loom::sync`/`loom::thread` types under `--cfg loom` — but
+//! explores schedules by running the body many times while injecting yields
+//! and short spins at every synchronization point, each iteration under a
+//! distinct deterministic perturbation seed. That converts "the test passed
+//! once" into "the test passed under hundreds of adversarially jittered
+//! schedules", which reliably flushes out ordering bugs of the
+//! lost-update/stale-read variety even though it is not a proof.
+//!
+//! Iteration count: `CAD3_LOOM_ITERS` (default 200).
+//!
+//! API divergence from real loom, by design: `Mutex`/`RwLock` use the
+//! parking_lot-shaped non-poisoning `lock()`/`read()`/`write()` the CAD3
+//! stream crate uses in its `cfg(loom)` sync shim, rather than loom's
+//! `Result`-returning std shape.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+static ITERATION_SEED: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Schedule perturbation: called at every synchronization point.
+#[doc(hidden)]
+pub fn perturb() {
+    use std::cell::Cell;
+    thread_local! {
+        static LOCAL: Cell<u64> = const { Cell::new(0x9E37_79B9_7F4A_7C15) };
+    }
+    let iter_seed = ITERATION_SEED.load(StdOrdering::Relaxed);
+    let decision = LOCAL.with(|c| {
+        let mut z = c.get() ^ iter_seed;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        c.set(z);
+        z ^ (z >> 31)
+    });
+    match decision % 16 {
+        // Frequently hand the core to another runnable thread.
+        0..=4 => std::thread::yield_now(),
+        // Occasionally busy-wait to widen race windows without syscalls.
+        5 => {
+            for _ in 0..(decision % 256) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs `f` under many deterministic schedule perturbations.
+///
+/// Each iteration reseeds the perturbation stream, so the set of explored
+/// schedules is stable across runs. A panic inside `f` reports the failing
+/// iteration seed before propagating, letting a single iteration be replayed
+/// with `CAD3_LOOM_SEED`.
+pub fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+    let iters: u64 =
+        std::env::var("CAD3_LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let fixed_seed: Option<u64> = std::env::var("CAD3_LOOM_SEED").ok().and_then(|v| v.parse().ok());
+    if let Some(seed) = fixed_seed {
+        ITERATION_SEED.store(seed, StdOrdering::Relaxed);
+        f();
+        return;
+    }
+    for i in 0..iters {
+        let seed = (i + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+        ITERATION_SEED.store(seed, StdOrdering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            eprintln!("loom-stub: model iteration {i} failed (replay with CAD3_LOOM_SEED={seed})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Thread spawning with schedule perturbation at spawn and start.
+pub mod thread {
+    /// Re-exported std join handle (loom's has the same surface).
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread; the body is prefixed with a perturbation point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::perturb();
+        std::thread::spawn(move || {
+            crate::perturb();
+            f()
+        })
+    }
+
+    /// Yields the current thread.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives with perturbation points at every acquire and
+/// atomic access.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Non-poisoning mutex with a perturbation point before each acquire.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock (perturbing the schedule first).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            crate::perturb();
+            let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            crate::perturb();
+            guard
+        }
+    }
+
+    /// Non-poisoning rwlock with perturbation points before each acquire.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    /// RAII shared-read guard for [`RwLock`].
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// RAII exclusive-write guard for [`RwLock`].
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        /// Creates a new rwlock.
+        pub fn new(value: T) -> Self {
+            RwLock { inner: std::sync::RwLock::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access (perturbing the schedule first).
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            crate::perturb();
+            let guard = self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            crate::perturb();
+            guard
+        }
+
+        /// Acquires exclusive write access (perturbing the schedule first).
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            crate::perturb();
+            let guard = self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            crate::perturb();
+            guard
+        }
+    }
+
+    /// Atomics with perturbation points around every access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_wrapper {
+            ($(#[$doc:meta] $name:ident($std:ident, $t:ty);)*) => {$(
+                #[$doc]
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub fn new(v: $t) -> Self {
+                        $name { inner: std::sync::atomic::$std::new(v) }
+                    }
+
+                    /// Atomic load (perturbing the schedule around it).
+                    pub fn load(&self, order: Ordering) -> $t {
+                        crate::perturb();
+                        self.inner.load(order)
+                    }
+
+                    /// Atomic store (perturbing the schedule around it).
+                    pub fn store(&self, v: $t, order: Ordering) {
+                        crate::perturb();
+                        self.inner.store(v, order);
+                        crate::perturb();
+                    }
+
+                    /// Atomic fetch-add (perturbing the schedule around it).
+                    pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                        crate::perturb();
+                        let out = self.inner.fetch_add(v, order);
+                        crate::perturb();
+                        out
+                    }
+
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        crate::perturb();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+                }
+            )*};
+        }
+
+        atomic_wrapper! {
+            /// Perturbing wrapper over `std::sync::atomic::AtomicU64`.
+            AtomicU64(AtomicU64, u64);
+            /// Perturbing wrapper over `std::sync::atomic::AtomicUsize`.
+            AtomicUsize(AtomicUsize, usize);
+            /// Perturbing wrapper over `std::sync::atomic::AtomicU32`.
+            AtomicU32(AtomicU32, u32);
+        }
+
+        /// Perturbing wrapper over `std::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates a new atomic bool.
+            pub fn new(v: bool) -> Self {
+                AtomicBool { inner: std::sync::atomic::AtomicBool::new(v) }
+            }
+
+            /// Atomic load (perturbing the schedule around it).
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::perturb();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (perturbing the schedule around it).
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::perturb();
+                self.inner.store(v, order);
+                crate::perturb();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_seeded_iterations() {
+        use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        std::env::remove_var("CAD3_LOOM_SEED");
+        std::env::set_var("CAD3_LOOM_ITERS", "17");
+        super::model(|| {
+            RUNS.fetch_add(1, StdOrdering::SeqCst);
+        });
+        std::env::remove_var("CAD3_LOOM_ITERS");
+        assert_eq!(RUNS.load(StdOrdering::SeqCst), 17);
+    }
+
+    #[test]
+    fn counters_survive_contention() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let m = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                        *m.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker finished");
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 3);
+            assert_eq!(*m.lock(), 3);
+        });
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal, API-compatible stand-in for the subset of [`serde`] the CAD3
+//! workspace uses.
+//!
+//! The real serde is a visitor-based framework; this stub serializes into a
+//! concrete JSON-like [`Value`] tree, which is all the workspace needs (the
+//! only consumer is `serde_json::to_string_pretty` writing experiment
+//! artefacts). The derive macros mirror serde's default representations:
+//! structs become objects in declaration order, newtype structs serialize as
+//! their inner value, and enums are externally tagged.
+//!
+//! `Deserialize` is derived by many workspace types but never invoked, so it
+//! is a marker trait here.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+// Lets the derive-generated `serde::...` paths resolve inside this crate's
+// own tests, mirroring serde's self-alias trick.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// An ordered map (declaration order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types whose `Deserialize` derive the workspace requests but
+/// never exercises (no deserialization call sites exist).
+pub trait Deserialize: Sized {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+    }
+
+    #[test]
+    fn derive_named_struct_and_enum() {
+        #[derive(Serialize)]
+        struct P {
+            x: u32,
+            label: String,
+        }
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Tuple(u8),
+        }
+        let p = P { x: 7, label: "hi".into() };
+        assert_eq!(
+            p.to_value(),
+            Value::Object(vec![
+                ("x".into(), Value::UInt(7)),
+                ("label".into(), Value::String("hi".into())),
+            ])
+        );
+        assert_eq!(E::Unit.to_value(), Value::String("Unit".into()));
+        assert_eq!(E::Tuple(3).to_value(), Value::Object(vec![("Tuple".into(), Value::UInt(3))]));
+    }
+
+    #[test]
+    fn derive_newtype_is_transparent() {
+        #[derive(Serialize, Deserialize)]
+        struct Id(pub u64);
+        assert_eq!(Id(9).to_value(), Value::UInt(9));
+    }
+}

@@ -1,0 +1,318 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` stub.
+//!
+//! No `syn`/`quote` are available offline, so this walks the raw
+//! `proc_macro::TokenStream` directly. It supports exactly the shapes the
+//! CAD3 workspace derives on: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, tuple and struct variants). Generated
+//! representations mirror serde's defaults: objects in field order, newtype
+//! structs transparent, enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips any `#[...]` attribute groups at the cursor.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field-list token sequence on top-level commas, tracking both
+/// delimiter groups (handled by the tokenizer) and `<...>` generic-argument
+/// nesting (plain puncts). `->` is skipped so `fn`-type arrows don't count.
+fn top_level_commas(tokens: &[TokenTree]) -> Vec<(usize, usize)> {
+    let mut pieces = Vec::new();
+    let mut depth: i64 = 0;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '-' => {
+                    // Possible `->`: skip the arrow head so '>' isn't counted.
+                    if let Some(TokenTree::Punct(n)) = tokens.get(i + 1) {
+                        if n.as_char() == '>' {
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    pieces.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if start < tokens.len() {
+        pieces.push((start, tokens.len()));
+    }
+    pieces
+}
+
+/// Parses the names of a named-field list body (`a: T, b: U, ...`).
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    for (lo, hi) in top_level_commas(&tokens) {
+        let piece = &tokens[lo..hi];
+        if piece.is_empty() {
+            continue;
+        }
+        let mut j = skip_attributes(piece, 0);
+        j = skip_visibility(piece, j);
+        if let Some(TokenTree::Ident(id)) = piece.get(j) {
+            fields.push(id.to_string());
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (`T, U, ...`).
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    top_level_commas(&tokens).into_iter().filter(|(lo, hi)| hi > lo).count()
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    for (lo, hi) in top_level_commas(&tokens) {
+        let piece = &tokens[lo..hi];
+        if piece.is_empty() {
+            continue;
+        }
+        let mut j = skip_attributes(piece, 0);
+        let name = match piece.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        j += 1;
+        let kind = match piece.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            // Unit, possibly with an explicit `= discriminant` (skipped).
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parses a derive input into its [`Shape`].
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive stub does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct { name, fields: parse_named_fields(&g.stream()) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: count_tuple_fields(&g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum { name, variants: parse_variants(&g.stream()) })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn serialize_impl(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        serde::Value::Object(vec![\n"
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "            (\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("        ])\n    }\n}\n");
+        }
+        Shape::TupleStruct { name, arity: 0 } | Shape::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n}}\n"
+            ));
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            // Newtype structs are transparent, matching serde's default.
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }}\n}}\n"
+            ));
+        }
+        Shape::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        serde::Value::Array(vec![\n"
+            ));
+            for i in 0..*arity {
+                out.push_str(&format!("            serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            out.push_str("        ])\n    }\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        out.push_str(&format!(
+                            "            {name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        out.push_str(&format!(
+                            "            {name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn type_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("valid compile_error")
+}
+
+/// Derives the stub `serde::Serialize` (value-tree serialization).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => serialize_impl(&shape)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive stub emitted bad code: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => format!("impl serde::Deserialize for {} {{}}\n", type_name(&shape))
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive stub emitted bad code: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal, API-compatible stand-in for the subset of [`serde_json`] the
+//! CAD3 workspace uses: `to_string` / `to_string_pretty` over the vendored
+//! serde [`Value`] tree. Output matches serde_json's format for the covered
+//! surface: 2-space pretty indentation, `"key": value`, standard string
+//! escapes. Non-finite floats render as `null`, as serde_json does for
+//! `Value::from` floats.
+//!
+//! [`serde_json`]: https://docs.rs/serde_json
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the value tree cannot actually fail to render, so
+/// this exists only for signature compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored value tree; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON with 2-space indentation.
+///
+/// # Errors
+///
+/// Never fails for the vendored value tree; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing `.0` so floats stay visibly floats, like serde_json.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => push_float(out, *f),
+        Value::String(s) => push_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                push_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+            v: Vec<f64>,
+        }
+        let s = to_string_pretty(&T { x: 1, v: vec![1.5, 2.0] }).expect("infallible");
+        assert_eq!(s, "{\n  \"x\": 1,\n  \"v\": [\n    1.5,\n    2.0\n  ]\n}");
+    }
+
+    #[test]
+    fn compact_and_escapes() {
+        let s = to_string(&"a\"b\n").expect("infallible");
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let s = to_string(&f64::NAN).expect("infallible");
+        assert_eq!(s, "null");
+    }
+}
