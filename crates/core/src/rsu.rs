@@ -168,6 +168,7 @@ impl RsuNode {
         for rec in self.co_consumer.poll(usize::MAX)? {
             let mut buf: Bytes = rec.value;
             if let Ok(msg) = SummaryMessage::decode(&mut buf) {
+                let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
                 self.shards[self.shard_of(msg.vehicle)]
                     .lock()
                     .seed(msg.vehicle, VehicleSummary::from_message(&msg));
@@ -209,6 +210,7 @@ impl RsuNode {
             .map_partitions(&self.executor, |part| {
                 let mut out = Vec::with_capacity(part.len());
                 let Some((first_vehicle, _)) = part.first() else { return out };
+                let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
                 let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
                 for (_, rec) in part {
                     let queuing = now.saturating_since(SimTime::from_nanos(rec.timestamp));
@@ -286,6 +288,7 @@ impl RsuNode {
     pub fn export_summaries(&self, now: SimTime) -> Vec<SummaryMessage> {
         let mut out = Vec::new();
         for shard in &self.shards {
+            let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
             let tracker = shard.lock();
             out.extend(
                 tracker.vehicles().into_iter().filter_map(|v| tracker.export(v, self.id, now)),

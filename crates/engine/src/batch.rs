@@ -1,5 +1,6 @@
 use crate::PartitionedDataset;
 use cad3_stream::{Consumer, FetchedRecord, StreamError};
+use cad3_types::len_u64;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -25,8 +26,9 @@ pub struct BatchMetrics {
     pub index: u64,
     /// Records in the batch.
     pub records: usize,
-    /// Wall-clock processing time (meaningful in real-time mode; the
-    /// virtual-time testbed uses its own calibrated cost model instead).
+    /// Wall-clock processing time, stamped by [`crate::RealtimeScheduler`]
+    /// around each batch. Zero when the runner is driven by the
+    /// virtual-time testbed, which uses its own calibrated cost model.
     pub wall_time: Duration,
 }
 
@@ -80,7 +82,6 @@ impl MicroBatchRunner {
     {
         let records = self.consumer.poll(self.config.max_records)?;
         let n = records.len();
-        let start = std::time::Instant::now();
 
         let mut by_partition: HashMap<(String, u32), Vec<FetchedRecord>> = HashMap::new();
         for r in records {
@@ -96,9 +97,9 @@ impl MicroBatchRunner {
         job(PartitionedDataset::from_partitions(partitions));
 
         let metrics =
-            BatchMetrics { index: self.next_index, records: n, wall_time: start.elapsed() };
+            BatchMetrics { index: self.next_index, records: n, wall_time: Duration::ZERO };
         self.next_index += 1;
-        self.total_records += n as u64;
+        self.total_records += len_u64(n);
         Ok(metrics)
     }
 }

@@ -1,4 +1,5 @@
 use crate::Executor;
+use cad3_types::{index_usize, len_u64};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -193,7 +194,7 @@ where
                     let mut h = std::collections::hash_map::DefaultHasher::new();
                     use std::hash::Hasher;
                     k.hash(&mut h);
-                    let b = (h.finish() % n as u64) as usize;
+                    let b = index_usize(h.finish() % len_u64(n));
                     buckets[b].push((k.clone(), v.clone()));
                 }
                 buckets

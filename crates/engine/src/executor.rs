@@ -49,17 +49,17 @@ impl Executor {
         }
 
         // Give each task a slot; workers claim indices from a shared counter.
-        let tasks: Vec<std::sync::Mutex<Option<I>>> =
-            inputs.into_iter().map(|i| std::sync::Mutex::new(Some(i))).collect();
-        let results: Vec<std::sync::Mutex<Option<O>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let tasks: Vec<parking_lot::Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| parking_lot::Mutex::new(Some(i))).collect();
+        let results: Vec<parking_lot::Mutex<Option<O>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
         let tasks_ref = &tasks;
         let results_ref = &results;
         let next_ref = &next;
 
-        crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
                 scope.spawn(move |_| loop {
                     // ordering: Relaxed — the counter only hands out unique
@@ -69,20 +69,29 @@ impl Executor {
                     if idx >= n {
                         break;
                     }
-                    let input =
-                        tasks_ref[idx].lock().expect("task lock").take().expect("task taken once");
+                    let input = {
+                        let _held = cad3_lockrank::rank_scope!("cad3_engine::Executor::run::tasks");
+                        tasks_ref[idx].lock().take()
+                    };
+                    // The counter hands each index to exactly one worker, so
+                    // the slot is always full; treat an empty one as no work.
+                    let Some(input) = input else { continue };
                     let out = f(input);
-                    *results_ref[idx].lock().expect("result lock") = Some(out);
+                    let _held = cad3_lockrank::rank_scope!("cad3_engine::Executor::run::results");
+                    *results_ref[idx].lock() = Some(out);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
+        if let Err(payload) = joined {
+            // Re-raise a worker panic on the calling thread unchanged.
+            std::panic::resume_unwind(payload);
+        }
 
         drop(tasks);
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("result lock").expect("task completed"))
-            .collect()
+        let outputs: Vec<O> =
+            results.into_iter().filter_map(parking_lot::Mutex::into_inner).collect();
+        debug_assert_eq!(outputs.len(), n, "every claimed task produced a result");
+        outputs
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::{BatchMetrics, MicroBatchRunner, PartitionedDataset};
-use cad3_stream::FetchedRecord;
+use cad3_stream::{FetchedRecord, StreamError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,7 +15,7 @@ use std::time::Instant;
 pub struct RealtimeScheduler {
     stop: Arc<AtomicBool>,
     metrics: Arc<Mutex<Vec<BatchMetrics>>>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<JoinHandle<Result<(), StreamError>>>,
 }
 
 impl RealtimeScheduler {
@@ -39,14 +39,21 @@ impl RealtimeScheduler {
             // ordering: Relaxed — `stop` is a lone advisory flag; the join in
             // `stop()`/`drop` provides the happens-before for everything else.
             while !stop2.load(Ordering::Relaxed) {
+                let start = Instant::now();
                 match runner.run_batch(&mut job) {
-                    Ok(m) => metrics2.lock().push(m),
+                    Ok(mut m) => {
+                        m.wall_time = start.elapsed();
+                        let _held =
+                            cad3_lockrank::rank_scope!("cad3_engine::RealtimeScheduler::metrics");
+                        metrics2.lock().push(m);
+                    }
                     Err(e) => {
                         // A torn-down broker during shutdown is expected;
-                        // anything else is a bug we surface loudly.
+                        // anything else kills the ticker and surfaces from
+                        // `stop()`.
                         // ordering: Relaxed — same advisory stop flag as above.
                         if !stop2.load(Ordering::Relaxed) {
-                            panic!("micro-batch failed: {e}");
+                            return Err(e);
                         }
                     }
                 }
@@ -56,6 +63,7 @@ impl RealtimeScheduler {
                 }
                 next_tick += interval;
             }
+            Ok(())
         });
 
         RealtimeScheduler { stop, metrics, handle: Some(handle) }
@@ -63,19 +71,28 @@ impl RealtimeScheduler {
 
     /// A snapshot of the metrics of every batch executed so far.
     pub fn metrics(&self) -> Vec<BatchMetrics> {
+        let _held = cad3_lockrank::rank_scope!("cad3_engine::RealtimeScheduler::metrics");
         self.metrics.lock().clone()
     }
 
-    /// Signals the ticker to stop and waits for the thread to exit.
-    pub fn stop(mut self) -> Vec<BatchMetrics> {
+    /// Signals the ticker to stop, waits for the thread to exit and returns
+    /// the accumulated batch metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the consumer error that killed the ticker early, if any.
+    pub fn stop(mut self) -> Result<Vec<BatchMetrics>, StreamError> {
         // ordering: Relaxed — the subsequent join() synchronises with the
         // ticker thread; the flag itself carries no payload.
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        let outcome = match self.handle.take().map(JoinHandle::join) {
+            Some(Ok(r)) => r,
+            // A panicked job closure was already reported by the panic hook.
+            Some(Err(_)) | None => Ok(()),
+        };
+        let _held = cad3_lockrank::rank_scope!("cad3_engine::RealtimeScheduler::metrics");
         let metrics = self.metrics.lock().clone();
-        metrics
+        outcome.map(|()| metrics)
     }
 }
 
@@ -121,7 +138,7 @@ mod tests {
         while processed.load(Ordering::Relaxed) < 100 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let metrics = scheduler.stop();
+        let metrics = scheduler.stop().unwrap();
         assert_eq!(processed.load(Ordering::Relaxed), 100);
         assert!(!metrics.is_empty());
         let total: usize = metrics.iter().map(|m| m.records).sum();
@@ -138,7 +155,7 @@ mod tests {
             MicroBatchRunner::new(consumer, BatchConfig { interval_ms: 5, max_records: 10 });
         let scheduler = RealtimeScheduler::start(runner, |_| {});
         std::thread::sleep(Duration::from_millis(20));
-        let metrics = scheduler.stop();
+        let metrics = scheduler.stop().unwrap();
         assert!(!metrics.is_empty(), "ticker should have fired at least once");
     }
 }

@@ -3,6 +3,7 @@
 //! accurate timely decision making" (the paper's Section II): RSUs keep
 //! per-road speed statistics over a recent window rather than all history.
 
+use cad3_types::count_f64;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
@@ -68,7 +69,7 @@ impl SlidingWindow {
         if count == 0 {
             (0, 0.0)
         } else {
-            (count, sum / count as f64)
+            (count, sum / count_f64(count))
         }
     }
 }

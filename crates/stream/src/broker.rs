@@ -95,6 +95,7 @@ impl Broker {
     /// Returns [`StreamError::TopicExists`] for duplicates and
     /// [`StreamError::InvalidPartitionCount`] for zero partitions.
     pub fn create_topic(&self, name: &str, partitions: u32) -> Result<(), StreamError> {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
         let mut topics = self.topics.write();
         if topics.contains_key(name) {
             return Err(StreamError::TopicExists(name.to_owned()));
@@ -105,7 +106,10 @@ impl Broker {
 
     /// Names of all topics on this broker.
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        let mut names: Vec<String> = {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
+            self.topics.read().keys().cloned().collect()
+        };
         names.sort();
         names
     }
@@ -129,11 +133,13 @@ impl Broker {
         // slow caller cannot block `create_topic`/`topic_names`. Cloning
         // the Arc is sound because topics are never removed once created.
         let t = {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
             let topics = self.topics.read();
             Arc::clone(
                 topics.get(topic).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))?,
             )
         };
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics.inner");
         let mut guard = t.lock();
         f(&mut guard)
     }
@@ -210,6 +216,7 @@ impl Broker {
     /// Joins (or re-subscribes) a member to a group, bumping the group
     /// generation so other members rebalance.
     pub fn join_group(&self, group: &str, member: u64, topics: Vec<String>) -> u64 {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_owned()).or_default();
         state.subscriptions.insert(member, topics);
@@ -219,6 +226,7 @@ impl Broker {
 
     /// Removes a member from a group, bumping the generation.
     pub fn leave_group(&self, group: &str, member: u64) {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let mut groups = self.groups.lock();
         if let Some(state) = groups.get_mut(group) {
             if state.subscriptions.remove(&member).is_some() {
@@ -229,6 +237,7 @@ impl Broker {
 
     /// Current generation of a group (0 if the group does not exist).
     pub fn group_generation(&self, group: &str) -> u64 {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         self.groups.lock().get(group).map_or(0, |s| s.generation)
     }
 
@@ -243,9 +252,17 @@ impl Broker {
         // until the next rebalance, which is indistinguishable from the
         // subscription racing the topic creation.
         let partition_counts: HashMap<String, u32> = {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
             let topics = self.topics.read();
-            topics.iter().map(|(name, t)| (name.clone(), t.lock().partition_count())).collect()
+            topics
+                .iter()
+                .map(|(name, t)| {
+                    let _inner = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics.inner");
+                    (name.clone(), t.lock().partition_count())
+                })
+                .collect()
         };
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let groups = self.groups.lock();
         let Some(state) = groups.get(group) else { return Vec::new() };
         let Some(my_topics) = state.subscriptions.get(&member) else { return Vec::new() };
@@ -286,6 +303,7 @@ impl Broker {
                 "group {group} commits offset {offset} past end {end} on {topic}/{partition}"
             );
         }
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_owned()).or_default();
         state.committed.insert((topic.to_owned(), partition), offset);
@@ -293,6 +311,7 @@ impl Broker {
 
     /// The committed group offset for a topic partition, if any.
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         self.groups
             .lock()
             .get(group)

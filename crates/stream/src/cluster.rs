@@ -30,29 +30,36 @@ impl Cluster {
     /// Adds (or replaces) a broker with the given name and returns it.
     pub fn add_broker(&self, name: &str) -> Arc<Broker> {
         let broker = Arc::new(Broker::new(name));
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Cluster::brokers");
         self.brokers.write().insert(name.to_owned(), Arc::clone(&broker));
         broker
     }
 
     /// Looks up a broker by name.
     pub fn broker(&self, name: &str) -> Option<Arc<Broker>> {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Cluster::brokers");
         self.brokers.read().get(name).cloned()
     }
 
     /// Sorted names of all brokers.
     pub fn broker_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.brokers.read().keys().cloned().collect();
+        let mut names: Vec<String> = {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Cluster::brokers");
+            self.brokers.read().keys().cloned().collect()
+        };
         names.sort();
         names
     }
 
     /// Number of brokers.
     pub fn len(&self) -> usize {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Cluster::brokers");
         self.brokers.read().len()
     }
 
     /// Whether the cluster has no brokers.
     pub fn is_empty(&self) -> bool {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Cluster::brokers");
         self.brokers.read().is_empty()
     }
 }

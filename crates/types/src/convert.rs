@@ -1,0 +1,54 @@
+//! Named numeric conversions for the hot-path crates.
+//!
+//! The stream/engine/net crates reject bare `as` casts (`cargo xtask lint`,
+//! rule `no-as-cast`) so that every narrowing is a visible, named decision.
+//! These helpers are that name: each states what it converts and what
+//! happens at the boundary.
+
+/// Widens a collection length to `u64`.
+///
+/// Lossless on every supported target (`usize` is at most 64 bits there);
+/// saturates rather than wraps elsewhere.
+#[must_use]
+pub fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Narrows an already-bounded `u64` — e.g. `hash % len_u64(n)` — back to a
+/// `usize` index, saturating instead of wrapping if the bound was wrong.
+#[must_use]
+pub fn index_usize(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// Converts a record count to `f64` for averaging.
+///
+/// Counts above 2^53 round to the nearest representable float, which is
+/// acceptable for statistics and unreachable in practice.
+#[must_use]
+pub fn count_f64(n: u64) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_round_trips_small_sizes() {
+        assert_eq!(len_u64(0), 0);
+        assert_eq!(len_u64(4096), 4096);
+    }
+
+    #[test]
+    fn index_round_trips_bounded_values() {
+        assert_eq!(index_usize(0), 0);
+        assert_eq!(index_usize(len_u64(usize::MAX)), usize::MAX);
+    }
+
+    #[test]
+    fn count_is_exact_below_2_to_53() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(1 << 52), 4_503_599_627_370_496.0);
+    }
+}

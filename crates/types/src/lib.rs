@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod convert;
 mod error;
 mod geo;
 mod ids;
@@ -34,6 +35,7 @@ mod records;
 mod road;
 mod time;
 
+pub use convert::{count_f64, index_usize, len_u64};
 pub use error::CodecError;
 pub use geo::{GeoPoint, EARTH_RADIUS_M};
 pub use ids::{RsuId, TripId, VehicleId};

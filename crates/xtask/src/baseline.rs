@@ -24,7 +24,10 @@ pub fn load(path: &Path) -> io::Result<BTreeMap<String, u64>> {
     let mut map = BTreeMap::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line == "[violations]" {
+        // Section headers are skipped, not interpreted: the same restricted
+        // format serves both `[violations]` (baseline) and `[ranks]`
+        // (lockranks.toml), each file holding exactly one table.
+        if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
             continue;
         }
         let parse_err = || {

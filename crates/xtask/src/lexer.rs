@@ -18,6 +18,10 @@ pub struct Line {
     pub comment: String,
     /// Whether the line sits inside a `#[cfg(test)]`/`#[test]` item.
     pub in_test: bool,
+    /// Contents of the string literals that *start* on this line, in order
+    /// (a multi-line literal's whole body accrues to its starting line).
+    /// The code channel blanks literal bodies; the parser reads them here.
+    pub strings: Vec<String>,
 }
 
 /// A lexed source file.
@@ -44,12 +48,18 @@ pub fn lex(src: &str) -> SourceFile {
     let mut cur = Line::default();
     let mut mode = Mode::Code;
     let mut i = 0usize;
+    // In-flight and completed string-literal captures: (starting line, body).
+    let mut cap: Option<(usize, String)> = None;
+    let mut captured: Vec<(usize, String)> = Vec::new();
     while i < bytes.len() {
         let c = bytes[i];
         let next = bytes.get(i + 1).copied();
         if c == '\n' {
             if mode == Mode::LineComment {
                 mode = Mode::Code;
+            }
+            if let Some((_, buf)) = cap.as_mut() {
+                buf.push('\n');
             }
             lines.push(std::mem::take(&mut cur));
             i += 1;
@@ -68,17 +78,20 @@ pub fn lex(src: &str) -> SourceFile {
                 '"' => {
                     cur.code.push('"');
                     mode = Mode::Str;
+                    cap = Some((lines.len(), String::new()));
                     i += 1;
                 }
                 'r' | 'b' if is_raw_string_start(&bytes, i) => {
                     let (fence, consumed) = raw_fence(&bytes, i);
                     cur.code.push_str("r\"");
                     mode = Mode::RawStr(fence);
+                    cap = Some((lines.len(), String::new()));
                     i += consumed;
                 }
                 'b' if next == Some('"') => {
                     cur.code.push_str("b\"");
                     mode = Mode::Str;
+                    cap = Some((lines.len(), String::new()));
                     i += 2;
                 }
                 'b' if next == Some('\'') => {
@@ -123,17 +136,27 @@ pub fn lex(src: &str) -> SourceFile {
                     // Never consume a newline here: `\` line continuations
                     // must still produce a line break so line numbers align.
                     cur.code.push(' ');
+                    if let Some((_, buf)) = cap.as_mut() {
+                        buf.push('\\');
+                    }
                     i += 1;
                     if matches!(bytes.get(i), Some(n) if *n != '\n') {
                         cur.code.push(' ');
+                        if let Some((_, buf)) = cap.as_mut() {
+                            buf.push(bytes[i]);
+                        }
                         i += 1;
                     }
                 } else if c == '"' {
                     cur.code.push('"');
                     mode = Mode::Code;
+                    captured.extend(cap.take());
                     i += 1;
                 } else {
                     cur.code.push(' ');
+                    if let Some((_, buf)) = cap.as_mut() {
+                        buf.push(c);
+                    }
                     i += 1;
                 }
             }
@@ -141,9 +164,13 @@ pub fn lex(src: &str) -> SourceFile {
                 if c == '"' && closes_raw(&bytes, i, fence) {
                     cur.code.push('"');
                     mode = Mode::Code;
+                    captured.extend(cap.take());
                     i += 1 + fence as usize;
                 } else {
                     cur.code.push(' ');
+                    if let Some((_, buf)) = cap.as_mut() {
+                        buf.push(c);
+                    }
                     i += 1;
                 }
             }
@@ -169,7 +196,13 @@ pub fn lex(src: &str) -> SourceFile {
     if !cur.code.is_empty() || !cur.comment.is_empty() {
         lines.push(cur);
     }
+    captured.extend(cap.take()); // unterminated literal at EOF
     let mut file = SourceFile { lines };
+    for (idx, body) in captured {
+        if let Some(line) = file.lines.get_mut(idx) {
+            line.strings.push(body);
+        }
+    }
     mark_test_regions(&mut file);
     file
 }
@@ -295,6 +328,66 @@ mod tests {
         let f = lex("/* outer /* inner */ still comment */ let x = 1;\n");
         assert!(f.lines[0].code.contains("let x = 1;"));
         assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn raw_string_with_hash_fence_ignores_inner_quotes() {
+        let f = lex("let x = r##\"say \"#hi\"# loud\"##; x.unwrap();\n");
+        assert!(!f.lines[0].code.contains("hi"), "{}", f.lines[0].code);
+        assert!(f.lines[0].code.contains(".unwrap()"), "code after the literal is live");
+        assert_eq!(f.lines[0].strings, vec!["say \"#hi\"# loud"]);
+    }
+
+    #[test]
+    fn multiline_string_accrues_to_its_starting_line() {
+        let f = lex("let x = \"first\nsecond\"; let y = 1;\n");
+        assert_eq!(f.lines[0].strings, vec!["first\nsecond"]);
+        assert!(f.lines[0].strings.len() == 1 && f.lines[1].strings.is_empty());
+        assert!(f.lines[1].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn char_literal_containing_a_quote_does_not_open_a_string() {
+        let f = lex("let q = '\"'; let s = \"ok\"; let z = 2;\n");
+        assert!(f.lines[0].code.contains("let z = 2;"), "{}", f.lines[0].code);
+        assert_eq!(f.lines[0].strings, vec!["ok"], "only the real string is captured");
+    }
+
+    #[test]
+    fn byte_literal_with_escaped_quote_stays_closed() {
+        let f = lex("let b = b'\\''; let s = b\"bytes\"; let z = 3;\n");
+        assert!(f.lines[0].code.contains("let z = 3;"), "{}", f.lines[0].code);
+        assert_eq!(f.lines[0].strings, vec!["bytes"]);
+    }
+
+    #[test]
+    fn string_with_escaped_quote_and_backslash_stays_aligned() {
+        let f = lex("let s = \"a\\\"b\\\\\"; let z = 4;\n");
+        assert!(f.lines[0].code.contains("let z = 4;"), "{}", f.lines[0].code);
+        assert_eq!(f.lines[0].strings, vec!["a\\\"b\\\\"]);
+    }
+
+    #[test]
+    fn lifetime_tick_before_char_literal_both_resolve() {
+        // `'a` (lifetime) immediately followed by a real `'x'` literal.
+        let f = lex("fn g<'a>(v: &'a [u8]) -> char { let c = 'x'; c }\n");
+        assert!(f.lines[0].code.contains("fn g<'a>"), "{}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains('x'), "char body blanked: {}", f.lines[0].code);
+    }
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        let f = lex("let url = \"https://example.com\"; let z = 5;\n");
+        assert!(f.lines[0].code.contains("let z = 5;"), "{}", f.lines[0].code);
+        assert!(f.lines[0].comment.is_empty());
+        assert_eq!(f.lines[0].strings, vec!["https://example.com"]);
+    }
+
+    #[test]
+    fn block_comment_markers_inside_string_do_not_toggle_modes() {
+        let f = lex("let s = \"/* not a comment */\"; let z = 6; // real\n");
+        assert!(f.lines[0].code.contains("let z = 6;"), "{}", f.lines[0].code);
+        assert!(f.lines[0].comment.contains("real"));
     }
 
     #[test]

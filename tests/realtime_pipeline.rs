@@ -39,6 +39,8 @@ fn realtime_rsu_detects_and_disseminates() {
         for rec in batch.collect() {
             let mut buf = rec.value;
             let Ok(status) = VehicleStatus::decode(&mut buf) else { continue };
+            // ordering: Relaxed — a progress counter; the final read below
+            // happens after `stop()` joins the ticker thread.
             processed2.fetch_add(1, Ordering::Relaxed);
             let Ok(d) = det.detect(&status.to_feature(), None) else { continue };
             if d.label == Label::Abnormal {
@@ -97,10 +99,12 @@ fn realtime_rsu_detects_and_disseminates() {
 
     // Wait for the scheduler to drain, then stop it.
     let deadline = Instant::now() + Duration::from_secs(10);
+    // ordering: Relaxed — polling a monotone counter; timing only.
     while processed.load(Ordering::Relaxed) < 400 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    let metrics = scheduler.stop();
+    let metrics = scheduler.stop().unwrap();
+    // ordering: Relaxed — `stop()` joined the ticker, so this is the final value.
     assert_eq!(processed.load(Ordering::Relaxed), 400, "every status processed exactly once");
     assert!(!metrics.is_empty());
 
