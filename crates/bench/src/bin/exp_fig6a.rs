@@ -1,9 +1,12 @@
 //! Fig. 6a — Tx / processing / total latency vs number of vehicles.
 
-use cad3_bench::{experiments, paper, quick_mode, tables, write_json, DEFAULT_SEED};
+use cad3_bench::{experiments, paper, quick_mode, tables, write_json, write_metrics, DEFAULT_SEED};
 
 fn main() {
     tables::banner("Figure 6a — end-to-end latency vs vehicles (single RSU)");
+    // Attach the metrics exporter so the run also produces the Fig. 6a
+    // decomposition as `rsu.*_us` histograms in `results/fig6a_metrics.prom`.
+    cad3_obs::set_enabled(true);
     let result = experiments::scaling_sweep(DEFAULT_SEED, quick_mode());
     let rows: Vec<Vec<String>> = result
         .rows
@@ -43,4 +46,13 @@ fn main() {
         if worst < paper::LATENCY_BOUND_MS { "✓" } else { "✗ NOT" }
     );
     write_json("fig6a_latency_scaling", &result);
+    if let Some(snapshot) = write_metrics("fig6a_metrics") {
+        for stage in ["rsu.tx_us", "rsu.queuing_us", "rsu.processing_us", "rsu.total_us"] {
+            let hist = snapshot.histogram(stage);
+            assert!(
+                hist.is_some_and(|h| h.count > 0),
+                "metrics snapshot is missing Fig. 6a stage histogram {stage}"
+            );
+        }
+    }
 }

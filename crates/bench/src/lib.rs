@@ -33,21 +33,49 @@ pub fn quick_mode() -> bool {
 
 /// Writes an experiment's JSON record to `results/<name>.json`, creating
 /// the directory if needed. Prints the path on success; failures are
-/// reported but non-fatal (the stdout table is the primary artefact).
+/// non-fatal (the stdout table is the primary artefact) and are counted on
+/// `bench.results.errors` instead of written to stderr — library code keeps
+/// quiet per the workspace `no-bare-print` lint, and any metrics export
+/// surfaces the failure count.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: could not create {}: {e}", dir.display());
+    if std::fs::create_dir_all(&dir).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("\n[results written to {}]", path.display()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    match serde_json::to_string_pretty(value).map(|json| std::fs::write(&path, json)) {
+        Ok(Ok(())) => {
+            cad3_obs::counter!("bench.results.written").inc();
+            println!("\n[results written to {}]", path.display());
+        }
+        Ok(Err(_)) | Err(_) => cad3_obs::counter!("bench.results.errors").inc(),
     }
+}
+
+/// Captures the current [`cad3_obs`] metrics snapshot and writes it to
+/// `results/<name>.prom` in the Prometheus text exposition format.
+///
+/// Returns the rendered snapshot so callers can also assert on it (the
+/// Fig. 6a binary checks the `rsu.*_us` histograms reproduce the stage
+/// decomposition). Returns `None` when writing failed (counted on
+/// `bench.results.errors`).
+pub fn write_metrics(name: &str) -> Option<cad3_obs::MetricsSnapshot> {
+    let snapshot = cad3_obs::registry().snapshot();
+    let text = cad3_obs::export::prometheus_text(&snapshot);
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
+        return None;
+    }
+    let path = dir.join(format!("{name}.prom"));
+    if std::fs::write(&path, text).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
+        return None;
+    }
+    cad3_obs::counter!("bench.results.written").inc();
+    println!("[metrics written to {}]", path.display());
+    Some(snapshot)
 }
 
 fn results_dir() -> PathBuf {

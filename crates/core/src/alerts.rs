@@ -50,9 +50,13 @@ impl AlertThrottle {
     /// alert when it does.
     pub fn should_alert(&mut self, warning: &WarningMessage, now: SimTime) -> bool {
         match self.last_alert.get(&warning.vehicle) {
-            Some(&t) if now.saturating_since(t) < self.hold_off && now >= t => false,
+            Some(&t) if now.saturating_since(t) < self.hold_off && now >= t => {
+                cad3_obs::counter!("alerts.suppressed").inc();
+                false
+            }
             _ => {
                 self.last_alert.insert(warning.vehicle, now);
+                cad3_obs::counter!("alerts.sent").inc();
                 true
             }
         }

@@ -46,12 +46,24 @@ impl LatencyStats {
     }
 
     /// Records one fully decomposed measurement.
+    ///
+    /// When an exporter is attached ([`cad3_obs::enabled`]) the sample also
+    /// feeds the `rsu.*_us` histograms, so a metrics snapshot reproduces the
+    /// Fig. 6a stage decomposition in microseconds of modelled time.
     pub fn record(&mut self, b: &LatencyBreakdown) {
         self.tx_ms.push(b.tx.as_millis_f64());
         self.queuing_ms.push(b.queuing.as_millis_f64());
         self.processing_ms.push(b.processing.as_millis_f64());
         self.dissemination_ms.push(b.dissemination.as_millis_f64());
         self.total_ms.push(b.total().as_millis_f64());
+        if cad3_obs::enabled() {
+            cad3_obs::histogram!("rsu.tx_us").observe(b.tx.as_nanos() / 1_000);
+            cad3_obs::histogram!("rsu.queuing_us").observe(b.queuing.as_nanos() / 1_000);
+            cad3_obs::histogram!("rsu.processing_us").observe(b.processing.as_nanos() / 1_000);
+            cad3_obs::histogram!("rsu.dissemination_us")
+                .observe(b.dissemination.as_nanos() / 1_000);
+            cad3_obs::histogram!("rsu.total_us").observe(b.total().as_nanos() / 1_000);
+        }
     }
 
     /// Number of recorded measurements.

@@ -162,22 +162,29 @@ impl RsuNode {
     /// deployment logs and drops them).
     pub fn run_batch(&mut self, now: SimTime) -> Result<BatchResult, CoreError> {
         self.batches += 1;
+        let _batch_span = cad3_obs::span!("rsu.micro_batch", self.batches);
 
         // 1. Collaboration input.
         let mut summaries_received = 0;
-        for rec in self.co_consumer.poll(usize::MAX)? {
-            let mut buf: Bytes = rec.value;
-            if let Ok(msg) = SummaryMessage::decode(&mut buf) {
-                let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
-                self.shards[self.shard_of(msg.vehicle)]
-                    .lock()
-                    .seed(msg.vehicle, VehicleSummary::from_message(&msg));
-                summaries_received += 1;
+        {
+            let _fuse_span = cad3_obs::span!("rsu.handover.fuse");
+            for rec in self.co_consumer.poll(usize::MAX)? {
+                let mut buf: Bytes = rec.value;
+                if let Ok(msg) = SummaryMessage::decode(&mut buf) {
+                    let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
+                    self.shards[self.shard_of(msg.vehicle)]
+                        .lock()
+                        .seed(msg.vehicle, VehicleSummary::from_message(&msg));
+                    summaries_received += 1;
+                }
             }
         }
+        cad3_obs::counter!("rsu.handover.summaries_in")
+            .add(cad3_types::len_u64(summaries_received));
 
         // 2. Ingest the micro-batch and shard it by vehicle (the keyed
         //    partitioning the paper gets from Kafka's partitioner).
+        let ingest_span = cad3_obs::span!("rsu.ingest");
         let batch = self.in_consumer.poll(usize::MAX)?;
         let records = batch.len();
         let processing = self.cost_model.batch_time(records);
@@ -195,6 +202,8 @@ impl RsuNode {
                 .unwrap_or(0);
             buckets[(vehicle % self.shards.len() as u64) as usize].push((vehicle, rec));
         }
+        drop(ingest_span);
+        let detect_span = cad3_obs::span!("rsu.detect", cad3_types::len_u64(records));
 
         // 3-4. Detect in parallel per shard; within a shard, a vehicle's
         //      records run in order against its summary state.
@@ -247,6 +256,7 @@ impl RsuNode {
                 out
             })
             .collect();
+        drop(detect_span);
 
         let mut queuing = Vec::with_capacity(records);
         let mut warnings = Vec::new();
@@ -262,6 +272,8 @@ impl RsuNode {
             }
         }
         self.warnings_produced += warnings.len() as u64;
+        cad3_obs::counter!("rsu.records").add(cad3_types::len_u64(records));
+        cad3_obs::counter!("rsu.warnings").add(cad3_types::len_u64(warnings.len()));
         Ok(BatchResult { records, processing, queuing, warnings, summaries_received })
     }
 
@@ -295,6 +307,7 @@ impl RsuNode {
             );
         }
         out.sort_by_key(|m| m.vehicle);
+        cad3_obs::counter!("rsu.handover.summaries_out").add(cad3_types::len_u64(out.len()));
         out
     }
 

@@ -1,0 +1,106 @@
+//! Property-based tests of the Fig. 6a latency decomposition and the
+//! `cad3-obs` histograms that export it: the stage components always sum to
+//! the reported total, and a merged histogram's quantile estimates stay
+//! within one log2 bucket of a sorted-vector oracle.
+
+use cad3::{LatencyBreakdown, LatencyStats};
+use cad3_obs::{bucket_lower, bucket_upper, Histogram};
+use cad3_types::SimDuration;
+use proptest::prelude::*;
+
+/// The log2 bucket a value falls in, mirroring `cad3_obs`'s layout (bucket
+/// `b` holds the values with exactly `b` significant bits).
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+proptest! {
+    /// Fig. 6a invariant: the decomposition is exhaustive — tx, queuing,
+    /// processing and dissemination always reconstruct the end-to-end total,
+    /// both on the raw breakdown and through `LatencyStats` aggregation.
+    #[test]
+    fn decomposition_components_sum_to_total(
+        samples in prop::collection::vec(
+            // Nanosecond stage durations up to ~18 minutes each: far beyond
+            // any modelled latency, still overflow-safe when summed.
+            prop::collection::vec(0u64..1 << 40, 4),
+            1..64,
+        )
+    ) {
+        let mut stats = LatencyStats::new();
+        for ns in &samples {
+            let b = LatencyBreakdown {
+                tx: SimDuration::from_nanos(ns[0]),
+                queuing: SimDuration::from_nanos(ns[1]),
+                processing: SimDuration::from_nanos(ns[2]),
+                dissemination: SimDuration::from_nanos(ns[3]),
+            };
+            prop_assert_eq!(
+                b.total(),
+                SimDuration::from_nanos(ns.iter().sum()),
+                "components must reconstruct the total"
+            );
+            stats.record(&b);
+        }
+        prop_assert_eq!(stats.len(), samples.len());
+        // The aggregated means decompose the mean total the same way.
+        let mean_parts = stats.tx_ms.mean()
+            + stats.queuing_ms.mean()
+            + stats.processing_ms.mean()
+            + stats.dissemination_ms.mean();
+        let tolerance = 1e-9 * (1.0 + stats.total_ms.mean().abs());
+        prop_assert!(
+            (stats.total_ms.mean() - mean_parts).abs() < tolerance,
+            "mean total {} != sum of mean components {}",
+            stats.total_ms.mean(),
+            mean_parts,
+        );
+    }
+
+    /// A histogram merged from concurrently-written shards estimates every
+    /// quantile as the upper bound of the bucket holding the exact order
+    /// statistic — i.e. within one bucket width of a sorted-vector oracle.
+    #[test]
+    fn merged_histogram_quantiles_match_sorted_oracle(
+        values in prop::collection::vec(0u64..1 << 48, 1..512),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let hist = Histogram::new();
+        // Observe from several threads so the snapshot genuinely merges
+        // more than one shard cell.
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(4)) {
+                let hist = &hist;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        hist.observe(v);
+                    }
+                });
+            }
+        });
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in qs.iter().copied().chain([0.5, 0.95, 0.99]) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let estimate = snap.quantile(q);
+            let b = bucket_of(oracle);
+            prop_assert_eq!(
+                estimate,
+                bucket_upper(b),
+                "q={} rank={} oracle={} must resolve to its bucket's upper bound",
+                q, rank, oracle,
+            );
+            prop_assert!(
+                oracle <= estimate && estimate - oracle <= bucket_upper(b) - bucket_lower(b),
+                "q={} estimate {} strays more than one bucket from oracle {}",
+                q, estimate, oracle,
+            );
+        }
+    }
+}

@@ -80,8 +80,15 @@ impl MicroBatchRunner {
     where
         F: FnOnce(PartitionedDataset<FetchedRecord>),
     {
+        // Backlog right before the poll — the paper's "queuing" pressure
+        // signal. Exporter-gated: `lag()` walks the topic end offsets.
+        if cad3_obs::enabled() {
+            cad3_obs::gauge!("engine.batch.queue_depth").set(self.consumer.lag());
+        }
         let records = self.consumer.poll(self.config.max_records)?;
         let n = records.len();
+        cad3_obs::counter!("engine.batches").inc();
+        cad3_obs::counter!("engine.batch.records").add(len_u64(n));
 
         let mut by_partition: HashMap<(String, u32), Vec<FetchedRecord>> = HashMap::new();
         for r in records {

@@ -36,13 +36,27 @@ impl RealtimeScheduler {
 
         let handle = std::thread::spawn(move || {
             let mut next_tick = Instant::now() + interval;
+            // The instant the previous iteration planned to wake at; its
+            // distance to the actual wake is the scheduler's tick jitter.
+            let mut planned_tick: Option<Instant> = None;
             // ordering: Relaxed — `stop` is a lone advisory flag; the join in
             // `stop()`/`drop` provides the happens-before for everything else.
             while !stop2.load(Ordering::Relaxed) {
                 let start = Instant::now();
+                if cad3_obs::enabled() {
+                    if let Some(planned) = planned_tick {
+                        let jitter = start.saturating_duration_since(planned);
+                        cad3_obs::histogram!("engine.scheduler.tick_jitter_ns")
+                            .observe(u64::try_from(jitter.as_nanos()).unwrap_or(u64::MAX));
+                    }
+                }
                 match runner.run_batch(&mut job) {
                     Ok(mut m) => {
                         m.wall_time = start.elapsed();
+                        if cad3_obs::enabled() {
+                            cad3_obs::histogram!("engine.batch.wall_ns")
+                                .observe(u64::try_from(m.wall_time.as_nanos()).unwrap_or(u64::MAX));
+                        }
                         let _held =
                             cad3_lockrank::rank_scope!("cad3_engine::RealtimeScheduler::metrics");
                         metrics2.lock().push(m);
@@ -61,6 +75,7 @@ impl RealtimeScheduler {
                 if next_tick > now {
                     std::thread::sleep(next_tick - now);
                 }
+                planned_tick = Some(next_tick);
                 next_tick += interval;
             }
             Ok(())

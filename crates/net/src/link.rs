@@ -66,6 +66,10 @@ impl WiredLink {
         let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
         self.next_free = start + ser;
         self.bytes_carried += bytes as u64;
+        if cad3_obs::enabled() {
+            cad3_obs::counter!("net.link.bytes").add(cad3_types::len_u64(bytes));
+            cad3_obs::counter!("net.link.frames").inc();
+        }
         self.next_free + self.propagation
     }
 }

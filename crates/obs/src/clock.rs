@@ -1,0 +1,36 @@
+//! The one wall-clock read point of the observability substrate.
+//!
+//! Instrumented crates must not touch `Instant::now` themselves (the
+//! workspace `no-wallclock` lint confines clock reads to this file and the
+//! real-time scheduler); they call [`now_nanos`], which reports monotonic
+//! nanoseconds since the first observation in this process. Keeping the
+//! anchor process-local makes timestamps small, monotone and serialisable
+//! as `u64` without committing to any epoch.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic nanoseconds since the process's first call to this function.
+///
+/// The first call returns a value close to zero; all later calls are
+/// monotonically non-decreasing. Saturates at `u64::MAX` after ~584 years.
+pub fn now_nanos() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_anchored_near_zero() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        // The anchor is the first call ever; whatever test ran first, the
+        // process has not been up for an hour.
+        assert!(a < 3_600_000_000_000, "{a}");
+    }
+}

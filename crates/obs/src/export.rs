@@ -1,0 +1,153 @@
+//! Exporters: Prometheus-style text and JSONL event logs.
+//!
+//! Both are plain string renderers over the snapshot types — no I/O, no
+//! serializer dependency — so callers decide where the bytes go (a file in
+//! `results/`, stderr from the panic hook, a CI artifact).
+
+use crate::metrics::{bucket_upper, HistogramSnapshot, BUCKETS};
+use crate::recorder::{EventKind, SpanEvent};
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Metric names are dotted (`stream.broker.produce`); Prometheus wants
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, so dots become underscores under a `cad3_`
+/// namespace prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("cad3_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let p = prom_name(name);
+    let _ = writeln!(out, "# TYPE {p} histogram");
+    let mut cumulative = 0u64;
+    let last = (0..BUCKETS).rev().find(|&b| h.buckets[b] > 0).unwrap_or(0);
+    for b in 0..=last {
+        cumulative += h.buckets[b];
+        let _ = writeln!(out, "{p}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(b));
+    }
+    let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{p}_sum {}", h.sum);
+    let _ = writeln!(out, "{p}_count {}", h.count);
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p}_total counter");
+        let _ = writeln!(out, "{p}_total {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        prom_histogram(&mut out, name, h);
+    }
+    out
+}
+
+/// Minimal JSON string escaping (names are `[a-z0-9._]` by the workspace
+/// lint, but the renderer stays correct for arbitrary input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders flight-recorder events as one JSON object per line.
+pub fn events_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let kind = match e.kind {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Point => "point",
+        };
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{},\"t_ns\":{},\"kind\":\"{kind}\",\"name\":\"{}\",\"span\":{},\"parent\":{},\"value\":{}}}",
+            e.seq,
+            e.time_ns,
+            json_escape(e.name),
+            e.span,
+            e.parent,
+            e.value,
+        );
+    }
+    out
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("stream.broker.produce".into(), 42);
+        snap.gauges.insert("stream.consumer.lag.g".into(), 7);
+        let h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.observe(v);
+        }
+        snap.histograms.insert("rsu.total_us".into(), h.snapshot());
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE cad3_stream_broker_produce_total counter"));
+        assert!(text.contains("cad3_stream_broker_produce_total 42"));
+        assert!(text.contains("cad3_stream_consumer_lag_g 7"));
+        assert!(text.contains("# TYPE cad3_rsu_total_us histogram"));
+        assert!(text.contains("cad3_rsu_total_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("cad3_rsu_total_us_sum 106"));
+        assert!(text.contains("cad3_rsu_total_us_count 4"));
+        // Buckets are cumulative: value 1 → bucket 1 (le="1"), values 2,3 →
+        // bucket 2 (le="3" cumulative 3), value 100 → bucket 7 (le="127").
+        assert!(text.contains("cad3_rsu_total_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cad3_rsu_total_us_bucket{le=\"3\"} 3"));
+        assert!(text.contains("cad3_rsu_total_us_bucket{le=\"127\"} 4"));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let events = vec![SpanEvent {
+            seq: 1,
+            time_ns: 123,
+            kind: EventKind::Enter,
+            name: "rsu.micro_batch",
+            span: 9,
+            parent: 0,
+            value: 4,
+        }];
+        let text = events_jsonl(&events);
+        assert_eq!(
+            text,
+            "{\"seq\":1,\"t_ns\":123,\"kind\":\"enter\",\"name\":\"rsu.micro_batch\",\"span\":9,\"parent\":0,\"value\":4}\n"
+        );
+    }
+
+    #[test]
+    fn json_escaping_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

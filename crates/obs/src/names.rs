@@ -1,0 +1,165 @@
+//! The canonical metric and span name catalogue.
+//!
+//! Every name the workspace's instrumentation registers is listed here, so
+//! the namespace has one authoritative index (dashboards, the e2e CI
+//! assertion and DESIGN.md all read from this list) and a unit test can
+//! hold the naming convention: lowercase dotted segments, with the unit
+//! suffixed to histogram names (`_ns`, `_us`).
+//!
+//! Call sites pass these names as string literals (so `cargo xtask lint`'s
+//! `obs-names` rule can check them without name resolution); this module is
+//! the registry those literals must match, enforced by [`ALL`] in tests.
+
+/// Records appended through `Broker::produce` (counter).
+pub const STREAM_BROKER_PRODUCE: &str = "stream.broker.produce";
+/// Records returned by `Broker::fetch` (counter).
+pub const STREAM_BROKER_FETCH_RECORDS: &str = "stream.broker.fetch.records";
+/// `Broker::produce` latency, nanoseconds (histogram; exporter-gated).
+pub const STREAM_BROKER_PRODUCE_NS: &str = "stream.broker.produce_ns";
+/// `Broker::fetch` latency, nanoseconds (histogram; exporter-gated).
+pub const STREAM_BROKER_FETCH_NS: &str = "stream.broker.fetch_ns";
+/// Records published by `Producer::send*` (counter).
+pub const STREAM_PRODUCER_RECORDS: &str = "stream.producer.records";
+/// Bytes published by `Producer::send*` (counter).
+pub const STREAM_PRODUCER_BYTES: &str = "stream.producer.bytes";
+/// Batches flushed by `BatchingProducer` (counter).
+pub const STREAM_PRODUCER_BATCHES: &str = "stream.producer.batches";
+/// `Consumer::poll` calls (counter).
+pub const STREAM_CONSUMER_POLLS: &str = "stream.consumer.polls";
+/// Records delivered by `Consumer::poll` (counter).
+pub const STREAM_CONSUMER_RECORDS: &str = "stream.consumer.records";
+/// Per-group committed-vs-head lag gauge prefix; the group name is
+/// appended: `stream.consumer.lag.<group>`.
+pub const STREAM_CONSUMER_LAG_PREFIX: &str = "stream.consumer.lag";
+
+/// Micro-batches executed by `MicroBatchRunner` (counter).
+pub const ENGINE_BATCHES: &str = "engine.batches";
+/// Records carried by executed micro-batches (counter).
+pub const ENGINE_BATCH_RECORDS: &str = "engine.batch.records";
+/// Consumer backlog observed just before each poll (gauge; exporter-gated).
+pub const ENGINE_BATCH_QUEUE_DEPTH: &str = "engine.batch.queue_depth";
+/// Wall-clock micro-batch time, nanoseconds (histogram; exporter-gated).
+pub const ENGINE_BATCH_WALL_NS: &str = "engine.batch.wall_ns";
+/// Scheduler tick start minus its planned instant, nanoseconds
+/// (histogram; exporter-gated).
+pub const ENGINE_TICK_JITTER_NS: &str = "engine.scheduler.tick_jitter_ns";
+
+/// One RSU micro-batch (span; enter value = record count).
+pub const RSU_MICRO_BATCH: &str = "rsu.micro_batch";
+/// `CO-DATA` ingest + collaboration fuse stage (span).
+pub const RSU_HANDOVER_FUSE: &str = "rsu.handover.fuse";
+/// `IN-DATA` ingest stage (span).
+pub const RSU_INGEST: &str = "rsu.ingest";
+/// Parallel detection stage (span).
+pub const RSU_DETECT: &str = "rsu.detect";
+/// Status records processed by RSUs (counter).
+pub const RSU_RECORDS: &str = "rsu.records";
+/// Warnings emitted by RSUs (counter).
+pub const RSU_WARNINGS: &str = "rsu.warnings";
+/// Collaboration summaries received on `CO-DATA` (counter).
+pub const RSU_SUMMARIES_IN: &str = "rsu.handover.summaries_in";
+/// Collaboration summaries exported for the next RSU (counter).
+pub const RSU_SUMMARIES_OUT: &str = "rsu.handover.summaries_out";
+
+/// Fig. 6a decomposition histograms, microseconds of *modelled* (virtual)
+/// time, fed by `cad3::LatencyStats::record` (exporter-gated).
+pub const RSU_TX_US: &str = "rsu.tx_us";
+/// Queuing stage of the Fig. 6a decomposition (histogram, µs).
+pub const RSU_QUEUING_US: &str = "rsu.queuing_us";
+/// Processing stage of the Fig. 6a decomposition (histogram, µs).
+pub const RSU_PROCESSING_US: &str = "rsu.processing_us";
+/// Dissemination stage of the Fig. 6a decomposition (histogram, µs).
+pub const RSU_DISSEMINATION_US: &str = "rsu.dissemination_us";
+/// End-to-end total of the Fig. 6a decomposition (histogram, µs).
+pub const RSU_TOTAL_US: &str = "rsu.total_us";
+
+/// Warnings that reached a driver through `AlertThrottle` (counter).
+pub const ALERTS_SENT: &str = "alerts.sent";
+/// Warnings suppressed by the alert hold-off window (counter).
+pub const ALERTS_SUPPRESSED: &str = "alerts.suppressed";
+
+/// Bytes carried by wired RSU-interconnect links (counter).
+pub const NET_LINK_BYTES: &str = "net.link.bytes";
+/// Frames carried by wired RSU-interconnect links (counter).
+pub const NET_LINK_FRAMES: &str = "net.link.frames";
+
+/// Result artefacts (`results/*.json`, `results/*.prom`) written by the
+/// bench harness (counter).
+pub const BENCH_RESULTS_WRITTEN: &str = "bench.results.written";
+/// Result artefacts the bench harness failed to write (counter).
+pub const BENCH_RESULTS_ERRORS: &str = "bench.results.errors";
+
+/// Every catalogued name (spans listed under their bare name; their
+/// duration histograms add the `_ns` suffix at registration).
+pub const ALL: &[&str] = &[
+    STREAM_BROKER_PRODUCE,
+    STREAM_BROKER_FETCH_RECORDS,
+    STREAM_BROKER_PRODUCE_NS,
+    STREAM_BROKER_FETCH_NS,
+    STREAM_PRODUCER_RECORDS,
+    STREAM_PRODUCER_BYTES,
+    STREAM_PRODUCER_BATCHES,
+    STREAM_CONSUMER_POLLS,
+    STREAM_CONSUMER_RECORDS,
+    STREAM_CONSUMER_LAG_PREFIX,
+    ENGINE_BATCHES,
+    ENGINE_BATCH_RECORDS,
+    ENGINE_BATCH_QUEUE_DEPTH,
+    ENGINE_BATCH_WALL_NS,
+    ENGINE_TICK_JITTER_NS,
+    RSU_MICRO_BATCH,
+    RSU_HANDOVER_FUSE,
+    RSU_INGEST,
+    RSU_DETECT,
+    RSU_RECORDS,
+    RSU_WARNINGS,
+    RSU_SUMMARIES_IN,
+    RSU_SUMMARIES_OUT,
+    RSU_TX_US,
+    RSU_QUEUING_US,
+    RSU_PROCESSING_US,
+    RSU_DISSEMINATION_US,
+    RSU_TOTAL_US,
+    ALERTS_SENT,
+    ALERTS_SUPPRESSED,
+    NET_LINK_BYTES,
+    NET_LINK_FRAMES,
+    BENCH_RESULTS_WRITTEN,
+    BENCH_RESULTS_ERRORS,
+];
+
+/// Whether `name` follows the workspace naming convention: lowercase
+/// dot-separated segments of `[a-z0-9_]`, starting each segment with a
+/// letter and never ending in a dot.
+pub fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg.starts_with(|c: char| c.is_ascii_lowercase())
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_valid_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(is_valid_name(name), "bad name {name}");
+            assert!(seen.insert(name), "duplicate name {name}");
+        }
+    }
+
+    #[test]
+    fn validity_rejects_bad_shapes() {
+        for bad in ["", "Upper.case", "trailing.", ".leading", "sp ace", "dash-ed", "1digit"] {
+            assert!(!is_valid_name(bad), "{bad} should be invalid");
+        }
+        for good in ["a", "rsu.micro_batch", "stream.consumer.lag", "rsu.tx_us", "x9.y_z"] {
+            assert!(is_valid_name(good), "{good} should be valid");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The metrics registry: one process-wide interning table from metric/span
+//! names to shared metric cells.
+//!
+//! The registry mutex is **off the hot path**: the `counter!`/`gauge!`/
+//! `histogram!`/`span!` macros cache the returned handle in a per-call-site
+//! `OnceLock`, so instrumented code locks the registry exactly once per
+//! call site per process and afterwards touches only the metric's atomics.
+//!
+//! # Lock hierarchy
+//!
+//! `Registry::inner` is a leaf lock (rank 90 in `lockranks.toml`): no other
+//! workspace lock is ever acquired while it is held, so instrumentation may
+//! be called from inside any broker/engine/RSU critical section without
+//! widening the lock graph.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    /// Interned span/event names; the flight recorder stores the index.
+    names: Vec<&'static str>,
+    name_ids: BTreeMap<&'static str, u32>,
+}
+
+/// A registry of named metrics. Normally used through the process-wide
+/// [`registry`]; tests may build private instances.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Mutex::new(Inner::default()) }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+        let mut inner = self.inner.lock();
+        Arc::clone(inner.counters.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+        let mut inner = self.inner.lock();
+        Arc::clone(inner.gauges.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+        let mut inner = self.inner.lock();
+        Arc::clone(inner.histograms.entry(name.to_owned()).or_default())
+    }
+
+    /// Interns a static name (span names, event names), returning a dense id
+    /// the flight recorder can store in an atomic slot.
+    pub fn intern_name(&self, name: &'static str) -> u32 {
+        let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.name_ids.get(name) {
+            return id;
+        }
+        let id = inner.names.len() as u32;
+        inner.names.push(name);
+        inner.name_ids.insert(name, id);
+        id
+    }
+
+    /// The name behind an interned id (`"?"` for an unknown id).
+    pub fn name_of(&self, id: u32) -> &'static str {
+        let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+        let inner = self.inner.lock();
+        inner.names.get(id as usize).copied().unwrap_or("?")
+    }
+
+    /// Merges every registered metric into one consistent snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        // Clone the Arcs under the lock, merge the shards outside it, so a
+        // slow merge never blocks instrumentation registering new metrics.
+        let (counters, gauges, histograms) = {
+            let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
+            let inner = self.inner.lock();
+            (inner.counters.clone(), inner.gauges.clone(), inner.histograms.clone())
+        };
+        MetricsSnapshot {
+            counters: counters.into_iter().map(|(k, v)| (k, v.value())).collect(),
+            gauges: gauges.into_iter().map(|(k, v)| (k, v.value())).collect(),
+            histograms: histograms.into_iter().map(|(k, v)| (k, v.snapshot())).collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// The process-wide registry all instrumentation macros write to.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// A point-in-time merge of every registered metric — the API the bench
+/// crate and the exporters consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x.y");
+        let b = r.counter("x.y");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("x.y").value(), 5);
+        assert_eq!(r.counter("other").value(), 0);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(9);
+        r.histogram("h").observe(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), 7);
+        assert_eq!(s.gauge("g"), 9);
+        assert_eq!(s.histogram("h").map(|h| h.count), Some(1));
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn name_interning_is_stable() {
+        let r = Registry::new();
+        let a = r.intern_name("rsu.micro_batch");
+        let b = r.intern_name("rsu.detect");
+        assert_ne!(a, b);
+        assert_eq!(r.intern_name("rsu.micro_batch"), a);
+        assert_eq!(r.name_of(a), "rsu.micro_batch");
+        assert_eq!(r.name_of(9999), "?");
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        registry().counter("selftest.registry").add(1);
+        assert!(registry().snapshot().counter("selftest.registry") >= 1);
+    }
+}

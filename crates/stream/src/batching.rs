@@ -88,6 +88,7 @@ impl BatchingProducer {
             }
         }
         self.batches_flushed += 1;
+        cad3_obs::counter!("stream.producer.batches").inc();
         Ok(())
     }
 

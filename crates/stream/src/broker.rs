@@ -158,7 +158,17 @@ impl Broker {
         value: Bytes,
         timestamp: u64,
     ) -> Result<(u32, u64), StreamError> {
-        self.with_topic(topic, |t| t.append(partition, key, value, timestamp))
+        // Per-record instrumentation is exporter-gated: with no exporter the
+        // append path pays one relaxed load (see cad3-obs overhead policy).
+        let observing = cad3_obs::enabled();
+        let start_ns = if observing { cad3_obs::clock::now_nanos() } else { 0 };
+        let out = self.with_topic(topic, |t| t.append(partition, key, value, timestamp));
+        if observing && out.is_ok() {
+            cad3_obs::counter!("stream.broker.produce").inc();
+            cad3_obs::histogram!("stream.broker.produce_ns")
+                .observe(cad3_obs::clock::now_nanos().saturating_sub(start_ns));
+        }
+        out
     }
 
     /// Fetches up to `max` records from `topic`/`partition` at `offset`.
@@ -174,7 +184,20 @@ impl Broker {
         offset: u64,
         max: usize,
     ) -> Result<Vec<Record>, StreamError> {
-        self.with_topic(topic, |t| t.fetch(partition, offset, max))
+        // Same gating as `produce`: with no exporter attached the fetch path
+        // pays one relaxed load.
+        let observing = cad3_obs::enabled();
+        let start_ns = if observing { cad3_obs::clock::now_nanos() } else { 0 };
+        let out = self.with_topic(topic, |t| t.fetch(partition, offset, max));
+        if observing {
+            if let Ok(records) = &out {
+                cad3_obs::counter!("stream.broker.fetch.records")
+                    .add(cad3_types::len_u64(records.len()));
+                cad3_obs::histogram!("stream.broker.fetch_ns")
+                    .observe(cad3_obs::clock::now_nanos().saturating_sub(start_ns));
+            }
+        }
+        out
     }
 
     /// The end (next-produced) offset of a partition.
@@ -317,6 +340,44 @@ impl Broker {
             .get(group)
             .and_then(|s| s.committed.get(&(topic.to_owned(), partition)).copied())
     }
+
+    /// Total committed-vs-head lag of a group: the records its subscribed
+    /// topics hold beyond the group's committed offsets, summed over all
+    /// partitions. Backs the `stream.consumer.lag.<group>` gauge.
+    ///
+    /// Partitions without a committed offset count from the earliest
+    /// retained offset — what a fresh member would have to replay.
+    ///
+    /// The group snapshot (subscribed topics + committed offsets) is taken
+    /// under the level-3 `groups` mutex and the guard dropped *before* any
+    /// level-1/2 topic lock is touched, keeping the caller inside the lock
+    /// hierarchy. A topic produced to between the two phases shows up as
+    /// slightly higher lag, which is the honest reading of a moving head.
+    pub fn group_lag(&self, group: &str) -> u64 {
+        let (topics, committed) = {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
+            let groups = self.groups.lock();
+            let Some(state) = groups.get(group) else { return 0 };
+            let mut topics: Vec<String> = state.subscriptions.values().flatten().cloned().collect();
+            topics.sort_unstable();
+            topics.dedup();
+            (topics, state.committed.clone())
+        };
+        let mut lag = 0u64;
+        for topic in &topics {
+            let Ok(partitions) = self.partition_count(topic) else { continue };
+            for partition in 0..partitions {
+                let Ok(end) = self.end_offset(topic, partition) else { continue };
+                let base = committed
+                    .get(&(topic.clone(), partition))
+                    .copied()
+                    .or_else(|| self.earliest_offset(topic, partition).ok())
+                    .unwrap_or(0);
+                lag += end.saturating_sub(base);
+            }
+        }
+        lag
+    }
 }
 
 #[cfg(test)]
@@ -417,6 +478,27 @@ mod tests {
         assert_eq!(b.committed_offset("g", "T", 0), Some(41));
         b.commit_offset("g", "T", 0, 42);
         assert_eq!(b.committed_offset("g", "T", 0), Some(42));
+    }
+
+    #[test]
+    fn group_lag_counts_committed_vs_head() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 2).unwrap();
+        let m = b.allocate_member_id();
+        b.join_group("g", m, vec!["T".into()]);
+        assert_eq!(b.group_lag("g"), 0, "empty topic, no lag");
+        for i in 0..6u64 {
+            b.produce("T", None, Some(val(&format!("k{i}"))), val("v"), i).unwrap();
+        }
+        assert_eq!(b.group_lag("g"), 6, "nothing committed: lag from earliest");
+        // Commit everything on partition 0 only.
+        let end0 = b.end_offset("T", 0).unwrap();
+        b.commit_offset("g", "T", 0, end0);
+        let end1 = b.end_offset("T", 1).unwrap();
+        assert_eq!(b.group_lag("g"), end1, "partition 1 still uncommitted");
+        b.commit_offset("g", "T", 1, end1);
+        assert_eq!(b.group_lag("g"), 0);
+        assert_eq!(b.group_lag("absent"), 0, "unknown group has no lag");
     }
 
     #[test]

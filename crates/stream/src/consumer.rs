@@ -142,6 +142,11 @@ impl Consumer {
                 timestamp: r.timestamp,
             }));
         }
+        if cad3_obs::enabled() {
+            cad3_obs::counter!("stream.consumer.polls").inc();
+            cad3_obs::counter!("stream.consumer.records").add(cad3_types::len_u64(out.len()));
+            self.publish_lag_gauge();
+        }
         Ok(out)
     }
 
@@ -150,6 +155,18 @@ impl Consumer {
         for ((topic, partition), offset) in &self.positions {
             self.broker.commit_offset(&self.group, topic, *partition, *offset);
         }
+        self.publish_lag_gauge();
+    }
+
+    /// Refreshes the `stream.consumer.lag.<group>` gauge from the broker's
+    /// committed-vs-head [`Broker::group_lag`]. Exporter-gated: with no
+    /// exporter attached this is one relaxed load.
+    fn publish_lag_gauge(&self) {
+        if !cad3_obs::enabled() {
+            return;
+        }
+        let name = format!("stream.consumer.lag.{}", self.group);
+        cad3_obs::registry().gauge(&name).set(self.broker.group_lag(&self.group));
     }
 
     /// Seeks every assigned partition to the log end (skip history).
@@ -357,6 +374,38 @@ mod tests {
         assert_eq!(c.lag(), 4);
         c.poll(100).unwrap();
         assert_eq!(c.lag(), 0);
+    }
+
+    #[test]
+    fn lag_gauge_grows_when_stalled_and_drains_on_commit() {
+        let (broker, producer) = setup();
+        let mut c = Consumer::new(Arc::clone(&broker), "stalled", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        cad3_obs::set_enabled(true);
+        c.poll(10).unwrap();
+        assert_eq!(
+            cad3_obs::registry().snapshot().gauge("stream.consumer.lag.stalled"),
+            0,
+            "fresh group on an empty topic has no lag"
+        );
+        // Stall the consumer: records arrive but nothing is committed.
+        for i in 0..25u64 {
+            producer.send("IN-DATA", Some(format!("v{i}").as_bytes()), &b"x"[..], i).unwrap();
+        }
+        c.poll(1000).unwrap();
+        assert_eq!(
+            cad3_obs::registry().snapshot().gauge("stream.consumer.lag.stalled"),
+            25,
+            "committed-vs-head lag stays high until the group commits"
+        );
+        c.commit();
+        cad3_obs::set_enabled(false);
+        assert_eq!(
+            cad3_obs::registry().snapshot().gauge("stream.consumer.lag.stalled"),
+            0,
+            "commit drains the gauge"
+        );
+        assert_eq!(broker.group_lag("stalled"), 0);
     }
 
     #[test]

@@ -60,6 +60,10 @@ impl Producer {
         // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+        if cad3_obs::enabled() {
+            cad3_obs::counter!("stream.producer.records").inc();
+            cad3_obs::counter!("stream.producer.bytes").add(n);
+        }
         Ok(result)
     }
 
@@ -90,6 +94,10 @@ impl Producer {
         // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+        if cad3_obs::enabled() {
+            cad3_obs::counter!("stream.producer.records").inc();
+            cad3_obs::counter!("stream.producer.bytes").add(n);
+        }
         Ok(result)
     }
 

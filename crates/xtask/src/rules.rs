@@ -25,7 +25,8 @@ pub struct Violation {
 }
 
 /// Rule names, in reporting order.
-pub const RULE_NAMES: [&str; 4] = ["ordering-comment", "no-panic", "no-as-cast", "no-wallclock"];
+pub const RULE_NAMES: [&str; 6] =
+    ["ordering-comment", "no-panic", "no-as-cast", "no-wallclock", "no-bare-print", "obs-names"];
 
 /// What kind of source tree a file came from; rules relax differently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +42,14 @@ pub enum FileKind {
 /// Crates whose hot paths reject bare `as` casts.
 const AS_CAST_CRATES: [&str; 3] = ["crates/stream/", "crates/engine/", "crates/net/"];
 
-/// The one file allowed to touch the wall clock.
-const WALLCLOCK_ALLOWED: &str = "crates/engine/src/realtime.rs";
+/// The files allowed to touch the wall clock: the real-time batch driver
+/// and the observability clock (the single `Instant` anchor every span and
+/// latency histogram reads through).
+const WALLCLOCK_ALLOWED: [&str; 2] = ["crates/engine/src/realtime.rs", "crates/obs/src/clock.rs"];
+
+/// The crate whose CLI output *is* its purpose; `no-bare-print` would
+/// outlaw the lint report itself.
+const PRINT_ALLOWED_PREFIX: &str = "crates/xtask/";
 
 /// The crate whose whole purpose is to panic on lock misuse; `no-panic`
 /// would outlaw its reporting mechanism.
@@ -56,6 +63,8 @@ pub fn check_file(rel_path: &str, file: &SourceFile, kind: FileKind) -> Vec<Viol
         no_panic(rel_path, file, &mut out);
         no_as_cast(rel_path, file, &mut out);
         no_wallclock(rel_path, file, &mut out);
+        no_bare_print(rel_path, file, &mut out);
+        obs_names(rel_path, file, &mut out);
     }
     out
 }
@@ -150,9 +159,10 @@ fn no_as_cast(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// Rule 4: wall-clock reads and sleeps are confined to the real-time driver.
+/// Rule 4: wall-clock reads and sleeps are confined to the real-time driver
+/// and the observability clock module.
 fn no_wallclock(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
-    if rel_path == WALLCLOCK_ALLOWED {
+    if WALLCLOCK_ALLOWED.contains(&rel_path) {
         return;
     }
     for (idx, line) in file.lines.iter().enumerate() {
@@ -165,8 +175,99 @@ fn no_wallclock(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
                     rule: "no-wallclock",
                     file: rel_path.to_owned(),
                     line: idx + 1,
-                    message: format!("`{pat}` outside {WALLCLOCK_ALLOWED}"),
+                    message: format!("`{pat}` outside {WALLCLOCK_ALLOWED:?}"),
                 });
+            }
+        }
+    }
+}
+
+/// Rule 5: no bare `println!`/`eprintln!` in library code — diagnostics go
+/// through `cad3-obs` (counters, the flight recorder, or an exporter), so a
+/// headless pipeline run is quiet and everything printed is also queryable.
+/// `src/bin/` CLIs and the xtask crate (whose report *is* stdout) are
+/// exempt; so are test-like trees via [`check_file`]'s kind gate.
+fn no_bare_print(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if rel_path.starts_with(PRINT_ALLOWED_PREFIX) || rel_path.contains("/src/bin/") {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["println!", "eprintln!", "print!", "eprint!"] {
+            for _ in find_words(&line.code, pat) {
+                out.push(Violation {
+                    rule: "no-bare-print",
+                    file: rel_path.to_owned(),
+                    line: idx + 1,
+                    message: format!("`{pat}` in library code; use cad3-obs instead"),
+                });
+            }
+        }
+    }
+}
+
+/// Whether `name` follows the metric naming convention enforced across the
+/// workspace: lowercase dot-separated segments of `[a-z0-9_]`, each starting
+/// with a letter. Mirrors `cad3_obs::names::is_valid_name` (duplicated so
+/// xtask stays dependency-free); `cad3-obs`'s own tests hold the two
+/// definitions together via the catalogue.
+fn is_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg.starts_with(|c: char| c.is_ascii_lowercase())
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Rule 6: the name handed to a `cad3_obs` instrumentation macro must be a
+/// string literal (so this pass can read it without name resolution) that
+/// follows the lowercase dotted convention of `cad3_obs::names`. The obs
+/// crate itself is exempt — its macro definitions forward `$name`
+/// metavariables.
+fn obs_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if rel_path.starts_with("crates/obs/") {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for mac in ["counter!", "gauge!", "histogram!", "span!"] {
+            for pos in find_words(&line.code, mac) {
+                let rest = line.code[pos + mac.len()..].trim_start();
+                let Some(args) = rest.strip_prefix('(') else {
+                    continue;
+                };
+                if !args.trim_start().starts_with('"') {
+                    out.push(Violation {
+                        rule: "obs-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!(
+                            "first argument of `{mac}(...)` must be a string-literal metric name"
+                        ),
+                    });
+                    continue;
+                }
+                // The lexer blanks literal bodies but keeps both quote
+                // characters in the code channel, so the number of quotes
+                // before the macro indexes the literal in `line.strings`.
+                let literal_index = line.code[..pos].matches('"').count() / 2;
+                let name = line.strings.get(literal_index).map_or("", String::as_str);
+                if !is_metric_name(name) {
+                    out.push(Violation {
+                        rule: "obs-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!(
+                            "metric name {name:?} breaks the lowercase dotted convention \
+                             of cad3_obs::names"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -250,6 +351,66 @@ mod tests {
         let v = check_file("crates/core/tests/smoke.rs", &lex(src), FileKind::TestLike);
         assert!(v.iter().all(|v| v.rule != "no-panic"), "{v:?}");
         assert_eq!(v.iter().filter(|v| v.rule == "ordering-comment").count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn bare_print_flagged_in_library_code() {
+        let src = "fn f() { println!(\"hi\"); eprintln!(\"warn\"); }\n";
+        assert_eq!(violations_of("no-bare-print", "crates/bench/src/lib.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn print_exemptions_cover_bins_and_xtask() {
+        let src = "fn main() { println!(\"report\"); }\n";
+        assert!(violations_of("no-bare-print", "crates/bench/src/bin/exp_all.rs", src).is_empty());
+        assert!(violations_of("no-bare-print", "crates/xtask/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn writeln_to_a_sink_is_not_a_bare_print() {
+        let src = "fn f(w: &mut dyn std::io::Write) { let _ = writeln!(w, \"x\"); }\n";
+        assert!(violations_of("no-bare-print", "crates/obs/src/recorder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_macro_with_catalogue_shaped_name_passes() {
+        let src = "fn f() { cad3_obs::counter!(\"stream.broker.produce\").inc(); }\n";
+        assert!(violations_of("obs-names", "crates/stream/src/broker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_macro_with_bad_name_shape_flagged() {
+        let src = "fn f() { cad3_obs::histogram!(\"Stream-Produce.NS\").observe(1); }\n";
+        let v = violations_of("obs-names", "crates/stream/src/broker.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("lowercase dotted"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn obs_macro_with_non_literal_name_flagged() {
+        let src = "fn f(name: &str) { cad3_obs::gauge!(name).set(1); }\n";
+        let v = violations_of("obs-names", "crates/engine/src/batch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("string-literal"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn obs_macro_second_literal_on_line_is_indexed_correctly() {
+        let src = "fn f() { log(\"bad name\"); cad3_obs::span!(\"rsu.detect\", 3); }\n";
+        assert!(violations_of("obs-names", "crates/core/src/rsu.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_crate_macro_definitions_are_exempt() {
+        let src = "macro_rules! wrap { () => { $crate::span!($name, 0u64) }; }\n\
+                   fn f(n: &str) { crate::counter!(n); }\n";
+        assert!(violations_of("obs-names", "crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_allowed_in_obs_clock() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(violations_of("no-wallclock", "crates/obs/src/clock.rs", src).is_empty());
     }
 
     #[test]

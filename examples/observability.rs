@@ -1,0 +1,83 @@
+//! End-to-end observability demo: run the RSU pipeline with the metrics
+//! exporter attached, then dump the flight recorder (JSONL) and a
+//! Prometheus-text snapshot whose `rsu.*_us` histograms reproduce the
+//! paper's Fig. 6a latency decomposition.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example observability
+//! ```
+//!
+//! The CI `obs-e2e` job runs this binary and fails on any of the
+//! assertions below: every pipeline stage must appear as a span in the
+//! recorder and every Fig. 6a stage histogram must have samples.
+
+use cad3_repro::core::detector::{train_all, DetectionConfig};
+use cad3_repro::core::scenario::single_rsu_scaling;
+use cad3_repro::core::SystemConfig;
+use cad3_repro::data::{DatasetConfig, SyntheticDataset};
+use cad3_repro::obs;
+use cad3_repro::types::{RoadType, SimDuration};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Attach the exporter side: histograms, spans and the flight recorder
+    // only run when an exporter opts in (see DESIGN.md "Observability").
+    obs::set_enabled(true);
+    obs::install_panic_dump();
+
+    println!("Training the RSU's detector...");
+    let ds = SyntheticDataset::generate(&DatasetConfig::small(42));
+    let models = train_all(&ds.features, &DetectionConfig::default())?;
+    let report = single_rsu_scaling(
+        SystemConfig::default(),
+        1,
+        Arc::new(models.ad3),
+        ds.features_of_type(RoadType::Motorway),
+        32,
+        SimDuration::from_secs(5),
+    );
+    println!(
+        "Pipeline ran: {} warnings measured; {}",
+        report.per_rsu[0].latency.len(),
+        report.per_rsu[0].latency.summary_line()
+    );
+
+    // Every Fig. 6a stage must have shown up as a span in the recorder.
+    let events = obs::recorder().dump();
+    assert!(!events.is_empty(), "flight recorder captured no events");
+    for stage in ["rsu.micro_batch", "rsu.ingest", "rsu.detect", "rsu.handover.fuse"] {
+        assert!(
+            events.iter().any(|e| e.name == stage),
+            "span {stage} missing from the flight recorder"
+        );
+    }
+
+    // And every stage histogram must carry samples.
+    let snapshot = obs::registry().snapshot();
+    for stage in
+        ["rsu.tx_us", "rsu.queuing_us", "rsu.processing_us", "rsu.dissemination_us", "rsu.total_us"]
+    {
+        let hist = snapshot.histogram(stage).unwrap_or_else(|| panic!("{stage} not registered"));
+        assert!(hist.count > 0, "{stage} recorded no samples");
+        println!(
+            "  {stage:<22} n={:<6} p50={:<8} p95={:<8} max={}",
+            hist.count,
+            hist.p50(),
+            hist.p95(),
+            hist.max
+        );
+    }
+    assert!(snapshot.counter("rsu.records") > 0, "rsu.records stayed zero");
+
+    let dir = std::path::Path::new("results/obs");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("events.jsonl"), obs::export::events_jsonl(&events))?;
+    std::fs::write(dir.join("metrics.prom"), obs::export::prometheus_text(&snapshot))?;
+    println!(
+        "Wrote {} span events to results/obs/events.jsonl and the metrics \
+         snapshot to results/obs/metrics.prom",
+        events.len()
+    );
+    Ok(())
+}

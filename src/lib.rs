@@ -12,6 +12,7 @@
 //! * [`ml`] — naive Bayes, decision tree and evaluation metrics (MLlib equivalent).
 //! * [`data`] — synthetic Shenzhen-like driving dataset substrate.
 //! * [`core`] — the CAD3 system itself: detectors, RSU pipeline, testbed scenarios.
+//! * [`obs`] — zero-dependency observability: metrics registry, spans, flight recorder.
 
 #![forbid(unsafe_code)]
 
@@ -20,6 +21,7 @@ pub use cad3_data as data;
 pub use cad3_engine as engine;
 pub use cad3_ml as ml;
 pub use cad3_net as net;
+pub use cad3_obs as obs;
 pub use cad3_sim as sim;
 pub use cad3_stream as stream;
 pub use cad3_types as types;
