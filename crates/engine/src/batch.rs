@@ -1,7 +1,6 @@
 use crate::PartitionedDataset;
 use cad3_stream::{Consumer, FetchedRecord, StreamError};
 use cad3_types::len_u64;
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Configuration of the micro-batch discretisation.
@@ -71,7 +70,10 @@ impl MicroBatchRunner {
     ///
     /// The batch is partitioned the way it was stored: records from one
     /// topic partition form one dataset partition, so per-vehicle ordering
-    /// survives into the parallel stage.
+    /// survives into the parallel stage. The grouping comes straight from
+    /// the consumer's fetch boundaries ([`Consumer::poll_grouped`]) — no
+    /// per-record regrouping happens here. An empty poll yields a dataset
+    /// with zero partitions.
     ///
     /// # Errors
     ///
@@ -85,22 +87,16 @@ impl MicroBatchRunner {
         if cad3_obs::enabled() {
             cad3_obs::gauge!("engine.batch.queue_depth").set(self.consumer.lag());
         }
-        let records = self.consumer.poll(self.config.max_records)?;
-        let n = records.len();
+        let mut grouped = self.consumer.poll_grouped(self.config.max_records)?;
+        let n: usize = grouped.iter().map(|g| g.records.len()).sum();
         cad3_obs::counter!("engine.batches").inc();
         cad3_obs::counter!("engine.batch.records").add(len_u64(n));
 
-        let mut by_partition: HashMap<(String, u32), Vec<FetchedRecord>> = HashMap::new();
-        for r in records {
-            by_partition.entry((r.topic.clone(), r.partition)).or_default().push(r);
-        }
-        let mut keys: Vec<(String, u32)> = by_partition.keys().cloned().collect();
-        keys.sort();
-        let partitions: Vec<Vec<FetchedRecord>> = if keys.is_empty() {
-            vec![Vec::new()]
-        } else {
-            keys.into_iter().map(|k| by_partition.remove(&k).expect("key present")).collect()
-        };
+        // Deterministic partition order regardless of assignment order.
+        grouped.sort_unstable_by(|a, b| {
+            a.topic.cmp(&b.topic).then_with(|| a.partition.cmp(&b.partition))
+        });
+        let partitions: Vec<Vec<FetchedRecord>> = grouped.into_iter().map(|g| g.records).collect();
         job(PartitionedDataset::from_partitions(partitions));
 
         let metrics =
@@ -171,6 +167,14 @@ mod tests {
             .unwrap();
         assert!(ran);
         assert_eq!(m.records, 0);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_partitions() {
+        let (_producer, mut runner) = runner();
+        let mut parts = usize::MAX;
+        runner.run_batch(|ds| parts = ds.partition_count()).unwrap();
+        assert_eq!(parts, 0, "an empty batch is zero partitions, not one empty one");
     }
 
     #[test]

@@ -34,8 +34,11 @@ impl<T> PartitionedDataset<T> {
 
     /// Builds a dataset from pre-formed partitions (e.g. one per topic
     /// partition of a fetched micro-batch).
+    ///
+    /// Unlike [`PartitionedDataset::from_vec`], zero partitions is allowed:
+    /// an empty micro-batch is a dataset with no partitions at all (and all
+    /// operators on it are no-ops), not one empty partition.
     pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
-        assert!(!partitions.is_empty(), "dataset needs at least one partition");
         PartitionedDataset { partitions }
     }
 
@@ -354,5 +357,14 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panics() {
         PartitionedDataset::from_vec(vec![1], 0);
+    }
+
+    #[test]
+    fn from_partitions_accepts_zero_partitions() {
+        let ds = PartitionedDataset::<i32>::from_partitions(Vec::new());
+        assert_eq!(ds.partition_count(), 0);
+        assert!(ds.is_empty());
+        assert!(ds.map(&exec(), |x| *x).collect().is_empty());
+        assert_eq!(ds.reduce(&exec(), 0, |a, b| a + b), 0);
     }
 }

@@ -1,11 +1,10 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 /// A fixed-size worker pool executing independent per-partition tasks.
 ///
-/// Tasks are pulled from a shared index by up to `workers` scoped threads —
-/// the same fan-out/fan-in structure as a Spark stage over an RDD's
-/// partitions. Results come back in partition order regardless of which
-/// worker ran them.
+/// Inputs are split into one contiguous chunk per worker up front — the
+/// same fan-out/fan-in structure as a Spark stage over an RDD's partitions.
+/// Each worker owns its chunk and its output buffer, so the fan-out takes
+/// no locks at all; input order is restored by concatenating the buffers in
+/// chunk order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     workers: usize,
@@ -34,6 +33,11 @@ impl Executor {
 
     /// Runs `f` over every element of `inputs` in parallel, returning the
     /// outputs in input order.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is re-raised on the calling thread with its original
+    /// payload (the first one, if several workers panic).
     pub fn run<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
     where
         I: Send,
@@ -48,50 +52,49 @@ impl Executor {
             return inputs.into_iter().map(f).collect();
         }
 
-        // Give each task a slot; workers claim indices from a shared counter.
-        let tasks: Vec<parking_lot::Mutex<Option<I>>> =
-            inputs.into_iter().map(|i| parking_lot::Mutex::new(Some(i))).collect();
-        let results: Vec<parking_lot::Mutex<Option<O>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let f = &f;
-        let tasks_ref = &tasks;
-        let results_ref = &results;
-        let next_ref = &next;
-
-        let joined = crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(move |_| loop {
-                    // ordering: Relaxed — the counter only hands out unique
-                    // indices; slot contents are published by the per-slot
-                    // mutexes and the scope join, not by this atomic.
-                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
-                    }
-                    let input = {
-                        let _held = cad3_lockrank::rank_scope!("cad3_engine::Executor::run::tasks");
-                        tasks_ref[idx].lock().take()
-                    };
-                    // The counter hands each index to exactly one worker, so
-                    // the slot is always full; treat an empty one as no work.
-                    let Some(input) = input else { continue };
-                    let out = f(input);
-                    let _held = cad3_lockrank::rank_scope!("cad3_engine::Executor::run::results");
-                    *results_ref[idx].lock() = Some(out);
-                });
+        // One contiguous chunk per worker. `div_ceil` may leave fewer
+        // (never more) chunks than workers; each chunk becomes one thread.
+        let chunk_len = n.div_ceil(self.workers.min(n));
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(self.workers.min(n));
+        let mut inputs = inputs.into_iter();
+        loop {
+            let chunk: Vec<I> = inputs.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
             }
-        });
-        if let Err(payload) = joined {
-            // Re-raise a worker panic on the calling thread unchanged.
-            std::panic::resume_unwind(payload);
+            chunks.push(chunk);
         }
 
-        drop(tasks);
-        let outputs: Vec<O> =
-            results.into_iter().filter_map(parking_lot::Mutex::into_inner).collect();
-        debug_assert_eq!(outputs.len(), n, "every claimed task produced a result");
-        outputs
+        let f = &f;
+        let joined = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            // Join in spawn (= input) order, deferring any panic until every
+            // worker has been joined so no output buffer is dropped early.
+            let mut outputs: Vec<O> = Vec::with_capacity(n);
+            let mut panic_payload = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(chunk_out) => outputs.extend(chunk_out),
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+            (outputs, panic_payload)
+        });
+        match joined {
+            Ok((outputs, None)) => {
+                debug_assert_eq!(outputs.len(), n, "every chunk produced its outputs");
+                outputs
+            }
+            // Re-raise a worker panic on the calling thread unchanged.
+            Ok((_, Some(payload))) | Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -115,6 +118,14 @@ mod tests {
     }
 
     #[test]
+    fn outputs_preserve_order_when_chunks_are_uneven() {
+        // 10 inputs over 4 workers: chunks of 3/3/3/1.
+        let exec = Executor::new(4);
+        let out = exec.run((0..10).collect(), |x: i32| x + 1);
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn every_task_runs_exactly_once() {
         let exec = Executor::new(8);
         let seen = Mutex::new(HashSet::new());
@@ -129,7 +140,7 @@ mod tests {
     fn multiple_workers_actually_run_concurrently() {
         // With 4 workers and 4 blocking tasks that wait for each other, the
         // run completes only if they truly overlap.
-        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Barrier;
         let exec = Executor::new(4);
         let barrier = Barrier::new(4);
@@ -153,6 +164,16 @@ mod tests {
         let exec = Executor::new(4);
         let out: Vec<i32> = exec.run(Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 5 exploded")]
+    fn worker_panic_propagates_with_its_payload() {
+        let exec = Executor::new(4);
+        exec.run((0..8).collect(), |x: i32| {
+            assert!(x != 5, "task {x} exploded");
+            x
+        });
     }
 
     #[test]

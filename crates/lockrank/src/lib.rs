@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn increasing_ranks_are_accepted() {
         let a = crate::rank_scope!("cad3_stream::Broker::topics");
-        let b = crate::rank_scope!("cad3_stream::Broker::topics.inner");
+        let b = crate::rank_scope!("cad3_stream::SharedTopic::partitions");
         let c = crate::rank_scope!("cad3_stream::Broker::groups");
         assert_eq!(crate::held_depth(), 3);
         drop((a, b, c));
@@ -154,8 +154,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "violates the hierarchy")]
     fn equal_rank_reacquisition_panics() {
-        let _a = crate::rank_scope!("cad3_stream::Broker::topics.inner");
-        let _b = crate::rank_scope!("cad3_stream::Broker::topics.inner");
+        let _a = crate::rank_scope!("cad3_stream::SharedTopic::partitions");
+        let _b = crate::rank_scope!("cad3_stream::SharedTopic::partitions");
     }
 
     #[test]
@@ -167,10 +167,10 @@ mod tests {
     #[test]
     fn out_of_order_drop_pops_the_matching_entry() {
         let a = crate::rank_scope!("cad3_stream::Broker::topics");
-        let b = crate::rank_scope!("cad3_stream::Broker::topics.inner");
+        let b = crate::rank_scope!("cad3_stream::SharedTopic::partitions");
         drop(a);
         assert_eq!(crate::held_depth(), 1);
-        // `groups` outranks the still-held `topics.inner`.
+        // `groups` outranks the still-held partition mutex.
         let _c = crate::rank_scope!("cad3_stream::Broker::groups");
         drop(b);
         assert_eq!(crate::held_depth(), 1);

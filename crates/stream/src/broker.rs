@@ -1,5 +1,5 @@
 use crate::sync::{Arc, AtomicU64, Mutex, Ordering, RwLock};
-use crate::{Record, StreamError, Topic};
+use crate::{Record, SharedTopic, StreamError, TopicName};
 use bytes::Bytes;
 use std::collections::HashMap;
 
@@ -7,9 +7,9 @@ use std::collections::HashMap;
 struct GroupState {
     generation: u64,
     /// member id -> subscribed topics
-    subscriptions: HashMap<u64, Vec<String>>,
+    subscriptions: HashMap<u64, Vec<TopicName>>,
     /// group-committed offsets
-    committed: HashMap<(String, u32), u64>,
+    committed: HashMap<(TopicName, u32), u64>,
 }
 
 /// A message broker: a registry of topics plus consumer-group coordination.
@@ -19,21 +19,29 @@ struct GroupState {
 /// is internally synchronised so it can be shared across threads in the
 /// real-time integration tests and across simulated actors in virtual time.
 ///
+/// Topics are [`SharedTopic`]s: the registry hands out `Arc` handles
+/// ([`Broker::topic_handle`]) that producers and consumers cache, so the
+/// steady-state produce/fetch path touches only the target partition's
+/// mutex — the registry lock is paid once per (client, topic), not once
+/// per record.
+///
 /// # Lock hierarchy
 ///
-/// The broker holds three levels of locks, acquired strictly in this order
-/// (enforced by `cargo xtask lint`'s lock-order rule):
+/// Stream locks are acquired strictly in this order (enforced by
+/// `cargo xtask analyze` statically and the `cad3-lockrank` runtime
+/// witness in debug builds):
 ///
-/// 1. `topics` registry `RwLock` (level 1),
-/// 2. an individual `Topic` `Mutex` (level 2),
-/// 3. the `groups` coordination `Mutex` (level 3).
+/// 1. `topics` registry `RwLock` (rank 20),
+/// 2. a producer's handle-cache `RwLock` (rank 25),
+/// 3. a [`SharedTopic`] partition `Mutex` (rank 30) — never two at once,
+/// 4. the `groups` coordination `Mutex` (rank 40).
 ///
 /// Any method needing topic data *and* group state reads the topic side
 /// first, drops those guards, then locks `groups` — never the reverse.
 #[derive(Debug)]
 pub struct Broker {
     name: String,
-    topics: RwLock<HashMap<String, Arc<Mutex<Topic>>>>,
+    topics: RwLock<HashMap<TopicName, Arc<SharedTopic>>>,
     groups: Mutex<HashMap<String, GroupState>>,
     next_member: AtomicU64,
 }
@@ -100,7 +108,10 @@ impl Broker {
         if topics.contains_key(name) {
             return Err(StreamError::TopicExists(name.to_owned()));
         }
-        topics.insert(name.to_owned(), Arc::new(Mutex::new(Topic::new(name, partitions)?)));
+        // Intern the name once; registry key and topic metadata share it.
+        let interned: TopicName = TopicName::from(name);
+        let topic = SharedTopic::new(TopicName::clone(&interned), partitions)?;
+        topics.insert(interned, Arc::new(topic));
         Ok(())
     }
 
@@ -108,10 +119,26 @@ impl Broker {
     pub fn topic_names(&self) -> Vec<String> {
         let mut names: Vec<String> = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
-            self.topics.read().keys().cloned().collect()
+            self.topics.read().keys().map(|n| n.to_string()).collect()
         };
         names.sort();
         names
+    }
+
+    /// Looks up the shared handle for a topic.
+    ///
+    /// The handle is the hot-path entry point: it bypasses the registry on
+    /// every later call, taking only the target partition's mutex. Topics
+    /// are never removed once created, so a cached handle stays valid for
+    /// the broker's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn topic_handle(&self, topic: &str) -> Result<Arc<SharedTopic>, StreamError> {
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
+        let topics = self.topics.read();
+        topics.get(topic).map(Arc::clone).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))
     }
 
     /// Partition count of a topic.
@@ -120,31 +147,13 @@ impl Broker {
     ///
     /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
     pub fn partition_count(&self, topic: &str) -> Result<u32, StreamError> {
-        self.with_topic(topic, |t| Ok(t.partition_count()))
-    }
-
-    fn with_topic<R>(
-        &self,
-        topic: &str,
-        f: impl FnOnce(&mut Topic) -> Result<R, StreamError>,
-    ) -> Result<R, StreamError> {
-        // The registry guard (level 1) is released before the topic mutex
-        // (level 2) is taken, so `f` never runs under the map lock and a
-        // slow caller cannot block `create_topic`/`topic_names`. Cloning
-        // the Arc is sound because topics are never removed once created.
-        let t = {
-            let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
-            let topics = self.topics.read();
-            Arc::clone(
-                topics.get(topic).ok_or_else(|| StreamError::UnknownTopic(topic.to_owned()))?,
-            )
-        };
-        let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics.inner");
-        let mut guard = t.lock();
-        f(&mut guard)
+        Ok(self.topic_handle(topic)?.partition_count())
     }
 
     /// Appends a record to a topic. Returns `(partition, offset)`.
+    ///
+    /// Convenience over [`Broker::topic_handle`] +
+    /// [`SharedTopic::append`], which is where the produce metrics live.
     ///
     /// # Errors
     ///
@@ -158,20 +167,13 @@ impl Broker {
         value: Bytes,
         timestamp: u64,
     ) -> Result<(u32, u64), StreamError> {
-        // Per-record instrumentation is exporter-gated: with no exporter the
-        // append path pays one relaxed load (see cad3-obs overhead policy).
-        let observing = cad3_obs::enabled();
-        let start_ns = if observing { cad3_obs::clock::now_nanos() } else { 0 };
-        let out = self.with_topic(topic, |t| t.append(partition, key, value, timestamp));
-        if observing && out.is_ok() {
-            cad3_obs::counter!("stream.broker.produce").inc();
-            cad3_obs::histogram!("stream.broker.produce_ns")
-                .observe(cad3_obs::clock::now_nanos().saturating_sub(start_ns));
-        }
-        out
+        self.topic_handle(topic)?.append(partition, key, value, timestamp)
     }
 
     /// Fetches up to `max` records from `topic`/`partition` at `offset`.
+    ///
+    /// Convenience over [`Broker::topic_handle`] + [`SharedTopic::fetch`],
+    /// which is where the fetch metrics live.
     ///
     /// # Errors
     ///
@@ -184,20 +186,7 @@ impl Broker {
         offset: u64,
         max: usize,
     ) -> Result<Vec<Record>, StreamError> {
-        // Same gating as `produce`: with no exporter attached the fetch path
-        // pays one relaxed load.
-        let observing = cad3_obs::enabled();
-        let start_ns = if observing { cad3_obs::clock::now_nanos() } else { 0 };
-        let out = self.with_topic(topic, |t| t.fetch(partition, offset, max));
-        if observing {
-            if let Ok(records) = &out {
-                cad3_obs::counter!("stream.broker.fetch.records")
-                    .add(cad3_types::len_u64(records.len()));
-                cad3_obs::histogram!("stream.broker.fetch_ns")
-                    .observe(cad3_obs::clock::now_nanos().saturating_sub(start_ns));
-            }
-        }
-        out
+        self.topic_handle(topic)?.fetch(partition, offset, max)
     }
 
     /// The end (next-produced) offset of a partition.
@@ -206,7 +195,7 @@ impl Broker {
     ///
     /// Returns [`StreamError::UnknownTopic`] or [`StreamError::UnknownPartition`].
     pub fn end_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError> {
-        self.with_topic(topic, |t| t.end_offset(partition))
+        self.topic_handle(topic)?.end_offset(partition)
     }
 
     /// The earliest retained offset of a partition.
@@ -215,7 +204,7 @@ impl Broker {
     ///
     /// Returns [`StreamError::UnknownTopic`] or [`StreamError::UnknownPartition`].
     pub fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64, StreamError> {
-        self.with_topic(topic, |t| t.earliest_offset(partition))
+        self.topic_handle(topic)?.earliest_offset(partition)
     }
 
     /// Total retained records in a topic.
@@ -224,7 +213,7 @@ impl Broker {
     ///
     /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
     pub fn topic_len(&self, topic: &str) -> Result<usize, StreamError> {
-        self.with_topic(topic, |t| Ok(t.len()))
+        Ok(self.topic_handle(topic)?.len())
     }
 
     // ---- consumer-group coordination -------------------------------------
@@ -239,6 +228,7 @@ impl Broker {
     /// Joins (or re-subscribes) a member to a group, bumping the group
     /// generation so other members rebalance.
     pub fn join_group(&self, group: &str, member: u64, topics: Vec<String>) -> u64 {
+        let topics: Vec<TopicName> = topics.into_iter().map(TopicName::from).collect();
         let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_owned()).or_default();
@@ -267,23 +257,18 @@ impl Broker {
     /// Computes the member's current partition assignment by range
     /// assignment: for each topic, partitions are split contiguously among
     /// the subscribing members in member-id order.
-    pub fn assignments(&self, group: &str, member: u64) -> Vec<(String, u32)> {
-        // Partition counts are snapshotted before `groups` is locked:
-        // `partition_count` acquires the level-1/2 topic locks, which must
-        // never be taken while holding the level-3 groups mutex. A topic
-        // created between the snapshot and the lock is simply not assigned
-        // until the next rebalance, which is indistinguishable from the
+    pub fn assignments(&self, group: &str, member: u64) -> Vec<(TopicName, u32)> {
+        // Partition counts are snapshotted before `groups` is locked: the
+        // registry read (rank 20) must never happen under the rank-40
+        // groups mutex. Partition counts are immutable topic metadata, so
+        // the snapshot takes no per-topic lock at all. A topic created
+        // between the snapshot and the lock is simply not assigned until
+        // the next rebalance, which is indistinguishable from the
         // subscription racing the topic creation.
-        let partition_counts: HashMap<String, u32> = {
+        let partition_counts: HashMap<TopicName, u32> = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics");
             let topics = self.topics.read();
-            topics
-                .iter()
-                .map(|(name, t)| {
-                    let _inner = cad3_lockrank::rank_scope!("cad3_stream::Broker::topics.inner");
-                    (name.clone(), t.lock().partition_count())
-                })
-                .collect()
+            topics.iter().map(|(name, t)| (TopicName::clone(name), t.partition_count())).collect()
         };
         let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let groups = self.groups.lock();
@@ -304,7 +289,7 @@ impl Broker {
             let Some(rank) = members.iter().position(|m| *m == member) else { continue };
             debug_assert_covering(partitions, n);
             for p in range_assignment(partitions, n, rank as u32) {
-                out.push((topic.clone(), p));
+                out.push((TopicName::clone(topic), p));
             }
         }
         out
@@ -315,8 +300,20 @@ impl Broker {
     /// Debug builds check the committed-≤-end invariant: a group cannot
     /// acknowledge records that were never produced.
     pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        self.commit_offset_at(group, &TopicName::from(topic), partition, offset);
+    }
+
+    /// [`Broker::commit_offset`] for an already-interned topic name, so the
+    /// per-batch consumer commit clones a refcount instead of the string.
+    pub(crate) fn commit_offset_at(
+        &self,
+        group: &str,
+        topic: &TopicName,
+        partition: u32,
+        offset: u64,
+    ) {
         // The end offset is read before `groups` is locked (lock hierarchy:
-        // topics/topic before groups). The log only ever grows, so an
+        // partition mutexes before groups). The log only ever grows, so an
         // offset valid against this earlier snapshot is still valid when
         // the commit lands.
         #[cfg(debug_assertions)]
@@ -329,16 +326,14 @@ impl Broker {
         let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_owned()).or_default();
-        state.committed.insert((topic.to_owned(), partition), offset);
+        state.committed.insert((TopicName::clone(topic), partition), offset);
     }
 
     /// The committed group offset for a topic partition, if any.
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        let key = (TopicName::from(topic), partition);
         let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
-        self.groups
-            .lock()
-            .get(group)
-            .and_then(|s| s.committed.get(&(topic.to_owned(), partition)).copied())
+        self.groups.lock().get(group).and_then(|s| s.committed.get(&key).copied())
     }
 
     /// Total committed-vs-head lag of a group: the records its subscribed
@@ -348,30 +343,41 @@ impl Broker {
     /// Partitions without a committed offset count from the earliest
     /// retained offset — what a fresh member would have to replay.
     ///
-    /// The group snapshot (subscribed topics + committed offsets) is taken
-    /// under the level-3 `groups` mutex and the guard dropped *before* any
-    /// level-1/2 topic lock is touched, keeping the caller inside the lock
-    /// hierarchy. A topic produced to between the two phases shows up as
-    /// slightly higher lag, which is the honest reading of a moving head.
+    /// The group snapshot is taken under the rank-40 `groups` mutex and the
+    /// guard dropped *before* any topic lock is touched, keeping the caller
+    /// inside the lock hierarchy. Only the subscribed topics' committed
+    /// entries are copied out — not the whole committed map, which also
+    /// carries offsets for topics the group no longer subscribes to. A
+    /// topic produced to between the two phases shows up as slightly higher
+    /// lag, which is the honest reading of a moving head.
     pub fn group_lag(&self, group: &str) -> u64 {
         let (topics, committed) = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::Broker::groups");
             let groups = self.groups.lock();
             let Some(state) = groups.get(group) else { return 0 };
-            let mut topics: Vec<String> = state.subscriptions.values().flatten().cloned().collect();
+            let mut topics: Vec<TopicName> =
+                state.subscriptions.values().flatten().map(TopicName::clone).collect();
             topics.sort_unstable();
             topics.dedup();
-            (topics, state.committed.clone())
+            let committed: HashMap<(TopicName, u32), u64> = state
+                .committed
+                .iter()
+                .filter(|((t, _), _)| topics.binary_search(t).is_ok())
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            (topics, committed)
         };
         let mut lag = 0u64;
         for topic in &topics {
-            let Ok(partitions) = self.partition_count(topic) else { continue };
-            for partition in 0..partitions {
-                let Ok(end) = self.end_offset(topic, partition) else { continue };
+            // One registry lookup per topic; every per-partition read below
+            // goes through the handle.
+            let Ok(handle) = self.topic_handle(topic) else { continue };
+            for partition in 0..handle.partition_count() {
+                let Ok(end) = handle.end_offset(partition) else { continue };
                 let base = committed
-                    .get(&(topic.clone(), partition))
+                    .get(&(TopicName::clone(topic), partition))
                     .copied()
-                    .or_else(|| self.earliest_offset(topic, partition).ok())
+                    .or_else(|| handle.earliest_offset(partition).ok())
                     .unwrap_or(0);
                 lag += end.saturating_sub(base);
             }
@@ -414,6 +420,7 @@ mod tests {
             Err(StreamError::UnknownTopic(_))
         ));
         assert!(matches!(b.fetch("nope", 0, 0, 1), Err(StreamError::UnknownTopic(_))));
+        assert!(matches!(b.topic_handle("nope"), Err(StreamError::UnknownTopic(_))));
     }
 
     #[test]
@@ -423,6 +430,18 @@ mod tests {
         b.create_topic("CO-DATA", 1).unwrap();
         b.create_topic("IN-DATA", 1).unwrap();
         assert_eq!(b.topic_names(), vec!["CO-DATA", "IN-DATA", "OUT-DATA"]);
+    }
+
+    #[test]
+    fn topic_handle_bypasses_registry() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 2).unwrap();
+        let h = b.topic_handle("T").unwrap();
+        assert_eq!(&**h.name(), "T");
+        let (p, o) = h.append(None, None, val("v"), 1).unwrap();
+        // The handle and the registry see the same log.
+        assert_eq!(b.fetch("T", p, o, 1).unwrap().len(), 1);
+        assert_eq!(b.end_offset("T", p).unwrap(), o + 1);
     }
 
     #[test]
@@ -499,6 +518,24 @@ mod tests {
         b.commit_offset("g", "T", 1, end1);
         assert_eq!(b.group_lag("g"), 0);
         assert_eq!(b.group_lag("absent"), 0, "unknown group has no lag");
+    }
+
+    #[test]
+    fn group_lag_ignores_unsubscribed_topics() {
+        let b = Broker::new("rsu-1");
+        b.create_topic("T", 1).unwrap();
+        b.create_topic("OTHER", 1).unwrap();
+        let m = b.allocate_member_id();
+        b.join_group("g", m, vec!["T".into()]);
+        // A stale committed offset on an unsubscribed topic must not leak
+        // into the group's lag.
+        b.commit_offset("g", "OTHER", 0, 0);
+        for i in 0..4u64 {
+            b.produce("OTHER", Some(0), None, val("v"), i).unwrap();
+        }
+        assert_eq!(b.group_lag("g"), 0, "lag counts subscribed topics only");
+        b.produce("T", Some(0), None, val("v"), 0).unwrap();
+        assert_eq!(b.group_lag("g"), 1);
     }
 
     #[test]

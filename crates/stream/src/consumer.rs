@@ -1,5 +1,5 @@
 use crate::sync::Arc;
-use crate::{Broker, FetchedRecord, StreamError};
+use crate::{Broker, FetchedRecord, SharedTopic, StreamError, TopicName};
 use std::collections::HashMap;
 
 /// Where a consumer starts when no committed offset exists for a partition.
@@ -12,12 +12,33 @@ pub enum OffsetReset {
     Latest,
 }
 
+/// One assigned partition's slice of a poll, in fetch order.
+///
+/// Returned by [`Consumer::poll_grouped`]: the records arrive already
+/// grouped by `(topic, partition)`, so a micro-batch engine can turn a poll
+/// into partitioned work without re-grouping record by record.
+#[derive(Debug)]
+pub struct PartitionBatch {
+    /// Topic the records came from (interned; cloning is refcount-only).
+    pub topic: TopicName,
+    /// Partition index within the topic.
+    pub partition: u32,
+    /// The fetched records, offset-ordered. Never empty: partitions that
+    /// had nothing to fetch are omitted from the poll.
+    pub records: Vec<FetchedRecord>,
+}
+
 /// A group consumer: joins a consumer group on one broker, receives a range
 /// assignment of partitions and polls them in order.
 ///
 /// In the reproduction, each RSU's detection pipeline is a consumer group on
 /// `IN-DATA`/`CO-DATA`, and each vehicle is a single-member group on
 /// `OUT-DATA` (every vehicle must see every warning).
+///
+/// The consumer caches a [`SharedTopic`] handle per assigned topic
+/// (refreshed on rebalance), so the steady-state poll touches only the
+/// fetched partitions' mutexes — no registry lock, no name hashing and no
+/// per-record allocation.
 #[derive(Debug)]
 pub struct Consumer {
     broker: Arc<Broker>,
@@ -26,8 +47,9 @@ pub struct Consumer {
     reset: OffsetReset,
     subscribed: bool,
     seen_generation: u64,
-    assignments: Vec<(String, u32)>,
-    positions: HashMap<(String, u32), u64>,
+    assignments: Vec<(TopicName, u32)>,
+    positions: HashMap<(TopicName, u32), u64>,
+    handles: HashMap<TopicName, Arc<SharedTopic>>,
 }
 
 impl Consumer {
@@ -43,6 +65,7 @@ impl Consumer {
             seen_generation: 0,
             assignments: Vec::new(),
             positions: HashMap::new(),
+            handles: HashMap::new(),
         }
     }
 
@@ -75,25 +98,31 @@ impl Consumer {
         self.seen_generation = self.broker.group_generation(&self.group);
         self.assignments = self.broker.assignments(&self.group, self.member);
         for (topic, partition) in &self.assignments {
-            let key = (topic.clone(), *partition);
+            if !self.handles.contains_key(topic) {
+                if let Ok(handle) = self.broker.topic_handle(topic) {
+                    self.handles.insert(TopicName::clone(topic), handle);
+                }
+            }
+            let key = (TopicName::clone(topic), *partition);
             if self.positions.contains_key(&key) {
                 continue;
             }
-            let start = self
-                .broker
-                .committed_offset(&self.group, topic, *partition)
-                .unwrap_or_else(|| match self.reset {
-                    OffsetReset::Earliest => {
-                        self.broker.earliest_offset(topic, *partition).unwrap_or(0)
-                    }
-                    OffsetReset::Latest => self.broker.end_offset(topic, *partition).unwrap_or(0),
+            let start =
+                self.broker.committed_offset(&self.group, topic, *partition).unwrap_or_else(|| {
+                    self.handles
+                        .get(topic)
+                        .map(|h| match self.reset {
+                            OffsetReset::Earliest => h.earliest_offset(*partition).unwrap_or(0),
+                            OffsetReset::Latest => h.end_offset(*partition).unwrap_or(0),
+                        })
+                        .unwrap_or(0)
                 });
             self.positions.insert(key, start);
         }
     }
 
     /// The partitions currently assigned to this consumer.
-    pub fn assignments(&mut self) -> &[(String, u32)] {
+    pub fn assignments(&mut self) -> &[(TopicName, u32)] {
         if self.broker.group_generation(&self.group) != self.seen_generation {
             self.refresh_assignments();
         }
@@ -108,43 +137,81 @@ impl Consumer {
     /// Returns [`StreamError::NotSubscribed`] before [`Consumer::subscribe`]
     /// and propagates fetch errors.
     pub fn poll(&mut self, max_records: usize) -> Result<Vec<FetchedRecord>, StreamError> {
+        let mut grouped = self.poll_grouped(max_records)?;
+        // The common single-partition poll moves the batch out wholesale.
+        if grouped.len() == 1 {
+            return Ok(grouped.pop().map(|g| g.records).unwrap_or_default());
+        }
+        let mut out = Vec::with_capacity(grouped.iter().map(|g| g.records.len()).sum());
+        for group in grouped {
+            out.extend(group.records);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Consumer::poll`], but keeps the records grouped by assigned
+    /// partition (in assignment order) instead of flattening them.
+    ///
+    /// This is the zero-copy path for micro-batch engines: fetch batches
+    /// map one-to-one onto [`PartitionBatch`]es, so no per-record regroup
+    /// is needed downstream. Partitions with nothing to fetch are omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NotSubscribed`] before [`Consumer::subscribe`]
+    /// and propagates fetch errors.
+    pub fn poll_grouped(&mut self, max_records: usize) -> Result<Vec<PartitionBatch>, StreamError> {
         if !self.subscribed {
             return Err(StreamError::NotSubscribed);
         }
         if self.broker.group_generation(&self.group) != self.seen_generation {
             self.refresh_assignments();
         }
-        let mut out = Vec::new();
-        for (topic, partition) in self.assignments.clone() {
-            if out.len() >= max_records {
+        let mut out: Vec<PartitionBatch> = Vec::new();
+        let mut total = 0usize;
+        for idx in 0..self.assignments.len() {
+            if total >= max_records {
                 break;
             }
-            let key = (topic.clone(), partition);
-            let pos = *self.positions.get(&key).unwrap_or(&0);
-            let batch = match self.broker.fetch(&topic, partition, pos, max_records - out.len()) {
+            let (topic, partition) = {
+                let (t, p) = &self.assignments[idx];
+                (TopicName::clone(t), *p)
+            };
+            let Some(handle) = self.handles.get(&topic) else {
+                // `refresh_assignments` caches a handle for every assigned
+                // topic; a miss means the topic is gone from the registry.
+                return Err(StreamError::UnknownTopic(topic.to_string()));
+            };
+            let pos =
+                self.positions.get(&(TopicName::clone(&topic), partition)).copied().unwrap_or(0);
+            let batch = match handle.fetch(partition, pos, max_records - total) {
                 Ok(b) => b,
                 Err(StreamError::OffsetOutOfRange { earliest, .. }) => {
                     // Retention overtook us; resume from the horizon.
-                    self.positions.insert(key.clone(), earliest);
-                    self.broker.fetch(&topic, partition, earliest, max_records - out.len())?
+                    self.positions.insert((TopicName::clone(&topic), partition), earliest);
+                    handle.fetch(partition, earliest, max_records - total)?
                 }
                 Err(e) => return Err(e),
             };
-            if let Some(last) = batch.last() {
-                self.positions.insert(key, last.offset + 1);
-            }
-            out.extend(batch.into_iter().map(|r| FetchedRecord {
-                topic: topic.clone(),
-                partition,
-                offset: r.offset,
-                key: r.key,
-                value: r.value,
-                timestamp: r.timestamp,
-            }));
+            let Some(last) = batch.last() else { continue };
+            self.positions.insert((TopicName::clone(&topic), partition), last.offset + 1);
+            total += batch.len();
+            let records = batch
+                .into_iter()
+                .map(|r| FetchedRecord {
+                    topic: TopicName::clone(&topic),
+                    partition,
+                    offset: r.offset,
+                    key: r.key,
+                    value: r.value,
+                    timestamp: r.timestamp,
+                })
+                .collect();
+            out.push(PartitionBatch { topic, partition, records });
         }
         if cad3_obs::enabled() {
             cad3_obs::counter!("stream.consumer.polls").inc();
-            cad3_obs::counter!("stream.consumer.records").add(cad3_types::len_u64(out.len()));
+            cad3_obs::counter!("stream.consumer.records").add(cad3_types::len_u64(total));
             self.publish_lag_gauge();
         }
         Ok(out)
@@ -153,7 +220,7 @@ impl Consumer {
     /// Commits the current positions to the group.
     pub fn commit(&self) {
         for ((topic, partition), offset) in &self.positions {
-            self.broker.commit_offset(&self.group, topic, *partition, *offset);
+            self.broker.commit_offset_at(&self.group, topic, *partition, *offset);
         }
         self.publish_lag_gauge();
     }
@@ -171,18 +238,20 @@ impl Consumer {
 
     /// Seeks every assigned partition to the log end (skip history).
     pub fn seek_to_end(&mut self) {
-        for (topic, partition) in self.assignments.clone() {
-            if let Ok(end) = self.broker.end_offset(&topic, partition) {
-                self.positions.insert((topic, partition), end);
+        for (topic, partition) in &self.assignments {
+            if let Some(end) = self.handles.get(topic).and_then(|h| h.end_offset(*partition).ok()) {
+                self.positions.insert((TopicName::clone(topic), *partition), end);
             }
         }
     }
 
     /// Seeks every assigned partition to the earliest retained offset.
     pub fn seek_to_beginning(&mut self) {
-        for (topic, partition) in self.assignments.clone() {
-            if let Ok(earliest) = self.broker.earliest_offset(&topic, partition) {
-                self.positions.insert((topic, partition), earliest);
+        for (topic, partition) in &self.assignments {
+            if let Some(earliest) =
+                self.handles.get(topic).and_then(|h| h.earliest_offset(*partition).ok())
+            {
+                self.positions.insert((TopicName::clone(topic), *partition), earliest);
             }
         }
     }
@@ -197,8 +266,16 @@ impl Consumer {
         self.assignments
             .iter()
             .map(|(topic, partition)| {
-                let end = self.broker.end_offset(topic, *partition).unwrap_or(0);
-                let pos = self.positions.get(&(topic.clone(), *partition)).copied().unwrap_or(0);
+                let end = self
+                    .handles
+                    .get(topic)
+                    .and_then(|h| h.end_offset(*partition).ok())
+                    .unwrap_or(0);
+                let pos = self
+                    .positions
+                    .get(&(TopicName::clone(topic), *partition))
+                    .copied()
+                    .unwrap_or(0);
                 end.saturating_sub(pos)
             })
             .sum()
@@ -277,6 +354,37 @@ mod tests {
         let second = c.poll(100).unwrap();
         assert_eq!(first.len(), 5);
         assert!(second.is_empty(), "no duplicates on re-poll");
+    }
+
+    #[test]
+    fn poll_grouped_batches_follow_fetch_boundaries() {
+        let (broker, producer) = setup();
+        let mut c = Consumer::new(broker, "g", OffsetReset::Earliest);
+        c.subscribe(&["IN-DATA"]).unwrap();
+        for i in 0..60u64 {
+            producer.send("IN-DATA", Some(format!("veh-{i}").as_bytes()), &b"x"[..], i).unwrap();
+        }
+        let grouped = c.poll_grouped(1000).unwrap();
+        assert_eq!(grouped.len(), 3, "60 spread keys fill all 3 partitions");
+        let mut seen_partitions = Vec::new();
+        let mut total = 0;
+        for batch in &grouped {
+            assert!(!batch.records.is_empty(), "empty partitions are omitted");
+            seen_partitions.push(batch.partition);
+            total += batch.records.len();
+            for (i, r) in batch.records.iter().enumerate() {
+                assert_eq!(r.offset, cad3_types::len_u64(i), "offsets dense within a batch");
+                assert_eq!(r.partition, batch.partition);
+                assert_eq!(r.topic, batch.topic);
+            }
+        }
+        assert_eq!(total, 60);
+        let mut sorted = seen_partitions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), grouped.len(), "each partition appears once");
+        // Nothing left after a full drain.
+        assert!(c.poll_grouped(1000).unwrap().is_empty());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! relies on, from scratch:
 //!
 //! * [`PartitionLog`] — append-only offset-addressed logs with retention.
-//! * [`Topic`] — key-hash partitioning across a fixed partition count.
+//! * [`Topic`] — key-hash partitioning across a fixed partition count (the
+//!   single-threaded reference semantics).
+//! * [`SharedTopic`] — the broker's sharded hot-path topic: immutable
+//!   metadata plus one mutex per partition, so appends and fetches to
+//!   different partitions never contend.
 //! * [`Broker`] — thread-safe topic registry with produce/fetch and
 //!   consumer-group offset tracking.
-//! * [`Producer`] — the vehicle-side publisher.
+//! * [`Producer`] — the vehicle-side publisher, with a cached topic handle
+//!   so steady-state sends skip the registry.
 //! * [`Consumer`] — group membership, range partition assignment, `poll`,
 //!   commit and seek.
 //! * [`Cluster`] — a set of named brokers (one per emulated RSU).
@@ -47,17 +52,19 @@ mod error;
 mod partition;
 mod producer;
 mod record;
+mod shard;
 mod sync;
 mod topic;
 
 pub use batching::BatchingProducer;
 pub use broker::{range_assignment, Broker};
 pub use cluster::Cluster;
-pub use consumer::{Consumer, OffsetReset};
+pub use consumer::{Consumer, OffsetReset, PartitionBatch};
 pub use error::StreamError;
 pub use partition::PartitionLog;
 pub use producer::Producer;
-pub use record::{FetchedRecord, Record};
+pub use record::{FetchedRecord, Record, TopicName};
+pub use shard::SharedTopic;
 pub use topic::Topic;
 
 /// Topic name for vehicle status ingestion (the paper's `IN-DATA`).

@@ -1,5 +1,5 @@
-use crate::sync::{Arc, AtomicU64, Ordering};
-use crate::{Broker, StreamError};
+use crate::sync::{Arc, AtomicU64, Ordering, RwLock};
+use crate::{Broker, SharedTopic, StreamError, TopicName};
 use bytes::Bytes;
 
 /// A publisher bound to one broker — the role each emulated vehicle's DSRC
@@ -7,6 +7,13 @@ use bytes::Bytes;
 ///
 /// Sends are synchronous: the record is on the log when `send` returns,
 /// like a flushed Kafka producer with `acks=1` against a single broker.
+///
+/// The producer caches [`SharedTopic`] handles per topic name
+/// ([`Broker::topic_handle`]), so the steady-state send path skips the
+/// broker's registry entirely: one read of the small cache, then the target
+/// partition's mutex. Clones start with an empty cache (each clone —
+/// typically one per thread — warms its own), while the statistic counters
+/// stay shared.
 ///
 /// # Counter ordering policy
 ///
@@ -17,11 +24,29 @@ use bytes::Bytes;
 /// counts that lag concurrent in-flight sends, and the two counters are not
 /// guaranteed mutually consistent at any instant. Any future use of these
 /// counters as a happens-before signal must upgrade the policy, not one site.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Producer {
     broker: Arc<Broker>,
+    /// Cached topic handles. A producer talks to a handful of topics (the
+    /// paper has three per broker), so a linear scan of a small `Vec` beats
+    /// hashing the topic name on every send.
+    handles: RwLock<Vec<(TopicName, Arc<SharedTopic>)>>,
     records_sent: Arc<AtomicU64>,
     bytes_sent: Arc<AtomicU64>,
+}
+
+impl Clone for Producer {
+    /// Clones share the broker and the statistic counters but start with an
+    /// empty handle cache, so concurrent senders never contend on one
+    /// shared cache lock.
+    fn clone(&self) -> Self {
+        Producer {
+            broker: Arc::clone(&self.broker),
+            handles: RwLock::new(Vec::new()),
+            records_sent: Arc::clone(&self.records_sent),
+            bytes_sent: Arc::clone(&self.bytes_sent),
+        }
+    }
 }
 
 impl Producer {
@@ -29,6 +54,7 @@ impl Producer {
     pub fn new(broker: Arc<Broker>) -> Self {
         Producer {
             broker,
+            handles: RwLock::new(Vec::new()),
             records_sent: Arc::new(AtomicU64::new(0)),
             bytes_sent: Arc::new(AtomicU64::new(0)),
         }
@@ -37,6 +63,31 @@ impl Producer {
     /// The broker this producer publishes to.
     pub fn broker(&self) -> &Arc<Broker> {
         &self.broker
+    }
+
+    /// The cached handle for `topic`, resolving through the broker registry
+    /// on first use.
+    ///
+    /// The cache read (rank 25) and the registry lookup (rank 20) are never
+    /// held together: on a miss the cache guard is dropped before the
+    /// registry is consulted, then re-taken for the insert.
+    fn handle(&self, topic: &str) -> Result<Arc<SharedTopic>, StreamError> {
+        {
+            let _held = cad3_lockrank::rank_scope!("cad3_stream::Producer::handles");
+            let cache = self.handles.read();
+            for (name, t) in cache.iter() {
+                if &**name == topic {
+                    return Ok(Arc::clone(t));
+                }
+            }
+        }
+        let t = self.broker.topic_handle(topic)?;
+        let _held = cad3_lockrank::rank_scope!("cad3_stream::Producer::handles");
+        let mut cache = self.handles.write();
+        if !cache.iter().any(|(name, _)| &**name == topic) {
+            cache.push((TopicName::clone(t.name()), Arc::clone(&t)));
+        }
+        Ok(t)
     }
 
     /// Publishes a record; routing follows the topic's partitioner.
@@ -55,7 +106,7 @@ impl Producer {
         let value = value.into();
         let n = value.len() as u64;
         let result =
-            self.broker.produce(topic, None, key.map(Bytes::copy_from_slice), value, timestamp)?;
+            self.handle(topic)?.append(None, key.map(Bytes::copy_from_slice), value, timestamp)?;
         // ordering: Relaxed — independent statistic counters; see the
         // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);
@@ -83,8 +134,7 @@ impl Producer {
     ) -> Result<(u32, u64), StreamError> {
         let value = value.into();
         let n = value.len() as u64;
-        let result = self.broker.produce(
-            topic,
+        let result = self.handle(topic)?.append(
             Some(partition),
             key.map(Bytes::copy_from_slice),
             value,
@@ -147,6 +197,20 @@ mod tests {
         let p = Producer::new(broker);
         assert!(matches!(p.send("missing", None, &b"x"[..], 0), Err(StreamError::UnknownTopic(_))));
         assert_eq!(p.records_sent(), 0, "failed sends are not counted");
+    }
+
+    #[test]
+    fn cached_handle_sees_topics_created_after_the_producer() {
+        let broker = Arc::new(Broker::new("rsu"));
+        let p = Producer::new(Arc::clone(&broker));
+        assert!(p.send("LATE", None, &b"x"[..], 0).is_err());
+        broker.create_topic("LATE", 1).unwrap();
+        // A miss is re-resolved through the registry, so the topic is found
+        // now; repeated sends reuse the cached handle and stay dense.
+        for i in 0..3u64 {
+            let (_, off) = p.send("LATE", None, &b"x"[..], i).unwrap();
+            assert_eq!(off, i);
+        }
     }
 
     #[test]

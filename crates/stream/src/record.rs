@@ -1,5 +1,14 @@
 use bytes::Bytes;
 
+/// An interned topic name.
+///
+/// Topic names are interned once (at topic creation / handle lookup) and
+/// shared by reference everywhere after, so the poll→batch hot path clones
+/// a pointer instead of allocating a `String` per record. Plain
+/// `std::sync::Arc` even under loom: the payload is immutable data, never
+/// used for synchronisation.
+pub type TopicName = std::sync::Arc<str>;
+
 /// A record stored in a partition log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
@@ -24,8 +33,8 @@ impl Record {
 /// topic and partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchedRecord {
-    /// Topic the record came from.
-    pub topic: String,
+    /// Topic the record came from (interned; cloning is refcount-only).
+    pub topic: TopicName,
     /// Partition index within the topic.
     pub partition: u32,
     /// Offset within the partition.

@@ -1,8 +1,9 @@
 use crate::{PartitionLog, Record, StreamError};
 use bytes::Bytes;
 
-/// FNV-1a hash, the stable key-partitioner hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash, the stable key-partitioner hash (shared with
+/// [`crate::SharedTopic`] so both partitioners route identically).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -16,6 +17,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Keyed records are routed by key hash so all records of one vehicle land
 /// in one partition (preserving per-vehicle ordering); keyless records are
 /// spread round-robin.
+///
+/// This is the single-threaded reference implementation of topic semantics:
+/// the broker's hot path runs on the internally-locked [`crate::SharedTopic`],
+/// and `tests/sharded_equivalence.rs` holds the two observationally equal
+/// over arbitrary interleaved append/fetch sequences.
 #[derive(Debug)]
 pub struct Topic {
     name: String,
@@ -36,6 +42,28 @@ impl Topic {
         Ok(Topic {
             name: name.into(),
             partitions: (0..partitions).map(|_| PartitionLog::new()).collect(),
+            round_robin: 0,
+        })
+    }
+
+    /// Creates a topic whose partitions each retain at most `max_records`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidPartitionCount`] if `partitions == 0`.
+    pub fn with_retention(
+        name: impl Into<String>,
+        partitions: u32,
+        max_records: usize,
+    ) -> Result<Self, StreamError> {
+        if partitions == 0 {
+            return Err(StreamError::InvalidPartitionCount);
+        }
+        Ok(Topic {
+            name: name.into(),
+            partitions: (0..partitions)
+                .map(|_| PartitionLog::with_retention(max_records))
+                .collect(),
             round_robin: 0,
         })
     }

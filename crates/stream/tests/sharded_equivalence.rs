@@ -1,0 +1,162 @@
+//! Observational equivalence of [`SharedTopic`] and the reference [`Topic`].
+//!
+//! The sharded topic replaced the single-mutex `Topic` on the broker's hot
+//! path (see `DESIGN.md`, "Hot path and sharding"). Its contract is that the
+//! *public semantics are bit-identical*: the same append sequence routes to
+//! the same partitions, yields the same offsets, survives retention the same
+//! way, and every fetch window — including error cases — returns the same
+//! answer. This property test drives both implementations through identical
+//! operation schedules and compares every observable result.
+
+use bytes::Bytes;
+use cad3_stream::{SharedTopic, StreamError, Topic};
+use proptest::prelude::*;
+
+/// One step of an interleaved schedule: appends routed each of the three
+/// ways the producer can route, plus reads of every observable surface.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Keyless append — exercises the round-robin counter.
+    AppendRoundRobin { value: u8 },
+    /// Keyed append — exercises the FNV-1a partitioner.
+    AppendKeyed { key: u8, value: u8 },
+    /// Explicit-partition append; the partition is taken modulo a range a
+    /// little wider than the partition count so out-of-range errors are
+    /// exercised too.
+    AppendExplicit { partition: u32, value: u8 },
+    /// Fetch a window; offset and partition both range past the valid end
+    /// so `UnknownPartition` and `OffsetOutOfRange` are compared as well.
+    Fetch { partition: u32, offset: u64, max: usize },
+    /// Compare end offset of a partition (possibly invalid).
+    EndOffset { partition: u32 },
+    /// Compare earliest retained offset of a partition (possibly invalid).
+    EarliestOffset { partition: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A weighted selector drawn alongside every operand the variants need;
+    // the map picks the variant (the vendored proptest has no `prop_oneof!`).
+    (0u32..13, 0u8..8, any::<u8>(), 0u32..6, 0u64..40, 0usize..16).prop_map(
+        |(select, key, value, partition, offset, max)| match select {
+            0..=2 => Op::AppendRoundRobin { value },
+            3..=5 => Op::AppendKeyed { key, value },
+            6..=7 => Op::AppendExplicit { partition, value },
+            8..=10 => Op::Fetch { partition, offset, max },
+            11 => Op::EndOffset { partition },
+            _ => Op::EarliestOffset { partition },
+        },
+    )
+}
+
+/// Normalises an error for comparison. `UnknownPartition` carries the topic
+/// name, which differs in type (`String` vs interned) but must agree in
+/// content, so errors are compared directly — both sides name their topic
+/// identically.
+fn run_schedule(ops: &[Op], partitions: u32, retention: Option<usize>) {
+    let mut reference = match retention {
+        Some(max) => Topic::with_retention("IN-DATA", partitions, max).expect("reference topic"),
+        None => Topic::new("IN-DATA", partitions).expect("reference topic"),
+    };
+    let sharded = match retention {
+        Some(max) => SharedTopic::with_retention("IN-DATA", partitions, max).expect("sharded"),
+        None => SharedTopic::new("IN-DATA", partitions).expect("sharded"),
+    };
+
+    assert_eq!(reference.partition_count(), sharded.partition_count());
+
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::AppendRoundRobin { value } => {
+                let v = Bytes::copy_from_slice(&[*value]);
+                let a = reference.append(None, None, v.clone(), step as u64);
+                let b = sharded.append(None, None, v, step as u64);
+                assert_eq!(a, b, "round-robin append diverged at step {step}");
+            }
+            Op::AppendKeyed { key, value } => {
+                let k = Bytes::copy_from_slice(&[*key]);
+                let v = Bytes::copy_from_slice(&[*value]);
+                assert_eq!(
+                    reference.partition_for_key(&[*key]),
+                    sharded.partition_for_key(&[*key]),
+                    "partitioner diverged for key {key}"
+                );
+                let a = reference.append(None, Some(k.clone()), v.clone(), step as u64);
+                let b = sharded.append(None, Some(k), v, step as u64);
+                assert_eq!(a, b, "keyed append diverged at step {step}");
+            }
+            Op::AppendExplicit { partition, value } => {
+                let v = Bytes::copy_from_slice(&[*value]);
+                let a = reference.append(Some(*partition), None, v.clone(), step as u64);
+                let b = sharded.append(Some(*partition), None, v, step as u64);
+                assert_eq!(a, b, "explicit append diverged at step {step}");
+            }
+            Op::Fetch { partition, offset, max } => {
+                let a = reference.fetch(*partition, *offset, *max);
+                let b = sharded.fetch(*partition, *offset, *max);
+                assert_eq!(a, b, "fetch diverged at step {step}");
+            }
+            Op::EndOffset { partition } => {
+                assert_eq!(
+                    reference.end_offset(*partition),
+                    sharded.end_offset(*partition),
+                    "end_offset diverged at step {step}"
+                );
+            }
+            Op::EarliestOffset { partition } => {
+                assert_eq!(
+                    reference.earliest_offset(*partition),
+                    sharded.earliest_offset(*partition),
+                    "earliest_offset diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    // Terminal full-state comparison: totals and every partition's replay.
+    assert_eq!(reference.len(), sharded.len(), "retained totals diverged");
+    assert_eq!(reference.is_empty(), sharded.is_empty());
+    for p in 0..partitions {
+        let earliest = reference.earliest_offset(p).expect("valid partition");
+        let a = reference.fetch(p, earliest, usize::MAX);
+        let b = sharded.fetch(p, earliest, usize::MAX);
+        assert_eq!(a, b, "terminal replay of partition {p} diverged");
+    }
+}
+
+proptest! {
+    /// Any interleaving of keyed, keyless, and explicit appends with reads
+    /// is observationally identical between `Topic` and `SharedTopic`.
+    #[test]
+    fn sharded_topic_matches_reference(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        partitions in 1u32..=4,
+    ) {
+        run_schedule(&ops, partitions, None);
+    }
+
+    /// Equivalence holds under retention truncation: earliest offsets,
+    /// out-of-range fetch errors, and surviving records all agree.
+    #[test]
+    fn sharded_topic_matches_reference_with_retention(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        partitions in 1u32..=4,
+        retention in 1usize..10,
+    ) {
+        run_schedule(&ops, partitions, Some(retention));
+    }
+
+    /// `StreamError` values for invalid partitions carry the same topic
+    /// name and partition index on both sides.
+    #[test]
+    fn error_payloads_agree(partitions in 1u32..=4, bad in 4u32..9) {
+        let reference = Topic::new("OUT-RESULT", partitions).unwrap();
+        let sharded = SharedTopic::new("OUT-RESULT", partitions).unwrap();
+        let a = reference.fetch(bad + partitions, 0, 1).unwrap_err();
+        let b = sharded.fetch(bad + partitions, 0, 1).unwrap_err();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(matches!(
+            a,
+            StreamError::UnknownPartition { ref topic, .. } if topic == "OUT-RESULT"
+        ));
+    }
+}

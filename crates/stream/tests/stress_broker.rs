@@ -1,0 +1,124 @@
+//! Threaded stress test of the sharded broker under the lock-rank witness.
+//!
+//! Ignored by default (it spins real threads for a few seconds); CI runs it
+//! explicitly in the `lockrank` job with
+//!
+//! ```sh
+//! cargo test -p cad3-stream --test stress_broker -- --ignored
+//! ```
+//!
+//! where the `rank_scope!` witness is compiled in, so every acquisition the
+//! stress mix performs — registry reads, handle-cache fills, per-partition
+//! appends and fetches, group commits and rebalances — is checked against
+//! the hierarchy in `lockranks.toml` on a real (not model-checked) schedule.
+
+use bytes::Bytes;
+use cad3_stream::{Broker, Consumer, OffsetReset, Producer};
+use std::sync::Arc;
+
+const TOPICS: [&str; 3] = ["IN-DATA", "OUT-RESULT", "GLOBAL-ABNORMAL"];
+const RECORDS_PER_PRODUCER: u64 = 5_001;
+const PRODUCERS: usize = 4;
+
+/// Four producers, three polling consumer groups, and a membership-churn
+/// thread all hammer one broker. Afterwards every topic must hold exactly
+/// the records sent to it, with dense offsets, and each steady group's
+/// consumers must have seen every record exactly once.
+#[test]
+#[ignore = "threaded stress mix; run explicitly via -- --ignored (lockrank CI job)"]
+fn stress_sharded_broker_under_lockrank_witness() {
+    let broker = Arc::new(Broker::new("rsu-stress"));
+    for topic in TOPICS {
+        broker.create_topic(topic, 3).expect("fresh topic");
+    }
+
+    let mut handles = Vec::new();
+
+    // Producers: each cycles through all topics, mixing keyed, keyless, and
+    // explicit-partition sends so every routing path crosses threads.
+    for _ in 0..PRODUCERS {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let producer = Producer::new(broker);
+            for i in 0..RECORDS_PER_PRODUCER {
+                let topic = TOPICS[(i % 3) as usize];
+                let value = Bytes::copy_from_slice(&i.to_be_bytes());
+                let sent = match i % 3 {
+                    0 => producer.send(topic, Some(b"veh-7"), value, i),
+                    1 => producer.send(topic, None, value, i),
+                    _ => producer.send_to_partition(topic, (i % 3) as u32, None, value, i),
+                };
+                sent.expect("send succeeds");
+            }
+            producer.records_sent()
+        }));
+    }
+
+    // Churn: members join and leave a side group, forcing rebalances that
+    // take the groups lock while producers hold partition locks elsewhere.
+    let churn = {
+        let broker = Arc::clone(&broker);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                let mut transient =
+                    Consumer::new(Arc::clone(&broker), "churn", OffsetReset::Latest);
+                transient.subscribe(&TOPICS).expect("subscribe succeeds");
+                let _ = transient.poll(32).expect("poll succeeds");
+                let _ = broker.group_lag("churn");
+                transient.unsubscribe();
+            }
+        })
+    };
+
+    // Steady consumers: one single-member group per topic drains everything.
+    let mut consumers = Vec::new();
+    for topic in TOPICS {
+        let broker = Arc::clone(&broker);
+        consumers.push(std::thread::spawn(move || {
+            let group = format!("g-{topic}");
+            let mut consumer = Consumer::new(broker, group, OffsetReset::Earliest);
+            consumer.subscribe(&[topic]).expect("subscribe succeeds");
+            let mut seen = 0usize;
+            let mut idle_rounds = 0u32;
+            // Producers send RECORDS_PER_PRODUCER / 3 records to each topic
+            // (the cycle length divides the count evenly).
+            let expected = PRODUCERS * (RECORDS_PER_PRODUCER as usize / 3);
+            while seen < expected && idle_rounds < 10_000 {
+                let got = consumer.poll(256).expect("poll succeeds").len();
+                seen += got;
+                consumer.commit();
+                idle_rounds = if got == 0 { idle_rounds + 1 } else { 0 };
+            }
+            (seen, expected)
+        }));
+    }
+
+    let mut produced_total = 0u64;
+    for h in handles {
+        produced_total += h.join().expect("producer thread");
+    }
+    assert_eq!(produced_total, PRODUCERS as u64 * RECORDS_PER_PRODUCER);
+    churn.join().expect("churn thread");
+    for c in consumers {
+        let (seen, expected) = c.join().expect("consumer thread");
+        assert_eq!(seen, expected, "steady group saw every record exactly once");
+    }
+
+    // Terminal integrity sweep: per-topic totals and dense per-partition logs.
+    for topic in TOPICS {
+        let expected = PRODUCERS * (RECORDS_PER_PRODUCER as usize / 3);
+        assert_eq!(broker.topic_len(topic).expect("topic exists"), expected);
+        let mut total = 0usize;
+        for partition in 0..broker.partition_count(topic).expect("topic exists") {
+            let end = broker.end_offset(topic, partition).expect("partition exists");
+            let records =
+                broker.fetch(topic, partition, 0, usize::MAX).expect("full fetch succeeds");
+            assert_eq!(records.len() as u64, end, "offsets must be dense to the end");
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.offset, i as u64, "offsets must be dense from 0");
+            }
+            total += records.len();
+        }
+        assert_eq!(total, expected, "{topic}: partition totals must add up");
+    }
+}

@@ -21,6 +21,24 @@ pub fn index_usize(n: u64) -> usize {
     usize::try_from(n).unwrap_or(usize::MAX)
 }
 
+/// Widens a partition-vector length to the `u32` partition-count domain.
+///
+/// Partition counts are created from `u32` (`Broker::create_topic`), so the
+/// length always fits; saturates rather than wraps if that invariant is
+/// ever broken.
+#[must_use]
+pub fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Narrows an already-bounded `u64` — e.g. `hash % u64::from(partitions)` —
+/// to a `u32` partition index, saturating instead of wrapping if the bound
+/// was wrong.
+#[must_use]
+pub fn partition_u32(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Converts a record count to `f64` for averaging.
 ///
 /// Counts above 2^53 round to the nearest representable float, which is

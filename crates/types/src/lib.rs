@@ -35,7 +35,7 @@ mod records;
 mod road;
 mod time;
 
-pub use convert::{count_f64, index_usize, len_u64};
+pub use convert::{count_f64, index_usize, len_u32, len_u64, partition_u32};
 pub use error::CodecError;
 pub use geo::{GeoPoint, EARTH_RADIUS_M};
 pub use ids::{RsuId, TripId, VehicleId};

@@ -14,12 +14,14 @@
 //! # Site naming
 //!
 //! - a lock struct field: `crate::Struct::field`
-//!   (e.g. `cad3_stream::Broker::groups`);
-//! - locks nested inside a locked collection get `.inner`
-//!   (`cad3_stream::Broker::topics.inner` is the per-`Topic` mutex inside
-//!   the `topics` registry `RwLock`);
-//! - a long-lived local lock: `crate::Type::fn::local`
-//!   (`cad3_engine::Executor::run::tasks`).
+//!   (e.g. `cad3_stream::Broker::groups`); a `Vec`/`HashMap` of locks is one
+//!   site covering every element (`cad3_stream::SharedTopic::partitions` is
+//!   all of a topic's per-partition mutexes);
+//! - locks nested inside a locked collection get `.inner` (a
+//!   `RwLock<HashMap<_, Arc<Mutex<T>>>>` field `reg` yields `reg` and
+//!   `reg.inner` — the shape the broker's registry had before the sharded
+//!   topic made the per-topic lock a sibling rather than a nested site);
+//! - a long-lived local lock: `crate::Type::fn::local`.
 //!
 //! # Soundness envelope
 //!

@@ -402,7 +402,7 @@ mod tests {
         let p = parse_src(
             "pub struct Broker {\n\
              name: String,\n\
-             topics: RwLock<HashMap<String, Arc<Mutex<Topic>>>>,\n\
+             topics: RwLock<HashMap<TopicName, Arc<SharedTopic>>>,\n\
              groups: Mutex<HashMap<String, GroupState>>,\n\
              }\n",
         );
@@ -413,7 +413,7 @@ mod tests {
         assert_eq!(names, ["name", "topics", "groups"]);
         let topics = &s.fields[1];
         assert!(topics.ty.iter().any(|t| t.is_ident("RwLock")));
-        assert!(topics.ty.iter().any(|t| t.is_ident("Mutex")));
+        assert!(topics.ty.iter().any(|t| t.is_ident("SharedTopic")));
     }
 
     #[test]
