@@ -79,6 +79,24 @@ pub fn write_metrics(name: &str) -> Option<cad3_obs::MetricsSnapshot> {
     Some(snapshot)
 }
 
+/// Writes a raw text artefact (e.g. a JSONL trace dump) to
+/// `results/<file_name>`. Failures are non-fatal and counted on
+/// `bench.results.errors`, like [`write_json`].
+pub fn write_text(file_name: &str, text: &str) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
+        return;
+    }
+    let path = dir.join(file_name);
+    if std::fs::write(&path, text).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
+        return;
+    }
+    cad3_obs::counter!("bench.results.written").inc();
+    println!("[artefact written to {}]", path.display());
+}
+
 fn results_dir() -> PathBuf {
     // Prefer the workspace root (two levels up from the bench crate) when
     // running via cargo; fall back to the current directory.

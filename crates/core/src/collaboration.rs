@@ -1,5 +1,17 @@
-use cad3_types::{RoadId, RsuId, SimTime, SummaryMessage, VehicleId};
+use cad3_types::{RoadId, RsuId, SimTime, SummaryMessage, TraceLineage, VehicleId};
 use std::collections::HashMap;
+
+/// Converts a live trace context into the wire-portable lineage a
+/// `CO-DATA` summary carries across a handover.
+pub fn lineage_of(ctx: &cad3_obs::TraceContext) -> TraceLineage {
+    TraceLineage { trace_id: ctx.trace_id(), parent_span: ctx.parent_span(), hop: ctx.hop() }
+}
+
+/// Reconstitutes a trace context from a received lineage (always sampled:
+/// lineage is only forwarded for records the head sampler elected).
+pub fn lineage_context(lineage: &TraceLineage) -> cad3_obs::TraceContext {
+    cad3_obs::TraceContext::from_parts(lineage.trace_id, lineage.parent_span, lineage.hop)
+}
 
 /// The collaborative context available for one vehicle: the aggregate of
 /// its prediction probabilities on previously traversed roads — the
@@ -35,6 +47,10 @@ struct VehicleState {
     /// by the tracker's road depth.
     history: std::collections::VecDeque<(f64, u32)>,
     prev_last_class: u8,
+    /// Trace lineage of the vehicle's most recent *sampled* record, so an
+    /// exported `CO-DATA` summary can link the next RSU's spans back to
+    /// this RSU's trace.
+    lineage: Option<TraceLineage>,
 }
 
 impl VehicleState {
@@ -178,7 +194,16 @@ impl SummaryTracker {
             mean_probability: mean,
             last_class: if s.road_count > 0 { s.road_last_class } else { s.prev_last_class },
             sent_at: now,
+            trace: s.lineage,
         })
+    }
+
+    /// Remembers the trace lineage of `vehicle`'s latest sampled record;
+    /// the next [`SummaryTracker::export`] for the vehicle carries it.
+    /// Untraced records (the default-sampling common case) don't call
+    /// this, so the last sampled lineage sticks until the handover.
+    pub fn set_lineage(&mut self, vehicle: VehicleId, lineage: TraceLineage) {
+        self.vehicles.entry(vehicle).or_default().lineage = Some(lineage);
     }
 
     /// Forgets a vehicle (it left the deployment area).
@@ -279,6 +304,24 @@ mod tests {
         // Round-trips into a summary.
         let s = VehicleSummary::from_message(&msg);
         assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn export_carries_last_sampled_lineage() {
+        let mut t = SummaryTracker::new();
+        t.observe(V, RoadId(1), 0.4);
+        assert_eq!(t.export(V, RsuId(1), SimTime::ZERO).unwrap().trace, None);
+        let ctx = cad3_obs::TraceContext::from_parts(31, 7, 2);
+        t.set_lineage(V, lineage_of(&ctx));
+        let msg = t.export(V, RsuId(1), SimTime::ZERO).unwrap();
+        let lineage = msg.trace.unwrap();
+        assert_eq!((lineage.trace_id, lineage.parent_span, lineage.hop), (31, 7, 2));
+        // Round-trips into a live context for the receiving RSU.
+        let revived = lineage_context(&lineage);
+        assert_eq!(revived.trace_id(), 31);
+        assert_eq!(revived.parent_span(), 7);
+        assert_eq!(revived.hop(), 2);
+        assert!(revived.sampled());
     }
 
     #[test]

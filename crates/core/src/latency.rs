@@ -66,6 +66,33 @@ impl LatencyStats {
         }
     }
 
+    /// [`LatencyStats::record`], closing the record's distributed trace:
+    /// emits an `rsu.disseminate` span from detection complete
+    /// (`detected_ns`) to warning delivery (`delivered_ns`), attributed to
+    /// `node`, for warnings whose trace context survived to the
+    /// dissemination poll. The span's value is the dissemination share in
+    /// nanoseconds, mirroring the breakdown's last stage.
+    pub fn record_traced(
+        &mut self,
+        b: &LatencyBreakdown,
+        trace: Option<&cad3_obs::TraceContext>,
+        node: u32,
+        detected_ns: u64,
+        delivered_ns: u64,
+    ) {
+        self.record(b);
+        if let Some(ctx) = trace {
+            cad3_obs::trace_span!(
+                "rsu.disseminate",
+                ctx,
+                detected_ns,
+                delivered_ns,
+                node,
+                b.dissemination.as_nanos()
+            );
+        }
+    }
+
     /// Number of recorded measurements.
     pub fn len(&self) -> usize {
         self.total_ms.len()

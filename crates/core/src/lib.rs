@@ -57,7 +57,7 @@ mod testbed;
 mod vehicle;
 
 pub use alerts::AlertThrottle;
-pub use collaboration::{SummaryTracker, VehicleSummary};
+pub use collaboration::{lineage_context, lineage_of, SummaryTracker, VehicleSummary};
 pub use testbed::{MigrationSpec, RsuReport, RsuSpec, ScenarioSpec};
 
 /// Approximate centre of Shenzhen, used as the default reported position.
@@ -71,3 +71,11 @@ pub use roadstats::OnlineRoadStats;
 pub use rsu::{BatchResult, RsuNode};
 pub use testbed::{Testbed, TestbedReport};
 pub use vehicle::VehicleAgent;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Serialises unit tests that mutate process-global tracing state (the
+    /// sampling rate and the shared trace sink), so concurrent tests in
+    /// this binary cannot steal each other's drained events.
+    pub static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

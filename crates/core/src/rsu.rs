@@ -26,6 +26,11 @@ pub struct BatchResult {
     /// Warnings produced, stamped `detected_at = batch start + processing`.
     /// The caller publishes them to `OUT-DATA` at that instant.
     pub warnings: Vec<WarningMessage>,
+    /// Trace context for each warning, aligned index-for-index with
+    /// `warnings` (`None` for warnings from unsampled records). The caller
+    /// passes it to [`RsuNode::publish_warning_traced`] so the
+    /// dissemination leg joins the record's end-to-end trace.
+    pub warning_traces: Vec<Option<cad3_obs::TraceContext>>,
     /// `CO-DATA` summaries consumed this batch.
     pub summaries_received: usize,
 }
@@ -169,12 +174,31 @@ impl RsuNode {
         {
             let _fuse_span = cad3_obs::span!("rsu.handover.fuse");
             for rec in self.co_consumer.poll(usize::MAX)? {
+                let arrival_ns = rec.timestamp;
                 let mut buf: Bytes = rec.value;
                 if let Ok(msg) = SummaryMessage::decode(&mut buf) {
                     let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
-                    self.shards[self.shard_of(msg.vehicle)]
-                        .lock()
-                        .seed(msg.vehicle, VehicleSummary::from_message(&msg));
+                    let mut tracker = self.shards[self.shard_of(msg.vehicle)].lock();
+                    tracker.seed(msg.vehicle, VehicleSummary::from_message(&msg));
+                    if let Some(lineage) = &msg.trace {
+                        // The fusion span covers the summary's wait in
+                        // CO-DATA up to this batch and links back to the
+                        // previous RSU's spans through the carried
+                        // lineage; the continuation becomes the vehicle's
+                        // lineage on *this* RSU.
+                        let ctx = crate::collaboration::lineage_context(lineage);
+                        let span = cad3_obs::trace_span!(
+                            "rsu.handover.fuse",
+                            &ctx,
+                            arrival_ns,
+                            now.as_nanos(),
+                            self.id.raw()
+                        );
+                        tracker.set_lineage(
+                            msg.vehicle,
+                            crate::collaboration::lineage_of(&ctx.next_hop(span)),
+                        );
+                    }
                     summaries_received += 1;
                 }
             }
@@ -210,11 +234,19 @@ impl RsuNode {
         let detector = &self.detector;
         let shards = &self.shards;
         let n_shards = self.shards.len();
+        let node = self.id.raw();
         /// Per-record result of the parallel stage: queuing wait, whether
-        /// the record was processed, the warning (if abnormal) and the
-        /// (road, speed) observation feeding the road context.
-        type RecordOutcome =
-            (SimDuration, bool, Option<WarningMessage>, Option<(cad3_types::RoadId, f64)>);
+        /// the record was processed, the warning (if abnormal), the
+        /// (road, speed) observation feeding the road context, and the
+        /// record's trace context after the detection spans (`None` for
+        /// unsampled records).
+        type RecordOutcome = (
+            SimDuration,
+            bool,
+            Option<WarningMessage>,
+            Option<(cad3_types::RoadId, f64)>,
+            Option<cad3_obs::TraceContext>,
+        );
         let outcomes: Vec<RecordOutcome> = PartitionedDataset::from_partitions(buckets)
             .map_partitions(&self.executor, |part| {
                 let mut out = Vec::with_capacity(part.len());
@@ -223,21 +255,48 @@ impl RsuNode {
                 let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
                 for (_, rec) in part {
                     let queuing = now.saturating_since(SimTime::from_nanos(rec.timestamp));
+                    // A sampled record's broker wait becomes an `rsu.queue`
+                    // span (arrival at the log to batch start).
+                    let trace = rec.trace.map(|ctx| {
+                        let span = cad3_obs::trace_span!(
+                            "rsu.queue",
+                            &ctx,
+                            rec.timestamp,
+                            now.as_nanos(),
+                            node
+                        );
+                        ctx.child(span)
+                    });
                     let mut buf: Bytes = rec.value.clone();
                     let Ok(status) = VehicleStatus::decode(&mut buf) else {
-                        out.push((queuing, false, None, None));
+                        out.push((queuing, false, None, None, trace));
                         continue;
                     };
                     let feature = status.to_feature();
                     let Ok(p_stage1) = detector.stage1_p_abnormal(&feature) else {
-                        out.push((queuing, false, None, None));
+                        out.push((queuing, false, None, None, trace));
                         continue;
                     };
                     let summary = tracker.observe(status.vehicle, status.road, p_stage1);
                     let Ok(detection) = detector.detect(&feature, summary.as_ref()) else {
-                        out.push((queuing, false, None, None));
+                        out.push((queuing, false, None, None, trace));
                         continue;
                     };
+                    let trace = trace.map(|ctx| {
+                        let span = cad3_obs::trace_span!(
+                            "rsu.detect",
+                            &ctx,
+                            now.as_nanos(),
+                            detected_at.as_nanos(),
+                            node
+                        );
+                        let next = ctx.child(span);
+                        // The vehicle's latest sampled lineage rides the
+                        // next CO-DATA export across the handover.
+                        tracker
+                            .set_lineage(status.vehicle, crate::collaboration::lineage_of(&next));
+                        next
+                    });
                     let warning = detection.label.is_abnormal().then(|| WarningMessage {
                         vehicle: status.vehicle,
                         road: status.road,
@@ -251,7 +310,13 @@ impl RsuNode {
                         detected_at,
                         source_seq: status.seq,
                     });
-                    out.push((queuing, true, warning, Some((status.road, status.speed_kmh))));
+                    out.push((
+                        queuing,
+                        true,
+                        warning,
+                        Some((status.road, status.speed_kmh)),
+                        trace,
+                    ));
                 }
                 out
             })
@@ -260,11 +325,13 @@ impl RsuNode {
 
         let mut queuing = Vec::with_capacity(records);
         let mut warnings = Vec::new();
-        for (q, processed, warning, observation) in outcomes {
+        let mut warning_traces = Vec::new();
+        for (q, processed, warning, observation, trace) in outcomes {
             queuing.push(q);
             self.records_processed += u64::from(processed);
             if let Some(w) = warning {
                 warnings.push(w);
+                warning_traces.push(trace);
             }
             if let Some((road, speed)) = observation {
                 // Maintain the road's recent speed context (Section III-A).
@@ -274,7 +341,14 @@ impl RsuNode {
         self.warnings_produced += warnings.len() as u64;
         cad3_obs::counter!("rsu.records").add(cad3_types::len_u64(records));
         cad3_obs::counter!("rsu.warnings").add(cad3_types::len_u64(warnings.len()));
-        Ok(BatchResult { records, processing, queuing, warnings, summaries_received })
+        Ok(BatchResult {
+            records,
+            processing,
+            queuing,
+            warnings,
+            warning_traces,
+            summaries_received,
+        })
     }
 
     /// Publishes a warning to this RSU's `OUT-DATA` topic (done by the
@@ -284,13 +358,30 @@ impl RsuNode {
     ///
     /// Propagates stream errors.
     pub fn publish_warning(&self, warning: &WarningMessage) -> Result<(), CoreError> {
+        self.publish_warning_traced(warning, None)
+    }
+
+    /// [`RsuNode::publish_warning`] with the warning's trace context (from
+    /// [`BatchResult::warning_traces`]) attached to the `OUT-DATA` record,
+    /// so the dissemination poll can attribute delivery latency to the
+    /// originating trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn publish_warning_traced(
+        &self,
+        warning: &WarningMessage,
+        trace: Option<cad3_obs::TraceContext>,
+    ) -> Result<(), CoreError> {
         let key = warning.vehicle.raw().to_be_bytes();
-        self.broker.produce(
+        self.broker.produce_traced(
             TOPIC_OUT_DATA,
             None,
             Some(Bytes::copy_from_slice(&key)),
             warning.encode_to_bytes(),
             warning.detected_at.as_nanos(),
+            trace,
         )?;
         Ok(())
     }
@@ -323,13 +414,24 @@ impl RsuNode {
     ///
     /// Propagates stream errors.
     pub fn receive_summary(&self, msg: &SummaryMessage) -> Result<(), CoreError> {
+        self.receive_summary_at(msg, msg.sent_at)
+    }
+
+    /// [`RsuNode::receive_summary`] with an explicit arrival time `at`
+    /// (after link delay), so the fusion trace span measures the summary's
+    /// wait in `CO-DATA` from actual arrival rather than from send.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn receive_summary_at(&self, msg: &SummaryMessage, at: SimTime) -> Result<(), CoreError> {
         let key = msg.vehicle.raw().to_be_bytes();
         self.broker.produce(
             TOPIC_CO_DATA,
             None,
             Some(Bytes::copy_from_slice(&key)),
             msg.encode_to_bytes(),
-            msg.sent_at.as_nanos(),
+            at.as_nanos(),
         )?;
         Ok(())
     }
@@ -434,6 +536,7 @@ mod tests {
             mean_probability: 0.97,
             last_class: 0,
             sent_at: SimTime::from_millis(1),
+            trace: None,
         })
         .unwrap();
         let s = vehicles[0].next_status(SimTime::from_millis(10));
@@ -466,6 +569,73 @@ mod tests {
             assert!((0.0..=1.0).contains(&s.mean_probability));
             assert_eq!(s.from_rsu, RsuId(1));
         }
+    }
+
+    #[test]
+    fn traced_records_and_lineage_flow_through_a_batch() {
+        let _serial =
+            crate::testutil::TRACE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (mut rsu, mut vehicles, _) = rsu_with_vehicles();
+        // A sampled IN-DATA record carries its context into the batch.
+        let v = vehicles[0].id();
+        let status = vehicles[0].next_status(SimTime::from_millis(10));
+        let ctx = cad3_obs::TraceContext::from_parts(4242, 1, 1);
+        rsu.broker()
+            .produce_traced(
+                TOPIC_IN_DATA,
+                None,
+                Some(Bytes::copy_from_slice(&status.vehicle.raw().to_be_bytes())),
+                status.encode_to_bytes(),
+                SimTime::from_millis(11).as_nanos(),
+                Some(ctx),
+            )
+            .unwrap();
+        // A lineage-bearing CO-DATA summary links the fusion back to the
+        // previous RSU's trace.
+        let other = vehicles[1].id();
+        rsu.receive_summary_at(
+            &SummaryMessage {
+                vehicle: other,
+                from_rsu: RsuId(9),
+                count: 3,
+                mean_probability: 0.5,
+                last_class: 1,
+                sent_at: SimTime::from_millis(1),
+                trace: Some(cad3_types::TraceLineage { trace_id: 777, parent_span: 5, hop: 2 }),
+            },
+            SimTime::from_millis(2),
+        )
+        .unwrap();
+        let now = SimTime::from_millis(50);
+        let result = rsu.run_batch(now).unwrap();
+        assert_eq!(result.records, 1);
+        assert_eq!(result.summaries_received, 1);
+        assert_eq!(result.warnings.len(), result.warning_traces.len());
+
+        let events = cad3_obs::trace::sink().drain();
+        let mine: Vec<_> = events.iter().filter(|e| e.trace_id == 4242).collect();
+        let names: Vec<&str> = mine.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["rsu.queue", "rsu.detect"]);
+        assert!(mine.iter().all(|e| e.node == 1), "attributed to this RSU");
+        assert_eq!(mine[0].start_ns, SimTime::from_millis(11).as_nanos());
+        assert_eq!(mine[0].end_ns, now.as_nanos());
+        assert_eq!(mine[1].parent, mine[0].span, "detect chains under queue");
+        let fused: Vec<_> = events.iter().filter(|e| e.trace_id == 777).collect();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].name, "rsu.handover.fuse");
+        assert_eq!(fused[0].parent, 5, "links back to the sender's lineage");
+        assert_eq!(fused[0].start_ns, SimTime::from_millis(2).as_nanos());
+        assert_eq!(fused[0].end_ns, now.as_nanos());
+
+        // Both vehicles' next exports continue their traces.
+        let exported = rsu.export_summaries(SimTime::from_millis(60));
+        let mine_export = exported.iter().find(|m| m.vehicle == v).unwrap().trace.unwrap();
+        assert_eq!(mine_export.trace_id, 4242);
+        assert_eq!(mine_export.parent_span, mine[1].span, "lineage points at the detect span");
+        let other_export = exported.iter().find(|m| m.vehicle == other).unwrap().trace.unwrap();
+        assert_eq!(other_export.trace_id, 777);
+        assert_eq!(other_export.parent_span, fused[0].span);
+        assert_eq!(other_export.hop, 3, "fusion bumps the hop count");
     }
 
     #[test]

@@ -348,16 +348,29 @@ fn schedule_send(
 ) {
     sim.schedule_at(at, move |sim| {
         let now = sim.now();
-        let (target, arrival, key, value, period, end) = {
+        let (target, arrival, key, value, trace, period, end) = {
             let w = &mut *world.borrow_mut();
             // Handovers may have moved this vehicle to another RSU.
             let target = w.home[rsu_idx][veh_idx];
-            let status = w.fleets[rsu_idx][veh_idx].next_status(now);
+            let (status, ctx) = w.fleets[rsu_idx][veh_idx].next_status_traced(now, target as u32);
             let value = status.encode_to_bytes();
             let on_air = value.len() + w.wire_overhead;
             let sender = status.vehicle.raw();
             let arrival =
                 w.channels[target].send(&mut w.rng, sender, now, on_air) + w.backhauls[target];
+            // A sampled emission gets a `net.dsrc.tx` span covering medium
+            // access + backhaul, and the continuation rides the IN-DATA
+            // record to the RSU.
+            let trace = ctx.map(|ctx| {
+                let span = cad3_obs::trace_span!(
+                    "net.dsrc.tx",
+                    &ctx,
+                    now.as_nanos(),
+                    arrival.as_nanos(),
+                    target as u32
+                );
+                ctx.next_hop(span)
+            });
             let tx = arrival.saturating_since(status.sent_at);
             w.pending.insert(
                 (status.vehicle.raw(), status.seq),
@@ -368,6 +381,7 @@ fn schedule_send(
                 arrival,
                 status.vehicle.raw().to_be_bytes(),
                 value,
+                trace,
                 w.config.update_period,
                 w.end,
             )
@@ -376,12 +390,13 @@ fn schedule_send(
         let world2 = Rc::clone(&world);
         sim.schedule_at(arrival, move |_| {
             let w = world2.borrow();
-            let _ = w.rsus[target].broker().produce(
+            let _ = w.rsus[target].broker().produce_traced(
                 TOPIC_IN_DATA,
                 None,
                 Some(Bytes::copy_from_slice(&key)),
                 value,
                 arrival.as_nanos(),
+                trace,
             );
         });
         if now + period < end {
@@ -400,10 +415,17 @@ fn schedule_send(
 fn schedule_batch(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usize, at: SimTime) {
     sim.schedule_at(at, move |sim| {
         let now = sim.now();
-        let (warnings, queuing, processing, interval, end) = {
+        let (warnings, warning_traces, queuing, processing, interval, end) = {
             let mut w = world.borrow_mut();
             let result = w.rsus[rsu_idx].run_batch(now).expect("batch never fails in-sim");
-            (result.warnings, result.queuing, result.processing, w.config.batch_interval, w.end)
+            (
+                result.warnings,
+                result.warning_traces,
+                result.queuing,
+                result.processing,
+                w.config.batch_interval,
+                w.end,
+            )
         };
         {
             let mut w = world.borrow_mut();
@@ -420,11 +442,11 @@ fn schedule_batch(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usiz
             let _ = queuing;
         }
         // Publish each warning at its detection-complete instant.
-        for warning in warnings {
+        for (warning, trace) in warnings.into_iter().zip(warning_traces) {
             let world2 = Rc::clone(&world);
             sim.schedule_at(warning.detected_at, move |_| {
                 let w = world2.borrow();
-                let _ = w.rsus[rsu_idx].publish_warning(&warning);
+                let _ = w.rsus[rsu_idx].publish_warning_traced(&warning, trace);
             });
         }
         if now + interval < end {
@@ -460,12 +482,13 @@ fn schedule_poll(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usize
                 let key = (warning.vehicle.raw(), warning.source_seq);
                 if let Some((tx, queuing, processing)) = w.pending.remove(&key) {
                     let dissemination = delivery.saturating_since(warning.detected_at);
-                    w.latency[rsu_idx].record(&LatencyBreakdown {
-                        tx,
-                        queuing,
-                        processing,
-                        dissemination,
-                    });
+                    w.latency[rsu_idx].record_traced(
+                        &LatencyBreakdown { tx, queuing, processing, dissemination },
+                        rec.trace.as_ref(),
+                        rsu_idx as u32,
+                        warning.detected_at.as_nanos(),
+                        delivery.as_nanos(),
+                    );
                 }
             }
             (w.config.poll_interval, w.end)
@@ -508,7 +531,7 @@ fn schedule_migration(sim: &mut Simulation, world: Rc<RefCell<World>>, m: Migrat
                 {
                     let bytes = msg.encoded_len() + w.wire_overhead;
                     let link = w.links.get_mut(&(m.from, m.to)).expect("link created at setup");
-                    let arrival = link.transmit(now, bytes);
+                    let (msg, arrival) = transmit_summary(link, now, bytes, msg);
                     w.co_bytes[m.to] += bytes as u64;
                     handed_over.push((msg, arrival));
                 }
@@ -523,10 +546,26 @@ fn schedule_migration(sim: &mut Simulation, world: Rc<RefCell<World>>, m: Migrat
             let world2 = Rc::clone(&world);
             sim.schedule_at(arrival, move |_| {
                 let w = world2.borrow();
-                let _ = w.rsus[m.to].receive_summary(&msg);
+                let _ = w.rsus[m.to].receive_summary_at(&msg, arrival);
             });
         }
     });
+}
+
+/// Sends an exported summary over an inter-RSU link, threading its trace
+/// lineage through the link's `net.link.tx` span, and returns the message
+/// (lineage re-parented under the link span) with its arrival time at the
+/// far RSU.
+fn transmit_summary(
+    link: &mut WiredLink,
+    now: SimTime,
+    bytes: usize,
+    msg: cad3_types::SummaryMessage,
+) -> (cad3_types::SummaryMessage, SimTime) {
+    let ctx = msg.trace.map(|l| crate::collaboration::lineage_context(&l));
+    let (arrival, continued) = link.transmit_traced(now, bytes, ctx);
+    let trace = continued.map(|c| crate::collaboration::lineage_of(&c));
+    (cad3_types::SummaryMessage { trace, ..msg }, arrival)
 }
 
 fn schedule_summary(
@@ -544,17 +583,18 @@ fn schedule_summary(
             (w.rsus[from].export_summaries(now), w.end)
         };
         for msg in messages {
-            let (arrival, bytes) = {
+            let (msg, arrival, bytes) = {
                 let mut w = world.borrow_mut();
                 let bytes = msg.encoded_len() + w.wire_overhead;
                 let link = w.links.get_mut(&(from, to)).expect("link exists");
-                (link.transmit(now, bytes), bytes)
+                let (msg, arrival) = transmit_summary(link, now, bytes, msg);
+                (msg, arrival, bytes)
             };
             let world2 = Rc::clone(&world);
             sim.schedule_at(arrival, move |_| {
                 let mut w = world2.borrow_mut();
                 w.co_bytes[to] += bytes as u64;
-                let _ = w.rsus[to].receive_summary(&msg);
+                let _ = w.rsus[to].receive_summary_at(&msg, arrival);
             });
         }
         if now + interval < end {

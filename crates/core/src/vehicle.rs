@@ -72,6 +72,34 @@ impl VehicleAgent {
         VehicleStatus::from_feature(&rec, self.position, now, self.seq)
     }
 
+    /// [`VehicleAgent::next_status`], additionally minting a distributed
+    /// trace for the emission when the head sampler elects it
+    /// ([`cad3_obs::trace::mint`]). A sampled emission gets an
+    /// instantaneous `vehicle.emit` root span at `now` attributed to
+    /// `node` (the RSU the packet targets), and the returned context —
+    /// parented under that root — rides the record through the pipeline.
+    /// At the default 0 sampling rate this is one relaxed load and a
+    /// branch on top of the untraced path.
+    pub fn next_status_traced(
+        &mut self,
+        now: SimTime,
+        node: u32,
+    ) -> (VehicleStatus, Option<cad3_obs::TraceContext>) {
+        let status = self.next_status(now);
+        let ctx = cad3_obs::trace::mint().map(|ctx| {
+            let root = cad3_obs::trace_span!(
+                "vehicle.emit",
+                &ctx,
+                now.as_nanos(),
+                now.as_nanos(),
+                node,
+                self.id.raw()
+            );
+            ctx.child(root)
+        });
+        (status, ctx)
+    }
+
     /// The road the agent last reported from (`None` before any status).
     pub fn current_road(&self) -> Option<RoadId> {
         self.current_road
@@ -150,6 +178,34 @@ mod tests {
     #[should_panic(expected = "at least one record")]
     fn empty_pool_panics() {
         VehicleAgent::new(VehicleId(1), Vec::new());
+    }
+
+    #[test]
+    fn traced_status_mints_a_root_emit_span() {
+        let _serial =
+            crate::testutil::TRACE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut agent = VehicleAgent::new(VehicleId(77), vec![rec(10.0)]);
+        // At the default 0 rate, emissions are never sampled.
+        let (_, none) = agent.next_status_traced(SimTime::ZERO, 4);
+        assert!(none.is_none());
+        cad3_obs::trace::set_sample_rate(1.0);
+        let (status, ctx) = agent.next_status_traced(SimTime::from_millis(100), 4);
+        cad3_obs::trace::set_sample_rate(0.0);
+        assert_eq!(status.vehicle, VehicleId(77));
+        let ctx = ctx.expect("sampled at rate 1.0");
+        let events: Vec<_> = cad3_obs::trace::sink()
+            .drain()
+            .into_iter()
+            .filter(|e| e.trace_id == ctx.trace_id())
+            .collect();
+        assert_eq!(events.len(), 1);
+        let root = &events[0];
+        assert_eq!(root.name, "vehicle.emit");
+        assert_eq!(root.node, 4, "attributed to the target RSU");
+        assert_eq!(root.start_ns, SimTime::from_millis(100).as_nanos());
+        assert_eq!(root.end_ns, root.start_ns, "emission is instantaneous");
+        assert_eq!(ctx.parent_span(), root.span, "context continues under the root");
+        assert_eq!(root.value, 77, "span value carries the vehicle id");
     }
 
     #[test]

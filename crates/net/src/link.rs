@@ -72,6 +72,35 @@ impl WiredLink {
         }
         self.next_free + self.propagation
     }
+
+    /// [`WiredLink::transmit`], attributing the transfer to an active
+    /// distributed trace: emits a `net.link.tx` span covering `now` to
+    /// arrival (its value is the FIFO queueing share, in nanoseconds) and
+    /// returns the context the far end should continue with, re-parented
+    /// under the link span with the hop count bumped. The link is shared
+    /// infrastructure, so the span's node id is the `u32::MAX` sentinel.
+    pub fn transmit_traced(
+        &mut self,
+        now: SimTime,
+        bytes: usize,
+        trace: Option<cad3_obs::TraceContext>,
+    ) -> (SimTime, Option<cad3_obs::TraceContext>) {
+        let queued_until = now.max(self.next_free);
+        let arrival = self.transmit(now, bytes);
+        let continued = trace.map(|ctx| {
+            let queue_ns = queued_until.saturating_since(now).as_nanos();
+            let span = cad3_obs::trace_span!(
+                "net.link.tx",
+                &ctx,
+                now.as_nanos(),
+                arrival.as_nanos(),
+                u32::MAX,
+                queue_ns
+            );
+            ctx.next_hop(span)
+        });
+        (arrival, continued)
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +153,29 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_panics() {
         WiredLink::new(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn traced_transmit_matches_untraced_and_advances_the_context() {
+        let mut plain = WiredLink::new(1e6, SimDuration::from_millis(1));
+        let mut traced = WiredLink::new(1e6, SimDuration::from_millis(1));
+        let expected = plain.transmit(SimTime::ZERO, 1250);
+        let ctx = cad3_obs::TraceContext::from_parts(11, 3, 0);
+        let (arrival, continued) = traced.transmit_traced(SimTime::ZERO, 1250, Some(ctx));
+        assert_eq!(arrival, expected, "tracing must not perturb link timing");
+        let continued = continued.expect("context continues across the link");
+        assert_eq!(continued.trace_id(), 11);
+        assert_eq!(continued.hop(), 1, "crossing the link bumps the hop count");
+        assert_ne!(continued.parent_span(), 3, "re-parented under the link span");
+        let events: Vec<_> =
+            cad3_obs::trace::sink().drain().into_iter().filter(|e| e.trace_id == 11).collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "net.link.tx");
+        assert_eq!(events[0].end_ns, arrival.as_nanos());
+        assert_eq!(events[0].span, continued.parent_span());
+        // Untraced records pass through without emitting anything.
+        let (a2, none) = traced.transmit_traced(SimTime::ZERO, 1250, None);
+        assert!(none.is_none());
+        assert!(a2 > arrival);
     }
 }

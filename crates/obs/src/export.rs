@@ -21,6 +21,21 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote and newline must be backslash-escaped inside the quotes.
+fn prom_escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let p = prom_name(name);
     let _ = writeln!(out, "# TYPE {p} histogram");
@@ -28,6 +43,11 @@ fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let last = (0..BUCKETS).rev().find(|&b| h.buckets[b] > 0).unwrap_or(0);
     for b in 0..=last {
         cumulative += h.buckets[b];
+        // The top log2 bucket is unbounded; `+Inf` below is its `le` line
+        // (a literal 2^64-1 bound would misstate the histogram's range).
+        if bucket_upper(b) == u64::MAX {
+            continue;
+        }
         let _ = writeln!(out, "{p}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(b));
     }
     let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
@@ -35,7 +55,17 @@ fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "{p}_count {}", h.count);
 }
 
-/// Renders a snapshot in the Prometheus text exposition format.
+/// Gauge families rendered with a label instead of a name suffix: the
+/// registry stores per-group lag as `stream.consumer.lag.<group>`, which
+/// the exporter folds into one `cad3_stream_consumer_lag{group="…"}`
+/// family so dashboards can aggregate across groups.
+const LABELED_GAUGE_PREFIXES: [(&str, &str, &str); 1] =
+    [("stream.consumer.lag.", "cad3_stream_consumer_lag", "group")];
+
+/// Renders a snapshot in the Prometheus text exposition format: every
+/// sample family is preceded by its `# TYPE` line, counters take the
+/// `_total` suffix, label values are escaped, and histograms emit
+/// cumulative buckets capped by `+Inf` plus `_sum`/`_count`.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
@@ -43,7 +73,25 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "# TYPE {p}_total counter");
         let _ = writeln!(out, "{p}_total {value}");
     }
+    let mut typed_families: Vec<&str> = Vec::new();
     for (name, value) in &snapshot.gauges {
+        if let Some((prefix, family, label)) =
+            LABELED_GAUGE_PREFIXES.iter().find(|(prefix, _, _)| name.starts_with(prefix))
+        {
+            // BTreeMap order keeps one family's gauges contiguous, so the
+            // TYPE line is emitted once per family, before its samples.
+            if !typed_families.contains(family) {
+                typed_families.push(family);
+                let _ = writeln!(out, "# TYPE {family} gauge");
+            }
+            let suffix = &name[prefix.len()..];
+            let _ = writeln!(
+                out,
+                "{family}{{{label}=\"{}\"}} {value}",
+                prom_escape_label_value(suffix)
+            );
+            continue;
+        }
         let p = prom_name(name);
         let _ = writeln!(out, "# TYPE {p} gauge");
         let _ = writeln!(out, "{p} {value}");
@@ -55,8 +103,9 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
 }
 
 /// Minimal JSON string escaping (names are `[a-z0-9._]` by the workspace
-/// lint, but the renderer stays correct for arbitrary input).
-fn json_escape(s: &str) -> String {
+/// lint, but the renderer stays correct for arbitrary input). Shared with
+/// the trace JSONL renderer in [`crate::trace`].
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -115,7 +164,8 @@ mod tests {
         let text = prometheus_text(&snap);
         assert!(text.contains("# TYPE cad3_stream_broker_produce_total counter"));
         assert!(text.contains("cad3_stream_broker_produce_total 42"));
-        assert!(text.contains("cad3_stream_consumer_lag_g 7"));
+        assert!(text.contains("# TYPE cad3_stream_consumer_lag gauge"));
+        assert!(text.contains("cad3_stream_consumer_lag{group=\"g\"} 7"));
         assert!(text.contains("# TYPE cad3_rsu_total_us histogram"));
         assert!(text.contains("cad3_rsu_total_us_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("cad3_rsu_total_us_sum 106"));
@@ -125,6 +175,112 @@ mod tests {
         assert!(text.contains("cad3_rsu_total_us_bucket{le=\"1\"} 1"));
         assert!(text.contains("cad3_rsu_total_us_bucket{le=\"3\"} 3"));
         assert!(text.contains("cad3_rsu_total_us_bucket{le=\"127\"} 4"));
+    }
+
+    /// A minimal exposition-format conformance checker: every sample's
+    /// family must be declared by a `# TYPE` line before its first sample,
+    /// histogram buckets must be cumulative (non-decreasing) and end at
+    /// `+Inf` equal to `_count`, and every histogram needs `_sum`/`_count`.
+    fn assert_conformant(text: &str) {
+        use std::collections::BTreeMap;
+        let mut families: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut hist_buckets: BTreeMap<&str, Vec<(String, u64)>> = BTreeMap::new();
+        let mut hist_scalars: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (family, kind) = rest.split_once(' ').expect("TYPE line shape");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown TYPE kind in {line:?}"
+                );
+                families.insert(family, kind);
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+            let (name_and_labels, value) = line.rsplit_once(' ').expect("sample shape");
+            let name = name_and_labels.split('{').next().expect("name");
+            let labels = name_and_labels.strip_prefix(name).unwrap_or("");
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "malformed labels in {line:?}"
+                );
+            }
+            let (family, kind) = if let Some(f) = name.strip_suffix("_bucket") {
+                (f, "histogram")
+            } else if let Some(f) =
+                name.strip_suffix("_sum").filter(|f| families.get(f) == Some(&"histogram"))
+            {
+                (f, "histogram")
+            } else if let Some(f) =
+                name.strip_suffix("_count").filter(|f| families.get(f) == Some(&"histogram"))
+            {
+                (f, "histogram")
+            } else {
+                (name, "scalar")
+            };
+            assert!(
+                families.contains_key(family),
+                "sample {name:?} has no preceding # TYPE for family {family:?}"
+            );
+            if kind == "histogram" {
+                let v: u64 = value.parse().expect("histogram sample value");
+                if name.ends_with("_bucket") {
+                    let le = labels.trim_start_matches("{le=\"").trim_end_matches("\"}").to_owned();
+                    hist_buckets.entry(family).or_default().push((le, v));
+                } else if name.ends_with("_sum") {
+                    hist_scalars.entry(family).or_default().insert("sum", v);
+                } else {
+                    hist_scalars.entry(family).or_default().insert("count", v);
+                }
+            }
+        }
+        for (family, kind) in &families {
+            if *kind != "histogram" {
+                continue;
+            }
+            let buckets = hist_buckets.get(family).expect("histogram has buckets");
+            let scalars = hist_scalars.get(family).expect("histogram has scalars");
+            assert!(scalars.contains_key("sum"), "{family} missing _sum");
+            let count = *scalars.get("count").unwrap_or_else(|| panic!("{family} missing _count"));
+            let mut prev = 0u64;
+            for (le, v) in buckets {
+                assert!(*v >= prev, "{family} bucket le={le} not cumulative");
+                prev = *v;
+            }
+            let (last_le, last_v) = buckets.last().expect("non-empty buckets");
+            assert_eq!(last_le, "+Inf", "{family} must end at +Inf");
+            assert_eq!(*last_v, count, "{family} +Inf must equal _count");
+        }
+    }
+
+    #[test]
+    fn exposition_output_is_conformant() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("rsu.records".into(), 12);
+        snap.gauges.insert("engine.batch.queue_depth".into(), 3);
+        snap.gauges.insert("stream.consumer.lag.rsu-a".into(), 5);
+        snap.gauges.insert("stream.consumer.lag.rsu-b".into(), 6);
+        let h = Histogram::new();
+        for v in [0, 1, 5, 1_000, u64::MAX] {
+            h.observe(v);
+        }
+        snap.histograms.insert("stream.broker.produce_ns".into(), h.snapshot());
+        let text = prometheus_text(&snap);
+        assert_conformant(&text);
+        // The unbounded top bucket surfaces only as +Inf, never as a
+        // literal 2^64-1 bound.
+        assert!(!text.contains("le=\"18446744073709551615\""), "{text}");
+        // One TYPE line serves both labeled lag samples.
+        assert_eq!(text.matches("# TYPE cad3_stream_consumer_lag gauge").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.insert("stream.consumer.lag.a\"b\\c".into(), 1);
+        let text = prometheus_text(&snap);
+        assert!(text.contains("cad3_stream_consumer_lag{group=\"a\\\"b\\\\c\"} 1"), "{text}");
     }
 
     #[test]

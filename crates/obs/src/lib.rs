@@ -68,11 +68,13 @@ mod recorder;
 mod registry;
 mod span;
 mod sync;
+pub mod trace;
 
 pub use metrics::{bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{install_panic_dump, recorder, EventKind, FlightRecorder, SpanEvent};
 pub use registry::{registry, MetricsSnapshot, Registry};
 pub use span::{point, SpanGuard, SpanSite};
+pub use trace::{TraceContext, TraceEvent};
 
 /// The process-wide "exporter attached" gate. A plain std atomic even under
 /// loom — see `sync.rs` on what stays outside the model-checked facade.
@@ -141,6 +143,23 @@ macro_rules! span {
             $value,
         )
     }};
+}
+
+/// Emits one complete distributed-trace span (`start..end` of virtual time,
+/// in nanoseconds) on an active [`TraceContext`], returning the new span id
+/// for [`TraceContext::child`]/[`TraceContext::next_hop`] chaining. The
+/// name must be a string literal from [`names`] (checked by `cargo xtask
+/// lint`'s `span-names` rule); the optional trailing argument is a free
+/// `u64` payload. Callers gate on holding a context — a sampled-out record
+/// carries `None` and never reaches this macro.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr, $ctx:expr, $start:expr, $end:expr, $node:expr) => {
+        $crate::trace_span!($name, $ctx, $start, $end, $node, 0u64)
+    };
+    ($name:expr, $ctx:expr, $start:expr, $end:expr, $node:expr, $value:expr) => {
+        $crate::trace::emit($ctx, $name, $start, $end, $node, $value)
+    };
 }
 
 // The macros above expand in downstream crates, which may not depend on the

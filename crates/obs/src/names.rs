@@ -73,6 +73,24 @@ pub const RSU_DISSEMINATION_US: &str = "rsu.dissemination_us";
 /// End-to-end total of the Fig. 6a decomposition (histogram, µs).
 pub const RSU_TOTAL_US: &str = "rsu.total_us";
 
+/// Record emission at the vehicle — the root of every distributed trace
+/// (trace span; instant).
+pub const VEHICLE_EMIT: &str = "vehicle.emit";
+/// DSRC uplink vehicle→RSU, send to modelled arrival (trace span).
+pub const NET_DSRC_TX: &str = "net.dsrc.tx";
+/// Wired RSU-interconnect transfer; value = queue delay, ns (trace span).
+pub const NET_LINK_TX: &str = "net.link.tx";
+/// Broker residency before the micro-batch picked the record up
+/// (trace span).
+pub const RSU_QUEUE: &str = "rsu.queue";
+/// Warning publish to driver delivery on `OUT-DATA` (trace span).
+pub const RSU_DISSEMINATE: &str = "rsu.disseminate";
+/// Flight-recorder events lost to ring wrap (gauge; see
+/// `FlightRecorder::dropped`).
+pub const OBS_RECORDER_DROPPED: &str = "obs.recorder.dropped";
+/// Trace events rejected by the bounded trace sink (gauge).
+pub const OBS_TRACE_DROPPED: &str = "obs.trace.dropped";
+
 /// Warnings that reached a driver through `AlertThrottle` (counter).
 pub const ALERTS_SENT: &str = "alerts.sent";
 /// Warnings suppressed by the alert hold-off window (counter).
@@ -120,6 +138,13 @@ pub const ALL: &[&str] = &[
     RSU_PROCESSING_US,
     RSU_DISSEMINATION_US,
     RSU_TOTAL_US,
+    VEHICLE_EMIT,
+    NET_DSRC_TX,
+    NET_LINK_TX,
+    RSU_QUEUE,
+    RSU_DISSEMINATE,
+    OBS_RECORDER_DROPPED,
+    OBS_TRACE_DROPPED,
     ALERTS_SENT,
     ALERTS_SUPPRESSED,
     NET_LINK_BYTES,

@@ -15,7 +15,9 @@
 //! [`Registry::intern_name`](crate::Registry::intern_name)), not pointers:
 //! slots stay plain `u64`s and the crate stays `forbid(unsafe_code)`.
 
+use crate::metrics::Gauge;
 use crate::registry;
+use crate::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -86,6 +88,10 @@ struct Slot {
 pub struct FlightRecorder {
     slots: Vec<Slot>,
     cursor: AtomicU64,
+    /// Published copy of [`FlightRecorder::dropped`]; installed only on the
+    /// process-wide [`recorder`] so private test instances never write the
+    /// global `obs.recorder.dropped` gauge.
+    drop_gauge: Option<Arc<Gauge>>,
 }
 
 impl FlightRecorder {
@@ -94,7 +100,17 @@ impl FlightRecorder {
         FlightRecorder {
             slots: (0..capacity.max(1)).map(|_| Slot::default()).collect(),
             cursor: AtomicU64::new(0),
+            drop_gauge: None,
         }
+    }
+
+    /// Mirrors this recorder's overwrite loss onto `gauge` (the
+    /// `obs.recorder.dropped` cell for the process-wide [`recorder`]), so
+    /// snapshots and the Prometheus exporter can judge trace/span-dump
+    /// completeness without holding the recorder itself.
+    pub fn with_drop_gauge(mut self, gauge: Arc<Gauge>) -> Self {
+        self.drop_gauge = Some(gauge);
+        self
     }
 
     /// Total events ever recorded (including overwritten ones).
@@ -102,6 +118,12 @@ impl FlightRecorder {
         // ordering: Relaxed — a statistic read; dump() does its own
         // per-slot synchronisation.
         self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap: everything recorded beyond what the ring
+    /// can still hold.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
     }
 
     /// Ring capacity.
@@ -122,6 +144,14 @@ impl FlightRecorder {
         // ordering: Relaxed — the ticket only claims a unique slot index;
         // publication happens through the slot's own seq word below.
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let capacity = self.slots.len() as u64;
+        if ticket >= capacity {
+            // This write overwrites the oldest event; keep the loss gauge
+            // current so exporters can report it without polling.
+            if let Some(gauge) = &self.drop_gauge {
+                gauge.set(ticket + 1 - capacity);
+            }
+        }
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
         let published = 2 * (ticket + 1);
         // ordering: Release/Acquire on seq fence the field writes for
@@ -178,10 +208,14 @@ impl FlightRecorder {
     }
 }
 
-/// The process-wide flight recorder (4096 most recent events).
+/// The process-wide flight recorder (4096 most recent events). Its ring
+/// wrap is published on the `obs.recorder.dropped` gauge.
 pub fn recorder() -> &'static FlightRecorder {
     static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
-    RECORDER.get_or_init(|| FlightRecorder::with_capacity(4096))
+    RECORDER.get_or_init(|| {
+        FlightRecorder::with_capacity(4096)
+            .with_drop_gauge(registry().gauge("obs.recorder.dropped"))
+    })
 }
 
 /// Installs a panic hook that dumps the flight recorder (as JSONL, to
@@ -237,6 +271,23 @@ mod tests {
         let values: Vec<u64> = events.iter().map(|e| e.value).collect();
         assert_eq!(values, vec![6, 7, 8, 9]);
         assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn drop_gauge_tracks_ring_wrap() {
+        let gauge = std::sync::Arc::new(crate::Gauge::new());
+        let r = FlightRecorder::with_capacity(4).with_drop_gauge(std::sync::Arc::clone(&gauge));
+        let id = name_id("test.ring.gauge");
+        for i in 0..3u64 {
+            r.record(EventKind::Point, id, i, 0, i, i);
+        }
+        assert_eq!((r.dropped(), gauge.value()), (0, 0), "no wrap yet");
+        for i in 0..7u64 {
+            r.record(EventKind::Point, id, i, 0, i, i);
+        }
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(gauge.value(), 6, "gauge mirrors the overwrite loss");
     }
 
     #[test]

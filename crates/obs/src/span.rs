@@ -25,7 +25,9 @@ thread_local! {
 }
 
 /// Allocates a process-unique span id (never 0; 0 means "no parent").
-fn next_span_id() -> u64 {
+/// Shared with [`crate::trace`] so stage spans and distributed-trace spans
+/// draw from one id space.
+pub(crate) fn next_span_id() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     // Plain std atomic by design — see `sync.rs` on what stays outside the
     // loom facade.

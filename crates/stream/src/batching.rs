@@ -1,5 +1,9 @@
 use crate::{Producer, StreamError};
 use bytes::Bytes;
+use cad3_obs::TraceContext;
+
+/// `(topic, key, value, timestamp, trace)` awaiting a flush.
+type BufferedRecord = (String, Option<Bytes>, Bytes, u64, Option<TraceContext>);
 
 /// A buffering publisher that accumulates records and flushes them in
 /// batches — Kafka's `linger.ms`/`batch.size` behaviour, which the paper's
@@ -30,7 +34,7 @@ use bytes::Bytes;
 pub struct BatchingProducer {
     inner: Producer,
     max_batch: usize,
-    buffer: Vec<(String, Option<Bytes>, Bytes, u64)>,
+    buffer: Vec<BufferedRecord>,
     batches_flushed: u64,
 }
 
@@ -58,11 +62,29 @@ impl BatchingProducer {
         value: impl Into<Bytes>,
         timestamp: u64,
     ) -> Result<(), StreamError> {
+        self.send_traced(topic, key, value, timestamp, None)
+    }
+
+    /// [`BatchingProducer::send`] with an optional distributed-trace header
+    /// that stays attached to the record across buffering and flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors like [`BatchingProducer::send`].
+    pub fn send_traced(
+        &mut self,
+        topic: &str,
+        key: Option<&[u8]>,
+        value: impl Into<Bytes>,
+        timestamp: u64,
+        trace: Option<TraceContext>,
+    ) -> Result<(), StreamError> {
         self.buffer.push((
             topic.to_owned(),
             key.map(Bytes::copy_from_slice),
             value.into(),
             timestamp,
+            trace,
         ));
         if self.buffer.len() >= self.max_batch {
             self.flush()?;
@@ -77,12 +99,12 @@ impl BatchingProducer {
     /// Returns the first send error; unsent records stay buffered.
     pub fn flush(&mut self) -> Result<(), StreamError> {
         while !self.buffer.is_empty() {
-            let (topic, key, value, ts) = self.buffer.remove(0);
-            match self.inner.send(&topic, key.as_deref(), value.clone(), ts) {
+            let (topic, key, value, ts, trace) = self.buffer.remove(0);
+            match self.inner.send_traced(&topic, key.as_deref(), value.clone(), ts, trace) {
                 Ok(_) => {}
                 Err(e) => {
                     // Put the failed record back at the front.
-                    self.buffer.insert(0, (topic, key, value, ts));
+                    self.buffer.insert(0, (topic, key, value, ts, trace));
                     return Err(e);
                 }
             }

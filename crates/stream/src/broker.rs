@@ -170,6 +170,26 @@ impl Broker {
         self.topic_handle(topic)?.append(partition, key, value, timestamp)
     }
 
+    /// [`Broker::produce`] with an optional distributed-trace header: the
+    /// context rides the record through the log and back out of
+    /// `Consumer::poll*` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] or
+    /// [`StreamError::UnknownPartition`].
+    pub fn produce_traced(
+        &self,
+        topic: &str,
+        partition: Option<u32>,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: u64,
+        trace: Option<cad3_obs::TraceContext>,
+    ) -> Result<(u32, u64), StreamError> {
+        self.topic_handle(topic)?.append_traced(partition, key, value, timestamp, trace)
+    }
+
     /// Fetches up to `max` records from `topic`/`partition` at `offset`.
     ///
     /// Convenience over [`Broker::topic_handle`] + [`SharedTopic::fetch`],

@@ -2,6 +2,18 @@ use crate::{Record, StreamError};
 use bytes::Bytes;
 use std::collections::VecDeque;
 
+/// The in-log record representation. The distributed-trace header is kept
+/// *out-of-band* (see [`PartitionLog::traces`]) so the untraced append path
+/// pushes the same 80-byte struct it did before tracing existed — the
+/// header slot on [`Record`] is joined back in at fetch time.
+#[derive(Debug, Clone)]
+struct StoredRecord {
+    offset: u64,
+    key: Option<Bytes>,
+    value: Bytes,
+    timestamp: u64,
+}
+
 /// An append-only, offset-addressed log — one partition of a topic.
 ///
 /// Offsets are dense and monotonically increasing. An optional retention
@@ -9,7 +21,11 @@ use std::collections::VecDeque;
 /// keep counting, exactly like a Kafka log after segment deletion.
 #[derive(Debug, Clone, Default)]
 pub struct PartitionLog {
-    records: VecDeque<Record>,
+    records: VecDeque<StoredRecord>,
+    /// `(offset, context)` of traced records only, ascending by offset.
+    /// Empty for the lifetime of an untraced run, so the hot paths pay one
+    /// branch: `is_some()` at append, `is_empty()` at fetch.
+    traces: VecDeque<(u64, cad3_obs::TraceContext)>,
     base_offset: u64,
     retention_records: Option<usize>,
     total_bytes: u64,
@@ -26,11 +42,23 @@ impl PartitionLog {
         PartitionLog { retention_records: Some(max_records), ..Self::default() }
     }
 
-    /// Appends a record, returning its assigned offset.
+    /// Appends an untraced record, returning its assigned offset.
+    pub fn append(&mut self, key: Option<Bytes>, value: Bytes, timestamp: u64) -> u64 {
+        self.append_traced(key, value, timestamp, None)
+    }
+
+    /// Appends a record carrying an optional distributed-trace header,
+    /// returning its assigned offset.
     ///
     /// Debug builds check the offsets-monotone invariant: every append lands
     /// exactly one past the previously stored record.
-    pub fn append(&mut self, key: Option<Bytes>, value: Bytes, timestamp: u64) -> u64 {
+    pub fn append_traced(
+        &mut self,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: u64,
+        trace: Option<cad3_obs::TraceContext>,
+    ) -> u64 {
         let offset = self.next_offset();
         debug_assert_eq!(
             offset,
@@ -38,11 +66,17 @@ impl PartitionLog {
             "log offsets must stay dense and monotone"
         );
         self.total_bytes += value.len() as u64;
-        self.records.push_back(Record { offset, key, value, timestamp });
+        self.records.push_back(StoredRecord { offset, key, value, timestamp });
+        if let Some(ctx) = trace {
+            self.traces.push_back((offset, ctx));
+        }
         if let Some(max) = self.retention_records {
             while self.records.len() > max {
                 self.records.pop_front();
                 self.base_offset += 1;
+            }
+            while self.traces.front().is_some_and(|&(o, _)| o < self.base_offset) {
+                self.traces.pop_front();
             }
         }
         offset
@@ -93,7 +127,40 @@ impl PartitionLog {
         if start >= self.records.len() {
             return Ok(Vec::new());
         }
-        Ok(self.records.iter().skip(start).take(max).cloned().collect())
+        let window = self.records.iter().skip(start).take(max);
+        if self.traces.is_empty() {
+            // Untraced run: no per-record trace work at all on the hot path.
+            return Ok(window
+                .map(|s| Record {
+                    offset: s.offset,
+                    key: s.key.clone(),
+                    value: s.value.clone(),
+                    timestamp: s.timestamp,
+                    trace: None,
+                })
+                .collect());
+        }
+        // Merge-join the side deque: one binary search to position a cursor,
+        // then a compare-and-advance per record (both sides ascend by offset).
+        let mut next_trace = self.traces.partition_point(|&(o, _)| o < offset);
+        Ok(window
+            .map(|s| {
+                let trace = match self.traces.get(next_trace) {
+                    Some(&(o, ctx)) if o == s.offset => {
+                        next_trace += 1;
+                        Some(ctx)
+                    }
+                    _ => None,
+                };
+                Record {
+                    offset: s.offset,
+                    key: s.key.clone(),
+                    value: s.value.clone(),
+                    timestamp: s.timestamp,
+                    trace,
+                }
+            })
+            .collect())
     }
 }
 
@@ -160,6 +227,23 @@ mod tests {
         log.append(None, val("bb"), 1);
         assert_eq!(log.total_bytes(), 6);
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn trace_headers_ride_out_of_band_and_respect_retention() {
+        let mut log = PartitionLog::with_retention(2);
+        let ctx = cad3_obs::TraceContext::from_parts(9, 3, 1);
+        log.append(None, val("a"), 0);
+        log.append_traced(None, val("b"), 1, Some(ctx));
+        let batch = log.fetch(0, 10).unwrap();
+        assert_eq!(batch[0].trace, None, "untraced records fetch without a header");
+        assert_eq!(batch[1].trace, Some(ctx), "the header joins back in at fetch");
+        // Retention evicts the header together with its record.
+        log.append(None, val("c"), 2);
+        log.append(None, val("d"), 3);
+        assert_eq!(log.earliest_offset(), 2);
+        assert!(log.traces.is_empty(), "evicted record's header must be trimmed");
+        assert!(log.fetch(2, 10).unwrap().iter().all(|r| r.trace.is_none()));
     }
 
     #[test]

@@ -103,10 +103,32 @@ impl Producer {
         value: impl Into<Bytes>,
         timestamp: u64,
     ) -> Result<(u32, u64), StreamError> {
+        self.send_traced(topic, key, value, timestamp, None)
+    }
+
+    /// [`Producer::send`] with an optional distributed-trace header carried
+    /// on the record (`Copy`; the untraced path stays allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn send_traced(
+        &self,
+        topic: &str,
+        key: Option<&[u8]>,
+        value: impl Into<Bytes>,
+        timestamp: u64,
+        trace: Option<cad3_obs::TraceContext>,
+    ) -> Result<(u32, u64), StreamError> {
         let value = value.into();
         let n = value.len() as u64;
-        let result =
-            self.handle(topic)?.append(None, key.map(Bytes::copy_from_slice), value, timestamp)?;
+        let result = self.handle(topic)?.append_traced(
+            None,
+            key.map(Bytes::copy_from_slice),
+            value,
+            timestamp,
+            trace,
+        )?;
         // ordering: Relaxed — independent statistic counters; see the
         // "Counter ordering policy" section on [`Producer`].
         self.records_sent.fetch_add(1, Ordering::Relaxed);

@@ -1,4 +1,5 @@
 use bytes::Bytes;
+use cad3_obs::TraceContext;
 
 /// An interned topic name.
 ///
@@ -20,10 +21,18 @@ pub struct Record {
     pub value: Bytes,
     /// Producer-supplied timestamp (virtual nanoseconds in the simulation).
     pub timestamp: u64,
+    /// Distributed-trace header slot. `Copy` and `None` for every untraced
+    /// record, so the unsampled path allocates nothing. The partition log
+    /// stores headers out-of-band and joins them back in at fetch time, so
+    /// the stored record stays the pre-tracing 80 bytes; the header is also
+    /// out-of-band relative to [`Record::wire_size`] (tracing must not
+    /// perturb the paper's bandwidth results).
+    pub trace: Option<TraceContext>,
 }
 
 impl Record {
-    /// Approximate size of the record on the wire, in bytes.
+    /// Approximate size of the record on the wire, in bytes. The trace
+    /// header is deliberately excluded — see [`Record::trace`].
     pub fn wire_size(&self) -> usize {
         self.key.as_ref().map_or(0, |k| k.len()) + self.value.len() + 16
     }
@@ -45,6 +54,9 @@ pub struct FetchedRecord {
     pub value: Bytes,
     /// Producer-supplied timestamp.
     pub timestamp: u64,
+    /// Distributed-trace header carried through from the stored
+    /// [`Record`].
+    pub trace: Option<TraceContext>,
 }
 
 #[cfg(test)]
@@ -58,9 +70,13 @@ mod tests {
             key: Some(Bytes::from_static(b"abc")),
             value: Bytes::from_static(b"0123456789"),
             timestamp: 0,
+            trace: None,
         };
         assert_eq!(r.wire_size(), 3 + 10 + 16);
         let keyless = Record { key: None, ..r };
         assert_eq!(keyless.wire_size(), 10 + 16);
+        // The trace header is out-of-band: it never changes wire accounting.
+        let traced = Record { trace: Some(TraceContext::from_parts(1, 2, 0)), ..keyless.clone() };
+        assert_eq!(traced.wire_size(), 10 + 16);
     }
 }

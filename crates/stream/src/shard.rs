@@ -96,11 +96,7 @@ impl SharedTopic {
         partition_u32(fnv1a(key) % len_u64(self.partitions.len()))
     }
 
-    /// Appends a record, routing by `partition` if given, else by key hash,
-    /// else round-robin. Returns `(partition, offset)`.
-    ///
-    /// Only the target partition's mutex is taken; appends to other
-    /// partitions proceed concurrently.
+    /// Appends an untraced record — see [`SharedTopic::append_traced`].
     ///
     /// # Errors
     ///
@@ -112,6 +108,28 @@ impl SharedTopic {
         key: Option<Bytes>,
         value: Bytes,
         timestamp: u64,
+    ) -> Result<(u32, u64), StreamError> {
+        self.append_traced(partition, key, value, timestamp, None)
+    }
+
+    /// Appends a record carrying an optional distributed-trace header,
+    /// routing by `partition` if given, else by key hash, else round-robin.
+    /// Returns `(partition, offset)`.
+    ///
+    /// Only the target partition's mutex is taken; appends to other
+    /// partitions proceed concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownPartition`] for an explicit partition
+    /// out of range.
+    pub fn append_traced(
+        &self,
+        partition: Option<u32>,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: u64,
+        trace: Option<cad3_obs::TraceContext>,
     ) -> Result<(u32, u64), StreamError> {
         // Per-record instrumentation is exporter-gated: with no exporter the
         // append path pays one relaxed load (see cad3-obs overhead policy).
@@ -140,7 +158,9 @@ impl SharedTopic {
         };
         let offset = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::SharedTopic::partitions");
-            self.partitions[index_usize(u64::from(p))].lock().append(key, value, timestamp)
+            self.partitions[index_usize(u64::from(p))]
+                .lock()
+                .append_traced(key, value, timestamp, trace)
         };
         if observing {
             cad3_obs::counter!("stream.broker.produce").inc();

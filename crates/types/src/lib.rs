@@ -40,8 +40,8 @@ pub use error::CodecError;
 pub use geo::{GeoPoint, EARTH_RADIUS_M};
 pub use ids::{RsuId, TripId, VehicleId};
 pub use messages::{
-    SummaryMessage, VehicleStatus, WarningKind, WarningMessage, WireDecode, WireEncode,
-    STATUS_WIRE_LEN,
+    SummaryMessage, TraceLineage, VehicleStatus, WarningKind, WarningMessage, WireDecode,
+    WireEncode, STATUS_WIRE_LEN,
 };
 pub use records::{DriverProfile, FeatureRecord, Label, TrajectoryPoint, TripRecord};
 pub use road::{RoadId, RoadSegment, RoadType};

@@ -304,6 +304,25 @@ impl WireDecode for WarningMessage {
     }
 }
 
+/// The distributed-trace lineage a CO-DATA summary carries across a
+/// handover: enough for the next RSU's fusion span to link back to the
+/// previous RSU's spans without this crate depending on the tracing
+/// runtime (`cad3-obs`). Conversion to/from a live trace context lives in
+/// `cad3` (the core crate), which depends on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLineage {
+    /// The originating trace.
+    pub trace_id: u64,
+    /// The span on the previous RSU the continuation should attach under.
+    pub parent_span: u64,
+    /// Propagation hops accumulated before the handover.
+    pub hop: u8,
+}
+
+/// Flag byte marking an optional [`TraceLineage`] trailer on an encoded
+/// [`SummaryMessage`] (`b'T'` for "trace").
+const LINEAGE_FLAG: u8 = 0x54;
+
 /// The per-vehicle prediction summary an RSU forwards to the next RSU's
 /// `CO-DATA` topic on handover (the paper's Fig. 3 step 2).
 ///
@@ -323,6 +342,12 @@ pub struct SummaryMessage {
     pub last_class: u8,
     /// Virtual send time.
     pub sent_at: SimTime,
+    /// Trace lineage of the record that produced the summary, when that
+    /// record was sampled. Encoded as an optional trailer so an untraced
+    /// summary stays byte-identical to the pre-tracing format (33 bytes) —
+    /// the paper's bandwidth numbers are unchanged at the default 0
+    /// sampling rate.
+    pub trace: Option<TraceLineage>,
 }
 
 impl WireEncode for SummaryMessage {
@@ -333,24 +358,44 @@ impl WireEncode for SummaryMessage {
         buf.put_f64(self.mean_probability);
         buf.put_u8(self.last_class);
         buf.put_u64(self.sent_at.as_nanos());
+        if let Some(lineage) = &self.trace {
+            buf.put_u8(LINEAGE_FLAG);
+            buf.put_u64(lineage.trace_id);
+            buf.put_u64(lineage.parent_span);
+            buf.put_u8(lineage.hop);
+        }
     }
 
     fn encoded_len(&self) -> usize {
-        8 + 4 + 4 + 8 + 1 + 8
+        8 + 4 + 4 + 8 + 1 + 8 + if self.trace.is_some() { 1 + 8 + 8 + 1 } else { 0 }
     }
 }
 
 impl WireDecode for SummaryMessage {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         need(buf, 33)?;
-        Ok(SummaryMessage {
+        let base = SummaryMessage {
             vehicle: VehicleId(buf.get_u64()),
             from_rsu: RsuId(buf.get_u32()),
             count: buf.get_u32(),
             mean_probability: buf.get_f64(),
             last_class: buf.get_u8(),
             sent_at: SimTime::from_nanos(buf.get_u64()),
-        })
+            trace: None,
+        };
+        // The trailer peek is unambiguous because CO-DATA frames carry
+        // exactly one summary per record value: trailing bytes after the
+        // base 33 belong to this message, never to a following one.
+        if buf.remaining() >= 18 && buf.chunk()[0] == LINEAGE_FLAG {
+            buf.get_u8();
+            let lineage = TraceLineage {
+                trace_id: buf.get_u64(),
+                parent_span: buf.get_u64(),
+                hop: buf.get_u8(),
+            };
+            return Ok(SummaryMessage { trace: Some(lineage), ..base });
+        }
+        Ok(base)
     }
 }
 
@@ -435,10 +480,37 @@ mod tests {
             mean_probability: 0.71,
             last_class: 0,
             sent_at: SimTime::from_secs(2),
+            trace: None,
         };
         let mut buf = s.encode_to_bytes();
         assert_eq!(buf.len(), s.encoded_len());
+        assert_eq!(buf.len(), 33, "untraced summary keeps the pre-tracing wire size");
         assert_eq!(SummaryMessage::decode(&mut buf).unwrap(), s);
+    }
+
+    #[test]
+    fn summary_with_lineage_round_trips() {
+        let untraced = SummaryMessage {
+            vehicle: VehicleId(9),
+            from_rsu: RsuId(3),
+            count: 120,
+            mean_probability: 0.71,
+            last_class: 0,
+            sent_at: SimTime::from_secs(2),
+            trace: None,
+        };
+        let traced = SummaryMessage {
+            trace: Some(TraceLineage { trace_id: 0xDEAD_BEEF, parent_span: 42, hop: 3 }),
+            ..untraced
+        };
+        let mut buf = traced.encode_to_bytes();
+        assert_eq!(buf.len(), traced.encoded_len());
+        assert_eq!(buf.len(), 33 + 18, "lineage trailer is 18 bytes");
+        assert_eq!(SummaryMessage::decode(&mut buf).unwrap(), traced);
+        // The untraced encoding is a strict prefix of the traced one.
+        let plain = untraced.encode_to_bytes();
+        let rich = traced.encode_to_bytes();
+        assert_eq!(&rich[..33], &plain[..]);
     }
 
     #[test]

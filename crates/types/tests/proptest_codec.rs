@@ -3,8 +3,8 @@
 use bytes::Bytes;
 use cad3_types::{
     DayOfWeek, GeoPoint, HourOfDay, Label, RoadId, RoadType, RsuId, SimTime, SummaryMessage,
-    TripId, VehicleId, VehicleStatus, WarningKind, WarningMessage, WireDecode, WireEncode,
-    STATUS_WIRE_LEN,
+    TraceLineage, TripId, VehicleId, VehicleStatus, WarningKind, WarningMessage, WireDecode,
+    WireEncode, STATUS_WIRE_LEN,
 };
 use proptest::prelude::*;
 
@@ -94,6 +94,10 @@ proptest! {
         p in 0.0f64..1.0,
         class in 0u8..2,
         t in any::<u64>(),
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+        hop in any::<u8>(),
+        traced in any::<bool>(),
     ) {
         let s = SummaryMessage {
             vehicle: VehicleId(veh),
@@ -102,8 +106,14 @@ proptest! {
             mean_probability: p,
             last_class: class,
             sent_at: SimTime::from_nanos(t),
+            trace: if traced {
+                Some(TraceLineage { trace_id, parent_span, hop })
+            } else {
+                None
+            },
         };
         let mut buf = s.encode_to_bytes();
+        prop_assert_eq!(buf.len(), s.encoded_len());
         prop_assert_eq!(SummaryMessage::decode(&mut buf).unwrap(), s);
     }
 

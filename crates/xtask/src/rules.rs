@@ -25,8 +25,15 @@ pub struct Violation {
 }
 
 /// Rule names, in reporting order.
-pub const RULE_NAMES: [&str; 6] =
-    ["ordering-comment", "no-panic", "no-as-cast", "no-wallclock", "no-bare-print", "obs-names"];
+pub const RULE_NAMES: [&str; 7] = [
+    "ordering-comment",
+    "no-panic",
+    "no-as-cast",
+    "no-wallclock",
+    "no-bare-print",
+    "obs-names",
+    "span-names",
+];
 
 /// What kind of source tree a file came from; rules relax differently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +72,7 @@ pub fn check_file(rel_path: &str, file: &SourceFile, kind: FileKind) -> Vec<Viol
         no_wallclock(rel_path, file, &mut out);
         no_bare_print(rel_path, file, &mut out);
         obs_names(rel_path, file, &mut out);
+        span_names(rel_path, file, &mut out);
     }
     out
 }
@@ -273,6 +281,95 @@ fn obs_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// The canonical name catalogue, compiled in from the obs crate's source so
+/// the lint and the runtime registry cannot drift: adding a span name means
+/// adding its `pub const` to `cad3_obs::names`, which this rule then
+/// accepts on the next build.
+const NAMES_SOURCE: &str = include_str!("../../obs/src/names.rs");
+
+/// String values of every `pub const NAME: &str = "...";` in
+/// [`NAMES_SOURCE`], parsed once.
+fn name_catalogue() -> &'static [String] {
+    static CATALOGUE: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    CATALOGUE.get_or_init(|| {
+        NAMES_SOURCE
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("pub const ")?;
+                let (_, value) = rest.split_once(": &str = \"")?;
+                let (name, _) = value.split_once('"')?;
+                Some(name.to_owned())
+            })
+            .collect()
+    })
+}
+
+/// Rule 7: span names are a closed set. The name handed to `span!` /
+/// `trace_span!` must be a string literal *listed in the
+/// `cad3_obs::names` catalogue* — stricter than `obs-names`, which only
+/// checks the shape. Spans feed the trace assembler and the per-stage
+/// attribution report, where an uncatalogued name is an unlabel-able
+/// stage; metrics macros (`counter!` etc.) may still mint ad-hoc names
+/// (e.g. the per-group lag gauges) and are out of scope here. The obs
+/// crate is exempt: its macro definitions forward `$name` metavariables
+/// and its unit tests use throwaway names.
+fn span_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if rel_path.starts_with("crates/obs/") {
+        return;
+    }
+    let catalogue = name_catalogue();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for mac in ["span!", "trace_span!"] {
+            for pos in find_words(&line.code, mac) {
+                let rest = line.code[pos + mac.len()..].trim_start();
+                let Some(args) = rest.strip_prefix('(') else {
+                    continue;
+                };
+                // The name literal is on this line, or — for calls rustfmt
+                // broke after the paren — leads the next line with code.
+                let (name_idx, leading) = if args.trim().is_empty() {
+                    let Some(next) = (idx + 1..file.lines.len())
+                        .find(|&j| !file.lines[j].code.trim().is_empty())
+                    else {
+                        continue;
+                    };
+                    (next, file.lines[next].code.trim_start())
+                } else {
+                    (idx, args.trim_start())
+                };
+                if !leading.starts_with('"') {
+                    out.push(Violation {
+                        rule: "span-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!(
+                            "first argument of `{mac}(...)` must be a string-literal span name"
+                        ),
+                    });
+                    continue;
+                }
+                let name_line = &file.lines[name_idx];
+                let prefix_len = name_line.code.len() - leading.len();
+                let literal_index = name_line.code[..prefix_len].matches('"').count() / 2;
+                let name = name_line.strings.get(literal_index).map_or("", String::as_str);
+                if !catalogue.iter().any(|c| c == name) {
+                    out.push(Violation {
+                        rule: "span-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!(
+                            "span name {name:?} is not in the cad3_obs::names catalogue"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +502,56 @@ mod tests {
         let src = "macro_rules! wrap { () => { $crate::span!($name, 0u64) }; }\n\
                    fn f(n: &str) { crate::counter!(n); }\n";
         assert!(violations_of("obs-names", "crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_with_catalogued_name_passes() {
+        let src = "fn f() { let _g = cad3_obs::span!(\"rsu.micro_batch\", 3); }\n";
+        assert!(violations_of("span-names", "crates/core/src/rsu.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_with_uncatalogued_name_flagged() {
+        let src = "fn f() { let _g = cad3_obs::span!(\"rsu.mystery_stage\"); }\n";
+        let v = violations_of("span-names", "crates/core/src/rsu.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("catalogue"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn trace_span_with_non_literal_name_flagged() {
+        let src = "fn f(n: &str, c: &TraceContext) { cad3_obs::trace_span!(n, c, 0, 1, 2); }\n";
+        let v = violations_of("span-names", "crates/core/src/latency.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("string-literal"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn trace_span_name_on_next_line_is_found() {
+        let good = "fn f(c: &TraceContext) {\n    let s = cad3_obs::trace_span!(\n        \
+                    \"net.dsrc.tx\",\n        c,\n        0,\n        1,\n        2\n    );\n}\n";
+        assert!(violations_of("span-names", "crates/core/src/testbed.rs", good).is_empty());
+        let bad = good.replace("net.dsrc.tx", "net.warp.tx");
+        let v = violations_of("span-names", "crates/core/src/testbed.rs", &bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("net.warp.tx"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn obs_crate_and_tests_are_exempt_from_span_names() {
+        let src = "fn f() { crate::span!(\"test.span.outer\"); }\n";
+        assert!(violations_of("span-names", "crates/obs/src/span.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { cad3_obs::span!(\"ad.hoc\"); }\n}\n";
+        assert!(violations_of("span-names", "crates/core/src/rsu.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn catalogue_parses_the_obs_names_module() {
+        let cat = name_catalogue();
+        for expected in ["rsu.micro_batch", "vehicle.emit", "rsu.handover.fuse", "net.link.tx"] {
+            assert!(cat.iter().any(|c| c == expected), "missing {expected}: {cat:?}");
+        }
+        assert!(cat.len() >= 40, "suspiciously small catalogue: {}", cat.len());
     }
 
     #[test]
