@@ -3,7 +3,8 @@
 //! (vehicle emit → DSRC → RSU 0 detect → CO-DATA over the wired link →
 //! RSU 1 fuse), prints per-stage latency attribution (p50/p95/p99 of each
 //! span name) plus a waterfall exemplar, and writes the raw traces to
-//! `results/traces.jsonl`.
+//! `results/artifacts/traces.jsonl` (gitignored; CI uploads it as a build
+//! artifact).
 //!
 //! With `--check`, panics (non-zero exit) unless at least one *complete*
 //! cross-RSU trace was assembled with zero orphaned spans and zero dropped
@@ -160,7 +161,7 @@ fn main() {
         stages: stage_rows,
     };
     write_json("trace_report", &out);
-    write_text("traces.jsonl", &trace::traces_jsonl(&traces));
+    write_text("artifacts/traces.jsonl", &trace::traces_jsonl(&traces));
 
     // Keep the testbed's own numbers visible so a tracing regression that
     // perturbs timing is obvious next to the trace view.

@@ -80,15 +80,16 @@ pub fn write_metrics(name: &str) -> Option<cad3_obs::MetricsSnapshot> {
 }
 
 /// Writes a raw text artefact (e.g. a JSONL trace dump) to
-/// `results/<file_name>`. Failures are non-fatal and counted on
-/// `bench.results.errors`, like [`write_json`].
+/// `results/<file_name>`. The name may carry subdirectories
+/// (`artifacts/traces.jsonl`), which are created as needed. Failures are
+/// non-fatal and counted on `bench.results.errors`, like [`write_json`].
 pub fn write_text(file_name: &str, text: &str) {
     let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
+    let path = dir.join(file_name);
+    if path.parent().is_none_or(|p| std::fs::create_dir_all(p).is_err()) {
         cad3_obs::counter!("bench.results.errors").inc();
         return;
     }
-    let path = dir.join(file_name);
     if std::fs::write(&path, text).is_err() {
         cad3_obs::counter!("bench.results.errors").inc();
         return;

@@ -228,6 +228,8 @@ impl DecisionTree {
             match node {
                 Node::Leaf { probs } => return Ok(probs.clone()),
                 Node::Split { feature, threshold, left, right } => {
+                    // hotpath-exempt(panic): split features come from the fitted schema
+                    // and the row passed Schema::validate above.
                     node = if row[*feature] <= *threshold { left } else { right };
                 }
             }
@@ -241,11 +243,17 @@ impl DecisionTree {
     /// Returns [`MlError::DimensionMismatch`] or [`MlError::InvalidCategory`].
     pub fn predict(&self, row: &[f64]) -> Result<usize, MlError> {
         let p = self.predict_proba(row)?;
-        Ok(p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are not NaN"))
-            .map(|(i, _)| i)
-            .expect("at least one class"))
+        // Manual argmax: total and panic-free even for empty or NaN inputs
+        // (NaN comparisons are simply never `>`, so the running best stands).
+        let mut best = 0usize;
+        let mut best_p = f64::NEG_INFINITY;
+        for (i, &x) in p.iter().enumerate() {
+            if x > best_p {
+                best = i;
+                best_p = x;
+            }
+        }
+        Ok(best)
     }
 }
 

@@ -119,10 +119,14 @@ impl NaiveBayes {
                 lp + row
                     .iter()
                     .enumerate()
+                    // hotpath-exempt(panic): model table is (n_classes x n_features) by
+                    // construction and the row passed Schema::validate above.
                     .map(|(f, &x)| match &self.models[c][f] {
                         FeatureModel::Gaussian { mean, var } => {
                             crate::stats::gaussian_log_pdf(x, *mean, *var)
                         }
+                        // hotpath-exempt(panic): categorical value range-checked by
+                        // Schema::validate against the declared cardinality.
                         FeatureModel::Categorical { log_probs } => log_probs[x as usize],
                     })
                     .sum::<f64>()
@@ -150,12 +154,17 @@ impl NaiveBayes {
     /// Returns [`MlError::DimensionMismatch`] or [`MlError::InvalidCategory`].
     pub fn predict(&self, row: &[f64]) -> Result<usize, MlError> {
         let ll = self.log_likelihoods(row)?;
-        Ok(ll
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("log-likelihoods are not NaN"))
-            .map(|(i, _)| i)
-            .expect("at least one class"))
+        // Manual argmax: total and panic-free even for empty or NaN inputs
+        // (NaN comparisons are simply never `>`, so the running best stands).
+        let mut best = 0usize;
+        let mut best_ll = f64::NEG_INFINITY;
+        for (i, &x) in ll.iter().enumerate() {
+            if x > best_ll {
+                best = i;
+                best_ll = x;
+            }
+        }
+        Ok(best)
     }
 }
 

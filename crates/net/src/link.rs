@@ -63,7 +63,9 @@ impl WiredLink {
     /// at the far end (serialization behind earlier frames + propagation).
     pub fn transmit(&mut self, now: SimTime, bytes: usize) -> SimTime {
         let start = now.max(self.next_free);
-        let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
+        // Saturating: a degenerate bandwidth config yields an unreachable
+        // arrival time instead of a panic on the transmit path.
+        let ser = SimDuration::saturating_from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
         self.next_free = start + ser;
         self.bytes_carried += bytes as u64;
         if cad3_obs::enabled() {

@@ -76,8 +76,9 @@ impl Counter {
 
     /// Adds `n` to this thread's shard.
     pub fn add(&self, n: u64) {
-        // ordering: Relaxed — independent statistic; see the module-level
-        // ordering policy.
+        // hotpath-exempt(panic): shard_index() < SHARDS, and `cells` is built
+        // with exactly SHARDS entries in new().
+        // ordering: Relaxed — independent statistic; see the module policy.
         self.cells[shard_index()].value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -195,9 +196,11 @@ impl Histogram {
 
     /// Records one observation into this thread's shard.
     pub fn observe(&self, v: u64) {
+        // hotpath-exempt(panic): shard_index() is reduced modulo SHARDS and the
+        // cells vec is built with exactly SHARDS entries in new().
         let cell = &self.cells[shard_index()];
-        // ordering: Relaxed — independent statistics; see the module-level
-        // ordering policy.
+        // hotpath-exempt(panic): bucket_index() is at most 64; BUCKETS is 65.
+        // ordering: Relaxed — independent statistics; see the module policy.
         cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         cell.sum.fetch_add(v, Ordering::Relaxed);
         // Lock-free running maximum (fetch_max by hand so the loom facade,

@@ -500,7 +500,7 @@ pub fn assemble(events: &[TraceEvent]) -> Vec<Trace> {
 }
 
 /// Renders assembled traces as one JSON object per line (the
-/// `traces.jsonl` artifact).
+/// `results/artifacts/traces.jsonl` artifact).
 pub fn traces_jsonl(traces: &[Trace]) -> String {
     let mut out = String::new();
     for t in traces {

@@ -174,6 +174,8 @@ impl Consumer {
                 break;
             }
             let (topic, partition) = {
+                // hotpath-exempt(panic): idx ranges over 0..assignments.len() and
+                // assignments is not mutated inside the loop.
                 let (t, p) = &self.assignments[idx];
                 (TopicName::clone(t), *p)
             };

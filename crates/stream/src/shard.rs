@@ -158,6 +158,8 @@ impl SharedTopic {
         };
         let offset = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::SharedTopic::partitions");
+            // hotpath-exempt(panic): p comes from partition_for_key / round-robin,
+            // both reduced modulo partitions.len().
             self.partitions[index_usize(u64::from(p))]
                 .lock()
                 .append_traced(key, value, timestamp, trace)
@@ -190,6 +192,8 @@ impl SharedTopic {
         let idx = self.index(partition)?;
         let out = {
             let _held = cad3_lockrank::rank_scope!("cad3_stream::SharedTopic::partitions");
+            // hotpath-exempt(panic): idx was bounds-checked by self.index(partition)
+            // just above.
             self.partitions[idx].lock().fetch(offset, max)
         };
         if observing {
@@ -210,6 +214,7 @@ impl SharedTopic {
     pub fn end_offset(&self, partition: u32) -> Result<u64, StreamError> {
         let idx = self.index(partition)?;
         let _held = cad3_lockrank::rank_scope!("cad3_stream::SharedTopic::partitions");
+        // hotpath-exempt(panic): idx was bounds-checked by self.index(partition).
         let end = self.partitions[idx].lock().next_offset();
         Ok(end)
     }
@@ -222,6 +227,7 @@ impl SharedTopic {
     pub fn earliest_offset(&self, partition: u32) -> Result<u64, StreamError> {
         let idx = self.index(partition)?;
         let _held = cad3_lockrank::rank_scope!("cad3_stream::SharedTopic::partitions");
+        // hotpath-exempt(panic): idx was bounds-checked by self.index(partition).
         let earliest = self.partitions[idx].lock().earliest_offset();
         Ok(earliest)
     }

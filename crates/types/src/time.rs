@@ -99,6 +99,22 @@ impl SimDuration {
         SimDuration((s * 1e9).round() as u64)
     }
 
+    /// Creates a duration from fractional seconds, clamping instead of
+    /// panicking: NaN and negative values map to zero, overflow saturates
+    /// at `u64::MAX` nanoseconds. For hot paths where the input is derived
+    /// from runtime arithmetic rather than validated configuration.
+    pub fn saturating_from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (s * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
     /// Total nanoseconds.
     pub const fn as_nanos(self) -> u64 {
         self.0

@@ -46,12 +46,24 @@ pub fn load(path: &Path) -> io::Result<BTreeMap<String, u64>> {
 
 /// Writes the baseline, sorted, with a regeneration header.
 pub fn save(path: &Path, counts: &BTreeMap<String, u64>) -> io::Result<()> {
-    let mut out = String::from(
+    save_with_header(
+        path,
+        counts,
         "# Violation baseline for `cargo xtask lint` — a ratchet, not an allowlist.\n\
          # CI fails on counts above these; regenerate with `cargo xtask lint --update-baseline`\n\
-         # after reducing debt so the ratchet only ever tightens.\n\n\
-         [violations]\n",
-    );
+         # after reducing debt so the ratchet only ever tightens.\n",
+    )
+}
+
+/// [`save`] with a caller-supplied comment header (the hot-path baseline
+/// shares the format but regenerates through a different command).
+pub fn save_with_header(
+    path: &Path,
+    counts: &BTreeMap<String, u64>,
+    header: &str,
+) -> io::Result<()> {
+    let mut out = String::from(header);
+    out.push_str("\n[violations]\n");
     for (key, count) in counts {
         if *count > 0 {
             out.push_str(&format!("\"{key}\" = {count}\n"));

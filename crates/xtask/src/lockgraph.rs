@@ -68,6 +68,13 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Functions analysed (for the summary line).
     pub fns: usize,
+    /// Call sites recorded (function references excluded).
+    pub calls_total: usize,
+    /// Calls resolved to exactly one workspace function and followed.
+    pub calls_resolved: usize,
+    /// Calls matching more than one workspace function (not followed by the
+    /// lock fixpoint; may-analyses follow all candidates).
+    pub calls_ambiguous: usize,
 }
 
 // ---- lock shapes and bindings ----------------------------------------------
@@ -95,6 +102,32 @@ enum Binding {
 }
 
 /// Classifies a field type's token sequence.
+/// The head type ident of a field declaration, looking through references,
+/// path qualifiers and the transparent pointer wrappers (`Arc<Broker>`
+/// names `Broker`; `Vec<Record>` names `Vec`, whose methods the std
+/// stoplist already owns).
+fn field_type_head(ty: &[Tok]) -> Option<String> {
+    const TRANSPARENT: [&str; 3] = ["Arc", "Rc", "Box"];
+    let mut i = 0;
+    while i < ty.len() {
+        match &ty[i] {
+            Tok::Ident(s) => {
+                if matches!(ty.get(i + 1), Some(Tok::PathSep)) {
+                    i += 2;
+                    continue;
+                }
+                if s == "dyn" || s == "mut" || TRANSPARENT.contains(&s.as_str()) {
+                    i += 1;
+                    continue;
+                }
+                return Some(s.clone());
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 fn classify(ty: &[Tok]) -> Option<Shape> {
     const COLLECTIONS: [&str; 4] = ["Vec", "VecDeque", "HashMap", "BTreeMap"];
     let first = ty.iter().position(|t| t.is_ident("Mutex") || t.is_ident("RwLock"))?;
@@ -111,7 +144,7 @@ fn classify(ty: &[Tok]) -> Option<Shape> {
 // ---- per-function facts ----------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CallKey {
+pub(crate) enum CallKey {
     /// `receiver.name(..)` — resolved only if the name is workspace-unique.
     Method(String),
     /// `Type::name(..)` or `self.name(..)` (self type known).
@@ -120,17 +153,33 @@ enum CallKey {
     Bare(String),
 }
 
+/// One recorded call (or function-reference argument) inside a body.
 #[derive(Debug)]
-struct FnFacts {
-    key: String,
-    crate_name: String,
-    file: String,
+pub(crate) struct Call {
+    pub(crate) key: CallKey,
+    /// Lock sites held at the call.
+    pub(crate) held: Vec<String>,
+    pub(crate) line: usize,
+    /// A function *reference* passed as an argument (`.map(fnv1a)`,
+    /// `Executor::run(.., job)`) rather than an invocation. Followed only
+    /// by may-analyses (hotpaths); the lock fixpoint ignores these, since a
+    /// plain variable argument can shadow a free function's name.
+    pub(crate) is_ref: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct FnFacts {
+    pub(crate) key: String,
+    pub(crate) crate_name: String,
+    pub(crate) file: String,
     /// Directly acquired sites with their lines.
-    direct: Vec<(String, usize)>,
+    pub(crate) direct: Vec<(String, usize)>,
     /// Calls with the held-site snapshot at the call.
-    calls: Vec<(CallKey, Vec<String>, usize)>,
+    pub(crate) calls: Vec<Call>,
     /// `rank_scope!("...")` annotations seen in this function.
-    annotations: Vec<(String, usize)>,
+    pub(crate) annotations: Vec<(String, usize)>,
+    /// The body token stream (for effect scans layered on this extraction).
+    pub(crate) body: Vec<Token>,
 }
 
 // ---- the body walker -------------------------------------------------------
@@ -180,6 +229,9 @@ struct Walker<'a> {
     merges: HashMap<String, Binding>,
     /// Lock fields of the surrounding impl type.
     self_fields: HashMap<String, (String, Shape)>,
+    /// Declared head types of the surrounding impl type's fields, for
+    /// qualifying `self.field.m()` calls.
+    field_types: HashMap<String, String>,
     /// Prefix for local lock sites: `crate::Type::fn` / `crate::fn`.
     local_prefix: String,
     facts: &'a mut FnFacts,
@@ -333,8 +385,9 @@ impl Walker<'_> {
             {
                 self.acquisition(line);
             }
-            Some(Tok::Ident(name)) if self.tok(self.i + 1).is_some_and(|t| t.is_punct('(')) => {
-                self.call_site(&name, line);
+            Some(Tok::Ident(name)) if self.call_paren(self.i).is_some() => {
+                let paren = self.call_paren(self.i).unwrap_or(self.i + 1);
+                self.call_site(&name, line, paren);
             }
             Some(Tok::Ident(name)) => {
                 // Inside a `for` header, a bare reference to an
@@ -691,9 +744,35 @@ impl Walker<'_> {
         self.i += 3;
     }
 
+    /// The index of the call's opening `(` when the ident at `i` heads a
+    /// call — either directly (`f(`) or through a turbofish (`f::<T>(`).
+    fn call_paren(&self, i: usize) -> Option<usize> {
+        if self.tok(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return Some(i + 1);
+        }
+        if matches!(self.tok(i + 1), Some(Tok::PathSep))
+            && self.tok(i + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while let Some(t) = self.tok(j) {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.tok(j + 1).is_some_and(|t| t.is_punct('(')).then_some(j + 1);
+                    }
+                }
+                j += 1;
+            }
+        }
+        None
+    }
+
     /// Any `name(` that is not an acquisition: record the call (for the
     /// interprocedural closure), track element accesses, handle `drop`.
-    fn call_site(&mut self, name: &str, line: usize) {
+    fn call_site(&mut self, name: &str, line: usize, paren: usize) {
         const ELEM_ACCESS: [&str; 9] = [
             "get",
             "get_mut",
@@ -728,29 +807,89 @@ impl Walker<'_> {
                 Some([Some(s)]) if s == "self" => {
                     CallKey::Qualified(self.local_self_ty(), name.to_owned())
                 }
-                _ => CallKey::Method(name.to_owned()),
+                // `self.field.m()` with a declared field type is as precise
+                // as a qualified call — no name-union over other `m`s.
+                Some([Some(s), Some(f)]) if s == "self" && self.field_types.contains_key(f) => {
+                    CallKey::Qualified(self.field_types[f.as_str()].clone(), name.to_owned())
+                }
+                _ => match self.macro_receiver(self.i - 1) {
+                    Some(ty) => CallKey::Qualified(ty, name.to_owned()),
+                    None => CallKey::Method(name.to_owned()),
+                },
             };
-            self.facts.calls.push((key, self.held_sites(), line));
+            self.push_call(key, line, false);
         } else if after_path {
             if let Some(Tok::Ident(ty)) = self.i.checked_sub(2).and_then(|j| self.tok(j)) {
-                self.facts.calls.push((
-                    CallKey::Qualified(ty.clone(), name.to_owned()),
-                    self.held_sites(),
-                    line,
-                ));
+                // `Self::f()` resolves against the surrounding impl type.
+                let ty = if ty == "Self" { self.local_self_ty() } else { ty.clone() };
+                self.push_call(CallKey::Qualified(ty, name.to_owned()), line, false);
             }
         } else if !KEYWORDS.contains(&name) {
             if name == "drop" {
-                if let Some(Tok::Ident(arg)) = self.tok(self.i + 2).cloned() {
-                    if self.tok(self.i + 3).is_some_and(|t| t.is_punct(')')) {
+                if let Some(Tok::Ident(arg)) = self.tok(paren + 1).cloned() {
+                    if self.tok(paren + 2).is_some_and(|t| t.is_punct(')')) {
                         self.release_guard_of(&arg);
                     }
                 }
             }
-            self.facts.calls.push((CallKey::Bare(name.to_owned()), self.held_sites(), line));
+            self.push_call(CallKey::Bare(name.to_owned()), line, false);
         }
+        self.ref_args(paren, line);
         self.record_init_token();
         self.i += 1;
+    }
+
+    fn push_call(&mut self, key: CallKey, line: usize, is_ref: bool) {
+        self.facts.calls.push(Call { key, held: self.held_sites(), line, is_ref });
+    }
+
+    /// Scans a call's argument list for function *references* passed by
+    /// name — `exec.run(parts, fnv1a)` or `.map(Record::size)` — and records
+    /// them as `is_ref` calls. Whether a bare name is a function or a local
+    /// variable is decided at resolution time, so these only feed
+    /// may-analyses (the lock fixpoint skips them).
+    fn ref_args(&mut self, paren: usize, line: usize) {
+        let mut j = paren + 1;
+        let mut depth = 1i32;
+        // `boundary` marks the start of a top-level argument.
+        let mut boundary = true;
+        let mut refs: Vec<CallKey> = Vec::new();
+        while depth > 0 {
+            let Some(t) = self.tok(j) else { break };
+            match t {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                    depth += 1;
+                    boundary = false;
+                }
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct(',') if depth == 1 => boundary = true,
+                // `&` is transparent: `f(&helper)` still references helper.
+                Tok::Punct('&') => {}
+                Tok::Ident(arg) if depth == 1 && boundary => {
+                    boundary = false;
+                    let arg = arg.clone();
+                    let ends_arg =
+                        |t: Option<&Tok>| t.is_none_or(|t| t.is_punct(',') || t.is_punct(')'));
+                    if KEYWORDS.contains(&arg.as_str()) {
+                        // fall through
+                    } else if ends_arg(self.tok(j + 1)) {
+                        refs.push(CallKey::Bare(arg));
+                    } else if matches!(self.tok(j + 1), Some(Tok::PathSep)) {
+                        if let Some(Tok::Ident(m)) = self.tok(j + 2) {
+                            if ends_arg(self.tok(j + 3)) {
+                                let ty = if arg == "Self" { self.local_self_ty() } else { arg };
+                                refs.push(CallKey::Qualified(ty, m.clone()));
+                            }
+                        }
+                    }
+                }
+                _ => boundary = false,
+            }
+            j += 1;
+        }
+        for key in refs {
+            self.push_call(key, line, true);
+        }
     }
 
     /// The element site a receiver yields when iterated/indexed, if any.
@@ -773,6 +912,46 @@ impl Walker<'_> {
         let Some(Binding::Guard { site, .. }) = self.lookup(name).cloned() else { return };
         if let Some(idx) = self.held.iter().rposition(|h| h.alive && h.site == site) {
             self.held[idx].alive = false;
+        }
+    }
+
+    /// The handle type behind a `name!(..).method()` receiver: the obs
+    /// macros hand back their metric type (`counter!` → `Counter`,
+    /// `trace_span!` → `TraceSpan`), so the method call can be qualified
+    /// instead of name-unioned across every `observe`/`incr` in the tree.
+    fn macro_receiver(&self, dot: usize) -> Option<String> {
+        let mut k = dot.checked_sub(1)?;
+        if !self.tok(k)?.is_punct(')') {
+            return None;
+        }
+        let mut depth = 0i32;
+        loop {
+            match self.tok(k)? {
+                t if t.is_punct(')') => depth += 1,
+                t if t.is_punct('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k = k.checked_sub(1)?;
+        }
+        let bang = k.checked_sub(1)?;
+        if !self.tok(bang)?.is_punct('!') {
+            return None;
+        }
+        match self.tok(bang.checked_sub(1)?)? {
+            Tok::Ident(m) => Some(
+                m.split('_')
+                    .map(|seg| {
+                        let mut c = seg.chars();
+                        c.next().map_or_else(String::new, |f| f.to_uppercase().chain(c).collect())
+                    })
+                    .collect(),
+            ),
+            _ => None,
         }
     }
 
@@ -799,18 +978,358 @@ pub struct SourceInput<'a> {
     pub text: &'a str,
 }
 
-/// Runs the full analysis over the given sources against declared ranks.
-pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> Analysis {
-    let mut analysis = Analysis::default();
+/// Everything one pass over the sources yields, shared by the lock-graph
+/// checks and the hot-path purity analysis (`crate::hotpaths`).
+#[derive(Debug, Default)]
+pub(crate) struct Extraction {
+    pub(crate) facts: Vec<FnFacts>,
+    /// Intra-procedural acquisition-order edges observed during the walk.
+    pub(crate) edges: Vec<Edge>,
+    /// Declaration points of lock sites (for missing-rank messages).
+    pub(crate) site_decls: BTreeMap<String, (String, usize)>,
+    /// Non-test `// hotpath-exempt:` comment sites.
+    pub(crate) exempts: Vec<Exempt>,
+    /// Non-test functions walked.
+    pub(crate) fns: usize,
+}
+
+/// One `// hotpath-exempt: reason` (all atoms) or
+/// `// hotpath-exempt(panic, ...): reason` (listed atoms only) comment.
+#[derive(Debug)]
+pub(crate) struct Exempt {
+    pub(crate) file: String,
+    /// 1-based line of the comment.
+    pub(crate) line: usize,
+    /// Effect atoms the exemption targets; empty means every atom. An entry
+    /// without a `:` (e.g. `lock`) covers every rank of that class.
+    pub(crate) atoms: Vec<String>,
+}
+
+/// Cross-crate call-resolution symbol table over extracted functions.
+pub(crate) struct SymbolTable {
+    by_qualified: HashMap<(String, String), Vec<usize>>,
+    by_name: HashMap<String, Vec<usize>>,
+    free_by_crate: HashMap<(String, String), Vec<usize>>,
+    free_by_name: HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    pub(crate) fn new(facts: &[FnFacts]) -> SymbolTable {
+        let mut t = SymbolTable {
+            by_qualified: HashMap::new(),
+            by_name: HashMap::new(),
+            free_by_crate: HashMap::new(),
+            free_by_name: HashMap::new(),
+        };
+        for (idx, f) in facts.iter().enumerate() {
+            let mut parts = f.key.rsplitn(2, "::");
+            let name = parts.next().unwrap_or_default().to_owned();
+            let qualifier = parts.next().unwrap_or_default();
+            t.by_name.entry(name.clone()).or_default().push(idx);
+            if let Some((_, ty)) = qualifier.rsplit_once("::") {
+                t.by_qualified.entry((ty.to_owned(), name)).or_default().push(idx);
+            } else {
+                t.free_by_crate.entry((f.crate_name.clone(), name.clone())).or_default().push(idx);
+                t.free_by_name.entry(name).or_default().push(idx);
+            }
+        }
+        t
+    }
+
+    /// Unique-only (must) resolution — what the lock fixpoint follows. A
+    /// name matching more than one workspace function is not followed.
+    pub(crate) fn resolve_unique(&self, key: &CallKey, crate_name: &str) -> Option<usize> {
+        let unique = |v: Option<&Vec<usize>>| match v {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        };
+        match key {
+            CallKey::Qualified(ty, name) => {
+                unique(self.by_qualified.get(&(ty.clone(), name.clone())))
+            }
+            CallKey::Method(name) => unique(self.by_name.get(name)),
+            CallKey::Bare(name) => unique(
+                self.free_by_crate
+                    .get(&(crate_name.to_owned(), name.clone()))
+                    .or_else(|| self.by_name.get(name)),
+            ),
+        }
+    }
+
+    /// Union (may) resolution — every workspace function the call could
+    /// reach, covering trait-method dispatch across implementors. Bare
+    /// function *references* resolve against free functions only (a method
+    /// name can coincide with a local variable passed by value), and
+    /// [`STD_METHODS`] names are never cross-linked: a `.load(..)` is an
+    /// atomic read, not whatever free `load` some crate exports.
+    pub(crate) fn resolve_all(&self, key: &CallKey, crate_name: &str, is_ref: bool) -> Vec<usize> {
+        let all = |v: Option<&Vec<usize>>| v.cloned().unwrap_or_default();
+        match key {
+            CallKey::Qualified(ty, name) => all(self.by_qualified.get(&(ty.clone(), name.clone()))),
+            CallKey::Method(name) if STD_METHODS.contains(&name.as_str()) => Vec::new(),
+            CallKey::Method(name) => all(self.by_name.get(name)),
+            CallKey::Bare(name) => {
+                // Same-crate free functions are precise; the cross-crate
+                // fallback covers `use other::f; f()` and gets the same
+                // stoplist guard as methods.
+                if let Some(v) = self.free_by_crate.get(&(crate_name.to_owned(), name.clone())) {
+                    return v.clone();
+                }
+                if !is_ref && STD_METHODS.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                all(self.free_by_name.get(name))
+            }
+        }
+    }
+}
+
+/// Ubiquitous `std` method names. A `.name(..)` call with one of these
+/// names is charged as the std intrinsic by the effect scan instead of
+/// being resolved to a same-named workspace function — following every
+/// `.map(`/`.get(`/`.load(` across crates would weld the whole workspace
+/// into one reachable blob and drown real findings. A workspace method
+/// that shadows one of these names is deliberately *not* traversed; the
+/// soundness envelope in DESIGN.md records this trade.
+pub(crate) const STD_METHODS: &[&str] = &[
+    // atomics / cells
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_max",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "get_or_init",
+    // Option / Result / Iterator adapters
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "ok",
+    "err",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "for_each",
+    "find",
+    "position",
+    "any",
+    "all",
+    "zip",
+    "chain",
+    "enumerate",
+    "skip",
+    "rev",
+    "take_while",
+    "step_by",
+    "next",
+    "peek",
+    "flatten",
+    "copied",
+    "cloned",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "last",
+    // collections / slices / strings
+    "get",
+    "get_mut",
+    "first",
+    "first_mut",
+    "last_mut",
+    "insert",
+    "remove",
+    "swap_remove",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "extend",
+    "drain",
+    "clear",
+    "retain",
+    "truncate",
+    "reserve",
+    "resize",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "starts_with",
+    "ends_with",
+    "entry",
+    "keys",
+    "values",
+    "values_mut",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search",
+    "binary_search_by",
+    "windows",
+    "chunks",
+    "fill",
+    "copy_from_slice",
+    "split",
+    "split_at",
+    "split_once",
+    "splitn",
+    "rsplitn",
+    "join",
+    "concat",
+    "trim",
+    "trim_start",
+    "trim_end",
+    "lines",
+    "chars",
+    "bytes",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "parse",
+    "clone",
+    "take",
+    "replace",
+    "unwrap",
+    "expect",
+    "unwrap_err",
+    "expect_err",
+    // conversions / borrows
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "as_deref",
+    "borrow",
+    "borrow_mut",
+    "deref",
+    "into",
+    "from",
+    "try_from",
+    "try_into",
+    "to_le_bytes",
+    "to_be_bytes",
+    "hash",
+    "finish",
+    "cmp",
+    "eq",
+    "partial_cmp",
+    "total_cmp",
+    // numerics
+    "min",
+    "max",
+    "sum",
+    "count",
+    "abs",
+    "sqrt",
+    "floor",
+    "ceil",
+    "round",
+    "clamp",
+    "powi",
+    "powf",
+    "ln",
+    "log2",
+    "exp",
+    "mul_add",
+    "wrapping_add",
+    "wrapping_sub",
+    "saturating_add",
+    "saturating_sub",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "rem_euclid",
+    // sync / io / time
+    "send",
+    "recv",
+    "recv_timeout",
+    "try_recv",
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "flush",
+    "sync_all",
+    "elapsed",
+    "duration_since",
+    "saturating_duration_since",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+    "as_secs_f64",
+    "subsec_nanos",
+];
+
+/// Parses the sources and walks every non-test function, producing the raw
+/// facts later passes interpret.
+pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
+    let mut ex = Extraction::default();
     let parsed: Vec<(&SourceInput<'_>, ParsedFile)> = sources
         .iter()
-        .map(|s| (s, parser::parse(&tokens::tokenize(&crate::lexer::lex(s.text)))))
+        .map(|s| {
+            let lexed = crate::lexer::lex(s.text);
+            for (idx, line) in lexed.lines.iter().enumerate() {
+                let c = line.comment.trim_start();
+                if line.in_test || !c.starts_with("hotpath-exempt") {
+                    continue;
+                }
+                let rest = &c["hotpath-exempt".len()..];
+                // Accept `hotpath-exempt: why` and `hotpath-exempt(a, b): why`;
+                // anything else (e.g. a prose mention) is not an exemption.
+                let atoms = if rest.starts_with(':') {
+                    Vec::new()
+                } else if let Some((inner, after)) =
+                    rest.strip_prefix('(').and_then(|r| r.split_once(')'))
+                {
+                    if !after.trim_start().starts_with(':') {
+                        continue;
+                    }
+                    inner
+                        .split(',')
+                        .map(|a| a.trim().to_owned())
+                        .filter(|a| !a.is_empty())
+                        .collect()
+                } else {
+                    continue;
+                };
+                ex.exempts.push(Exempt { file: s.path.to_owned(), line: idx + 1, atoms });
+            }
+            (s, parser::parse(&tokens::tokenize(&lexed)))
+        })
         .collect();
 
     // Struct lock fields → sites. Struct names are assumed workspace-unique
     // (DESIGN.md documents the restriction).
     let mut struct_fields: HashMap<String, HashMap<String, (String, Shape)>> = HashMap::new();
-    let mut site_decls: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    let mut struct_field_types: HashMap<String, HashMap<String, String>> = HashMap::new();
+    let site_decls = &mut ex.site_decls;
     for (src, file) in &parsed {
         for st in &file.structs {
             if st.in_test {
@@ -818,6 +1337,12 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
             }
             let mut fields = HashMap::new();
             for f in &st.fields {
+                if let Some(head) = field_type_head(&f.ty) {
+                    struct_field_types
+                        .entry(st.name.clone())
+                        .or_default()
+                        .insert(f.name.clone(), head);
+                }
                 if let Some(shape) = classify(&f.ty) {
                     let site = format!("{}::{}::{}", src.crate_name, st.name, f.name);
                     site_decls.insert(site.clone(), (src.path.to_owned(), f.line));
@@ -835,13 +1360,12 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
 
     // Walk every non-test function.
     let mut all_facts: Vec<FnFacts> = Vec::new();
-    let mut edges: Vec<Edge> = Vec::new();
     for (src, file) in &parsed {
         for f in &file.fns {
             if f.in_test {
                 continue;
             }
-            analysis.fns += 1;
+            ex.fns += 1;
             let key = match &f.self_ty {
                 Some(ty) => format!("{}::{}::{}", src.crate_name, ty, f.name),
                 None => format!("{}::{}", src.crate_name, f.name),
@@ -853,11 +1377,18 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
                 direct: Vec::new(),
                 calls: Vec::new(),
                 annotations: Vec::new(),
+                body: f.body.clone(),
             };
             let self_fields = f
                 .self_ty
                 .as_ref()
                 .and_then(|ty| struct_fields.get(ty))
+                .cloned()
+                .unwrap_or_default();
+            let field_types = f
+                .self_ty
+                .as_ref()
+                .and_then(|ty| struct_field_types.get(ty))
                 .cloned()
                 .unwrap_or_default();
             let merges = struct_literal_merges(&f.body, &struct_fields);
@@ -872,46 +1403,42 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
                 recent_elem: None,
                 merges,
                 self_fields,
+                field_types,
                 local_prefix: key.clone(),
                 facts: &mut facts,
-                edges: &mut edges,
-                site_decls: &mut site_decls,
+                edges: &mut ex.edges,
+                site_decls: &mut *site_decls,
             };
             w.run();
             all_facts.push(facts);
         }
     }
+    ex.facts = all_facts;
+    ex
+}
 
-    // Symbol table for call resolution.
-    let mut by_qualified: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
-    let mut free_by_crate: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    for (idx, f) in all_facts.iter().enumerate() {
-        let mut parts = f.key.rsplitn(2, "::");
-        let name = parts.next().unwrap_or_default().to_owned();
-        let qualifier = parts.next().unwrap_or_default();
-        by_name.entry(name.clone()).or_default().push(idx);
-        if let Some((_, ty)) = qualifier.rsplit_once("::") {
-            by_qualified.entry((ty.to_owned(), name.clone())).or_default().push(idx);
-        } else {
-            free_by_crate.entry((f.crate_name.clone(), name)).or_default().push(idx);
+/// Runs the lock-graph checks over extracted facts.
+pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> Analysis {
+    let Extraction { facts: all_facts, mut edges, site_decls, exempts: _, fns } = extract(sources);
+    let symbols = SymbolTable::new(&all_facts);
+    let mut analysis = Analysis { fns, ..Analysis::default() };
+
+    // Call-resolution statistics for the report summary (fn-reference
+    // operands are not call sites; they are counted by the may-analyses
+    // that follow them).
+    for f in &all_facts {
+        for c in &f.calls {
+            if c.is_ref {
+                continue;
+            }
+            analysis.calls_total += 1;
+            match symbols.resolve_all(&c.key, &f.crate_name, false).len() {
+                0 => {}
+                1 => analysis.calls_resolved += 1,
+                _ => analysis.calls_ambiguous += 1,
+            }
         }
     }
-    let resolve = |key: &CallKey, crate_name: &str| -> Option<usize> {
-        let unique = |v: Option<&Vec<usize>>| match v {
-            Some(v) if v.len() == 1 => Some(v[0]),
-            _ => None,
-        };
-        match key {
-            CallKey::Qualified(ty, name) => unique(by_qualified.get(&(ty.clone(), name.clone()))),
-            CallKey::Method(name) => unique(by_name.get(name)),
-            CallKey::Bare(name) => unique(
-                free_by_crate
-                    .get(&(crate_name.to_owned(), name.clone()))
-                    .or_else(|| by_name.get(name)),
-            ),
-        }
-    };
 
     // Transitive acquisition sets (fixpoint over the call graph).
     let mut star: Vec<BTreeSet<String>> =
@@ -919,8 +1446,11 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
     loop {
         let mut changed = false;
         for idx in 0..all_facts.len() {
-            for (key, _, _) in &all_facts[idx].calls {
-                if let Some(callee) = resolve(key, &all_facts[idx].crate_name) {
+            for c in &all_facts[idx].calls {
+                if c.is_ref {
+                    continue;
+                }
+                if let Some(callee) = symbols.resolve_unique(&c.key, &all_facts[idx].crate_name) {
                     if callee == idx {
                         continue;
                     }
@@ -941,18 +1471,18 @@ pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> An
     // Interprocedural edges: sites a callee (transitively) acquires while
     // the caller holds a guard.
     for f in &all_facts {
-        for (key, held, line) in &f.calls {
-            if held.is_empty() {
+        for c in &f.calls {
+            if c.is_ref || c.held.is_empty() {
                 continue;
             }
-            if let Some(callee) = resolve(key, &f.crate_name) {
+            if let Some(callee) = symbols.resolve_unique(&c.key, &f.crate_name) {
                 for to in &star[callee] {
-                    for from in held {
+                    for from in &c.held {
                         edges.push(Edge {
                             from: from.clone(),
                             to: to.clone(),
                             file: f.file.clone(),
-                            line: *line,
+                            line: c.line,
                             via: format!("{} → {}", f.key, all_facts[callee].key),
                         });
                     }
@@ -1659,5 +2189,128 @@ mod tests {
         let b_pos = toml.find("fx::S::b").expect("b emitted");
         let c_pos = toml.find("fx::S::c").expect("c emitted");
         assert!(b_pos < c_pos, "topological order: b (held first) before c\n{toml}");
+    }
+
+    #[test]
+    fn cross_crate_diamond_resolves_every_edge() {
+        let a = run(
+            &[
+                ("top", "top/src/lib.rs", "pub fn entry() { left(); right(); }"),
+                (
+                    "mid",
+                    "mid/src/lib.rs",
+                    "pub fn left() { shared(); }\npub fn right() { shared(); }",
+                ),
+                ("base", "base/src/lib.rs", "pub fn shared() {}"),
+            ],
+            &BTreeMap::new(),
+        );
+        assert_eq!(a.calls_total, 4, "entry→left, entry→right, left→shared, right→shared");
+        assert_eq!(a.calls_resolved, 4);
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn trait_method_call_is_ambiguous_across_impls() {
+        let src = "
+            pub trait Sink { fn emit(&self); }
+            pub struct A;
+            impl Sink for A { fn emit(&self) {} }
+            pub struct B;
+            impl Sink for B { fn emit(&self) {} }
+            pub fn go(s: &dyn Sink) { s.emit() }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 1);
+        assert_eq!(a.calls_ambiguous, 1, "two implementors: a may-edge to each");
+        assert_eq!(a.calls_resolved, 0);
+    }
+
+    #[test]
+    fn self_field_receiver_disambiguates_method_name() {
+        // Two `run` methods exist; the declared field type picks one.
+        let src = "
+            pub struct Sched { q: u32 }
+            impl Sched { pub fn run(&self) -> u32 { self.q } }
+            pub struct Exec;
+            impl Exec { pub fn run(&self) -> u32 { 2 } }
+            pub struct Engine { sched: Sched }
+            impl Engine {
+                pub fn drive(&self) -> u32 { self.sched.run() }
+            }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 1);
+        assert_eq!(a.calls_resolved, 1, "field type Sched makes the call unambiguous");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn transparent_wrappers_are_peeled_from_field_types() {
+        let src = "
+            pub struct Sched { q: u32 }
+            impl Sched { pub fn run(&self) -> u32 { self.q } }
+            pub struct Exec;
+            impl Exec { pub fn run(&self) -> u32 { 2 } }
+            pub struct Engine { sched: std::sync::Arc<Sched> }
+            impl Engine {
+                pub fn drive(&self) -> u32 { self.sched.run() }
+            }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_resolved, 1, "Arc<Sched> resolves like Sched");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn macro_receiver_maps_to_title_case_type() {
+        // `histogram!(..).observe(..)` must bind to Histogram::observe even
+        // though another `observe` method exists.
+        let src = "
+            pub struct Histogram;
+            impl Histogram { pub fn observe(&self, v: u64) { let _ = v; } }
+            pub struct Probe;
+            impl Probe { pub fn observe(&self, v: u64) { let _ = v; } }
+            pub fn hot() { histogram!(\"x\").observe(1); }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 1);
+        assert_eq!(a.calls_resolved, 1, "macro receiver names the cached handle type");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn std_method_names_do_not_cross_link_to_free_fns() {
+        // `x.load(..)` is an atomic read; a workspace free fn named `load`
+        // in another crate must not become a call edge.
+        let a = run(
+            &[
+                (
+                    "hotcrate",
+                    "hot/src/lib.rs",
+                    "pub fn hot(x: &AtomicU64) -> u64 { x.load(Ordering::Relaxed) }",
+                ),
+                ("bench", "bench/src/lib.rs", "pub fn load() -> u64 { 1 }"),
+            ],
+            &BTreeMap::new(),
+        );
+        assert_eq!(a.calls_total, 1);
+        assert_eq!(a.calls_resolved, 0, "stoplisted name stays external");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn same_crate_free_fn_beats_the_stoplist() {
+        // A bare same-crate call is precise even for a stoplisted name.
+        let a = run(
+            &[(
+                "fx",
+                "fx/src/lib.rs",
+                "pub fn load() -> u64 { 1 }\npub fn hot() -> u64 { load() }",
+            )],
+            &BTreeMap::new(),
+        );
+        assert_eq!(a.calls_total, 1);
+        assert_eq!(a.calls_resolved, 1);
     }
 }

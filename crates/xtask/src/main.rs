@@ -18,6 +18,7 @@
 //! See `DESIGN.md` §"Verification strategy".
 
 mod baseline;
+mod hotpaths;
 mod lexer;
 mod lockgraph;
 mod parser;
@@ -36,7 +37,12 @@ commands:
   lint [--update-baseline]
       token-level rules checked against crates/xtask/baseline.toml
   analyze [--format human|json|sarif] [--emit-lockranks]
-      whole-workspace lock-graph deadlock and lock-rank analysis";
+      whole-workspace lock-graph deadlock and lock-rank analysis
+  analyze --hotpaths [--format human|json|sarif] [--emit-hotpaths]
+          [--update-hotpaths-baseline]
+      hot-path purity: prove the entries in hotpaths.toml stay within
+      their declared effect capabilities (alloc, panic, block, wallclock,
+      lock:<rank>), ratcheted via crates/xtask/hotpaths_baseline.toml";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +58,9 @@ fn main() -> ExitCode {
         Some("analyze") => {
             let mut format = "human".to_owned();
             let mut emit = false;
+            let mut hot = false;
+            let mut emit_hot = false;
+            let mut update_hot_baseline = false;
             let mut rest = args[1..].iter();
             while let Some(a) = rest.next() {
                 match a.as_str() {
@@ -63,13 +72,26 @@ fn main() -> ExitCode {
                         }
                     },
                     "--emit-lockranks" => emit = true,
+                    "--hotpaths" => hot = true,
+                    "--emit-hotpaths" => {
+                        hot = true;
+                        emit_hot = true;
+                    }
+                    "--update-hotpaths-baseline" => {
+                        hot = true;
+                        update_hot_baseline = true;
+                    }
                     _ => {
                         eprintln!("{USAGE}");
                         return ExitCode::from(2);
                     }
                 }
             }
-            exit_of(analyze(&format, emit), "analyze")
+            if hot {
+                exit_of(analyze_hotpaths(&format, emit_hot, update_hot_baseline), "analyze")
+            } else {
+                exit_of(analyze(&format, emit), "analyze")
+            }
         }
         _ => {
             eprintln!("{USAGE}");
@@ -312,6 +334,51 @@ fn analyze(format: &str, emit_lockranks: bool) -> std::io::Result<bool> {
     Ok(analysis.findings.is_empty())
 }
 
+/// Runs the hot-path purity analysis; returns `Ok(true)` when every entry
+/// in `hotpaths.toml` stays within its declared capabilities (modulo the
+/// ratcheted baseline). With `emit`, prints a regenerated contract; with
+/// `update_baseline`, rewrites the ratchet to current reality.
+fn analyze_hotpaths(format: &str, emit: bool, update_baseline: bool) -> std::io::Result<bool> {
+    let root = workspace_root();
+    let ranks = baseline::load(&root.join("lockranks.toml"))?;
+    let config = hotpaths::load_config(&root.join("hotpaths.toml"))?;
+    let baseline_path = root.join("crates/xtask/hotpaths_baseline.toml");
+    let baselined = baseline::load(&baseline_path)?;
+    let sources = collect_analyze_sources(&root)?;
+    let inputs: Vec<lockgraph::SourceInput<'_>> = sources
+        .iter()
+        .map(|(c, p, t)| lockgraph::SourceInput { crate_name: c, path: p, text: t })
+        .collect();
+    let hot = hotpaths::analyze(&inputs, &config, &ranks, &baselined);
+
+    if emit {
+        print!("{}", hotpaths::emit_hotpaths(&hot));
+        return Ok(true);
+    }
+    if update_baseline {
+        baseline::save_with_header(
+            &baseline_path,
+            &hot.violation_counts,
+            "# Hot-path purity baseline — a ratchet, not an allowlist.\n\
+             # Keys are `hotpath:<entry>:<atom>` from `cargo xtask analyze --hotpaths`;\n\
+             # counts above these fail CI, counts below fail until regenerated with\n\
+             # `cargo xtask analyze --hotpaths --update-hotpaths-baseline`.\n",
+        )?;
+        println!(
+            "hotpaths baseline regenerated: {} ({} violation key(s))",
+            baseline_path.display(),
+            hot.violation_counts.values().filter(|&&c| c > 0).count(),
+        );
+        return Ok(true);
+    }
+    match format {
+        "json" => print!("{}", report::hot_json(&hot)),
+        "sarif" => print!("{}", report::hot_sarif(&hot)),
+        _ => print!("{}", report::hot_human(&hot)),
+    }
+    Ok(hot.findings.is_empty())
+}
+
 #[cfg(test)]
 mod main_tests {
     use super::*;
@@ -351,5 +418,43 @@ mod main_tests {
         let root = workspace_root();
         let name = package_name(&root.join("crates/stream/Cargo.toml")).unwrap();
         assert_eq!(name.as_deref(), Some("cad3_stream"));
+    }
+
+    /// End-to-end: the checked-in hot-path contract must hold on the real
+    /// workspace — every entry resolves, no effect escapes its capability
+    /// set, no exemption is stale, and the baseline carries no slack.
+    #[test]
+    fn real_workspace_hotpaths_is_clean() {
+        let root = workspace_root();
+        let ranks = baseline::load(&root.join("lockranks.toml")).expect("lockranks.toml");
+        let config = hotpaths::load_config(&root.join("hotpaths.toml")).expect("hotpaths.toml");
+        assert!(!config.is_empty(), "contract must declare entries");
+        let baselined =
+            baseline::load(&root.join("crates/xtask/hotpaths_baseline.toml")).expect("baseline");
+        let sources = collect_analyze_sources(&root).expect("workspace sources");
+        let inputs: Vec<lockgraph::SourceInput<'_>> = sources
+            .iter()
+            .map(|(c, p, t)| lockgraph::SourceInput { crate_name: c, path: p, text: t })
+            .collect();
+        let hot = hotpaths::analyze(&inputs, &config, &ranks, &baselined);
+        assert!(hot.findings.is_empty(), "hot-path findings:\n{}", report::hot_human(&hot));
+        // The headline claims must be discovered, not vacuous: transmit is
+        // pure, detection is lock-free and panic-free, poll's locks are
+        // exactly the declared ranks.
+        let entry = |key: &str| {
+            hot.entries.iter().find(|e| e.key == key).unwrap_or_else(|| panic!("missing {key}"))
+        };
+        assert!(entry("cad3_net::WiredLink::transmit").effects.is_empty(), "transmit is pure");
+        for key in ["cad3_ml::NaiveBayes::predict", "cad3_ml::DecisionTree::predict"] {
+            let effects = &entry(key).effects;
+            assert!(!effects.contains_key("panic"), "{key} must be panic-free: {effects:?}");
+            assert!(
+                !effects.keys().any(|a| a.starts_with("lock:") || a == "block"),
+                "{key} must be lock-free: {effects:?}"
+            );
+        }
+        let poll = &entry("cad3_stream::Consumer::poll_grouped").effects;
+        assert!(poll.contains_key("lock:30"), "poll touches partitions: {poll:?}");
+        assert!(!poll.contains_key("panic"), "poll is panic-free: {poll:?}");
     }
 }

@@ -197,6 +197,7 @@ impl Parser<'_> {
                     }
                     "struct" => self.struct_item(out),
                     "impl" => self.impl_item(out),
+                    "trait" => self.trait_item(out),
                     "fn" => {
                         if let Some(f) = self.fn_item(self_ty) {
                             out.fns.push(f);
@@ -213,8 +214,7 @@ impl Parser<'_> {
                         }
                     }
                     // Items we deliberately do not model.
-                    "enum" | "trait" | "union" | "use" | "static" | "type" | "extern"
-                    | "macro_rules" => {
+                    "enum" | "union" | "use" | "static" | "type" | "extern" | "macro_rules" => {
                         self.bump();
                         self.skip_item();
                     }
@@ -322,6 +322,33 @@ impl Parser<'_> {
         if self.eat_punct('{') {
             self.items(self_ty.as_deref(), out);
             self.eat_punct('}');
+        }
+    }
+
+    /// `trait Name<G>: Bounds { .. }` — default method bodies are parsed
+    /// with the trait name as their self type, so their effects and lock
+    /// acquisitions participate in the call graph. Bodiless signatures are
+    /// still skipped by [`Parser::fn_item`].
+    fn trait_item(&mut self, out: &mut ParsedFile) {
+        self.bump(); // trait
+        let name = self.eat_ident();
+        self.skip_generics();
+        // Supertrait bounds / where clause up to the body.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        if self.eat_punct('{') {
+            self.items(name.as_deref(), out);
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';');
         }
     }
 
@@ -468,6 +495,22 @@ mod tests {
             parse_src("fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n");
         assert!(!p.fns[0].in_test);
         assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn trait_default_methods_carry_the_trait_as_self_type() {
+        let p = parse_src(
+            "pub trait Detector: Send {\n\
+                 fn threshold(&self) -> f64;\n\
+                 fn detect(&self, x: f64) -> bool { x > self.threshold() }\n\
+             }\n\
+             trait Marker;\n\
+             fn after() {}\n",
+        );
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["detect", "after"], "signatures skipped, default bodies kept");
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Detector"));
+        assert!(!p.fns[0].body.is_empty());
     }
 
     #[test]

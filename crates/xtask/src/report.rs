@@ -5,6 +5,7 @@
 //! is emitted by hand — the workspace intentionally carries no serde — so
 //! the renderers stick to the small, flat subset the consumers need.
 
+use crate::hotpaths::HotAnalysis;
 use crate::lockgraph::{Analysis, Finding};
 use std::fmt::Write as _;
 
@@ -29,6 +30,14 @@ pub fn human(analysis: &Analysis) -> String {
         analysis.fns,
         analysis.sites.len(),
         analysis.edges.len()
+    );
+    let _ = writeln!(
+        out,
+        "call graph: {} calls ({} resolved, {} ambiguous, {} external/unresolved)",
+        analysis.calls_total,
+        analysis.calls_resolved,
+        analysis.calls_ambiguous,
+        analysis.calls_total - analysis.calls_resolved - analysis.calls_ambiguous
     );
     for site in &analysis.sites {
         let _ = writeln!(out, "  site {site}");
@@ -75,6 +84,14 @@ fn esc(s: &str) -> String {
 pub fn json(analysis: &Analysis) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"functions\": {},", analysis.fns);
+    let _ = writeln!(
+        out,
+        "  \"calls\": {{\"total\": {}, \"resolved\": {}, \"ambiguous\": {}, \"external\": {}}},",
+        analysis.calls_total,
+        analysis.calls_resolved,
+        analysis.calls_ambiguous,
+        analysis.calls_total - analysis.calls_resolved - analysis.calls_ambiguous
+    );
 
     let sites: Vec<String> = analysis.sites.iter().map(|s| format!("\"{}\"", esc(s))).collect();
     let _ = writeln!(out, "  \"sites\": [{}],", sites.join(", "));
@@ -115,16 +132,27 @@ pub fn json(analysis: &Analysis) -> String {
 
 /// Renders a SARIF 2.1.0 log for code-scanning upload.
 pub fn sarif(analysis: &Analysis) -> String {
+    sarif_log("cad3-xtask-analyze", &CHECKS, &analysis.findings)
+}
+
+/// Renders a SARIF 2.1.0 log from any finding list — shared by the
+/// lock-graph and hot-path analyses, which differ only in tool name and
+/// rule table.
+pub fn sarif_log(tool: &str, checks: &[(&str, &str)], findings: &[Finding]) -> String {
     let mut out = String::from(
         "{\n  \"version\": \"2.1.0\",\n  \
          \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
-         \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \
-         \"name\": \"cad3-xtask-analyze\",\n          \
+         \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          ",
+    );
+    let _ = write!(
+        out,
+        "\"name\": \"{}\",\n          \
          \"informationUri\": \"https://example.invalid/cad3\",\n          \
          \"rules\": [\n",
+        esc(tool)
     );
-    for (i, (id, desc)) in CHECKS.iter().enumerate() {
-        let sep = if i + 1 == CHECKS.len() { "" } else { "," };
+    for (i, (id, desc)) in checks.iter().enumerate() {
+        let sep = if i + 1 == checks.len() { "" } else { "," };
         let _ = writeln!(
             out,
             "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{sep}",
@@ -133,14 +161,94 @@ pub fn sarif(analysis: &Analysis) -> String {
         );
     }
     out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
-    for (i, f) in analysis.findings.iter().enumerate() {
-        let sep = if i + 1 == analysis.findings.len() { "" } else { "," };
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
         out.push_str(&sarif_result(f));
         out.push_str(sep);
         out.push('\n');
     }
     out.push_str("      ]\n    }\n  ]\n}\n");
     out
+}
+
+/// Renders the human-readable hot-path purity report.
+pub fn hot_human(hot: &HotAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hot-path purity: {} entr{} over {} functions",
+        hot.entries.len(),
+        if hot.entries.len() == 1 { "y" } else { "ies" },
+        hot.fns
+    );
+    for e in &hot.entries {
+        let _ = writeln!(out, "  entry {} [caps: {}]", e.key, e.caps.join(", "));
+        let effects: Vec<String> =
+            e.effects.iter().map(|(atom, n)| format!("{atom}×{n}")).collect();
+        let _ = writeln!(
+            out,
+            "    reaches {} fn(s); effects: {}",
+            e.reachable,
+            if effects.is_empty() { "none (pure)".to_owned() } else { effects.join(", ") }
+        );
+    }
+    if hot.findings.is_empty() {
+        let _ = writeln!(out, "no findings");
+    } else {
+        let _ = writeln!(out, "{} finding(s):", hot.findings.len());
+        for f in &hot.findings {
+            if f.file.is_empty() {
+                let _ = writeln!(out, "  [{}] {}", f.check, f.message);
+            } else {
+                let _ = writeln!(out, "  [{}] {}:{}: {}", f.check, f.file, f.line, f.message);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON hot-path report.
+pub fn hot_json(hot: &HotAnalysis) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"functions\": {},", hot.fns);
+    out.push_str("  \"entries\": [");
+    for (i, e) in hot.entries.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let caps: Vec<String> = e.caps.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        let effects: Vec<String> =
+            e.effects.iter().map(|(a, n)| format!("\"{}\": {n}", esc(a))).collect();
+        let _ = write!(
+            out,
+            "{sep}    {{\"entry\": \"{}\", \"caps\": [{}], \"reachable\": {}, \
+             \"effects\": {{{}}}}}",
+            esc(&e.key),
+            caps.join(", "),
+            e.reachable,
+            effects.join(", ")
+        );
+    }
+    out.push_str(if hot.entries.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"findings\": [");
+    for (i, f) in hot.findings.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"check\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"}}",
+            esc(f.check),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        );
+    }
+    out.push_str(if hot.findings.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the SARIF 2.1.0 hot-path log for code-scanning upload.
+pub fn hot_sarif(hot: &HotAnalysis) -> String {
+    sarif_log("cad3-xtask-hotpaths", &crate::hotpaths::CHECKS, &hot.findings)
 }
 
 fn sarif_result(f: &Finding) -> String {
@@ -191,6 +299,9 @@ mod tests {
                 message: "a \"quoted\" message".to_owned(),
             }],
             fns: 2,
+            calls_total: 7,
+            calls_resolved: 5,
+            calls_ambiguous: 1,
         }
     }
 
@@ -200,6 +311,10 @@ mod tests {
         assert!(text.contains("site fx::S::a"));
         assert!(text.contains("edge fx::S::a -> fx::S::b"));
         assert!(text.contains("[rank-violation] fx/src/lib.rs:4:"));
+        assert!(
+            text.contains("7 calls (5 resolved, 1 ambiguous, 1 external/unresolved)"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -207,6 +322,12 @@ mod tests {
         let text = json(&sample());
         assert!(text.contains(r#"a \"quoted\" message"#), "{text}");
         assert!(text.contains("\"functions\": 2"));
+        assert!(
+            text.contains(
+                "\"calls\": {\"total\": 7, \"resolved\": 5, \"ambiguous\": 1, \"external\": 1}"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
