@@ -1,5 +1,5 @@
 use cad3_types::{RoadId, RsuId, SimTime, SummaryMessage, TraceLineage, VehicleId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Converts a live trace context into the wire-portable lineage a
 /// `CO-DATA` summary carries across a handover.
@@ -81,7 +81,9 @@ impl VehicleState {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SummaryTracker {
-    vehicles: HashMap<VehicleId, VehicleState>,
+    // BTreeMap, not HashMap: `vehicles()` and summary export iterate this
+    // map on the handover-fusion path, so its order must survive reseeding.
+    vehicles: BTreeMap<VehicleId, VehicleState>,
     /// How many previous *roads* of history to retain per vehicle;
     /// `None` keeps everything (the paper's behaviour).
     road_depth: Option<usize>,
@@ -103,7 +105,7 @@ impl SummaryTracker {
     /// use a plain AD3 detector instead).
     pub fn with_road_depth(depth: usize) -> Self {
         assert!(depth > 0, "road depth must be at least one");
-        SummaryTracker { vehicles: HashMap::new(), road_depth: Some(depth) }
+        SummaryTracker { vehicles: BTreeMap::new(), road_depth: Some(depth) }
     }
 
     /// The configured road depth (`None` = unbounded).
@@ -211,11 +213,9 @@ impl SummaryTracker {
         self.vehicles.remove(&vehicle);
     }
 
-    /// The tracked vehicles, sorted by id.
+    /// The tracked vehicles, sorted by id (the map is ordered).
     pub fn vehicles(&self) -> Vec<VehicleId> {
-        let mut v: Vec<VehicleId> = self.vehicles.keys().copied().collect();
-        v.sort();
-        v
+        self.vehicles.keys().copied().collect()
     }
 }
 

@@ -1,6 +1,6 @@
 use cad3_ml::GaussianStats;
 use cad3_types::{FeatureRecord, HourOfDay, Label, RoadType};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Time-of-day regime used as labelling context alongside the road type.
 ///
@@ -8,7 +8,7 @@ use std::collections::HashMap;
 /// vs. normal hours)" (the paper's Section II challenge); pooling all hours
 /// into one cut-off would label rush-hour traffic abnormal wholesale, so
 /// the offline stage conditions its statistics on the regime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TimeBucket {
     /// Free-flowing night traffic (00:00–05:59).
     Night,
@@ -53,7 +53,9 @@ impl TimeBucket {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct LabelModel {
-    per_context: HashMap<(RoadType, TimeBucket), TypeStats>,
+    // BTreeMap, not HashMap: fitted on the seeded-generator path, where any
+    // hasher-order iteration would leak into the replay contract.
+    per_context: BTreeMap<(RoadType, TimeBucket), TypeStats>,
     sigma_multiplier: f64,
 }
 
@@ -88,8 +90,8 @@ impl LabelModel {
         sigma_multiplier: f64,
     ) -> Self {
         assert!(sigma_multiplier > 0.0, "sigma multiplier must be positive");
-        let mut speed: HashMap<(RoadType, TimeBucket), GaussianStats> = HashMap::new();
-        let mut accel: HashMap<(RoadType, TimeBucket), GaussianStats> = HashMap::new();
+        let mut speed: BTreeMap<(RoadType, TimeBucket), GaussianStats> = BTreeMap::new();
+        let mut accel: BTreeMap<(RoadType, TimeBucket), GaussianStats> = BTreeMap::new();
         for r in records {
             let key = (r.road_type, TimeBucket::of(r.hour));
             speed.entry(key).or_default().push(r.speed_kmh);

@@ -69,6 +69,9 @@ impl Executor {
         let joined = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
+                // determinism-exempt(thread): workers own disjoint input chunks
+                // and are joined in spawn (= input) order below, so the output
+                // is identical to the sequential map regardless of schedule.
                 .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<O>>()))
                 .collect();
             // Join in spawn (= input) order, deferring any panic until every

@@ -6,18 +6,57 @@
 //! nanoseconds since the first observation in this process. Keeping the
 //! anchor process-local makes timestamps small, monotone and serialisable
 //! as `u64` without committing to any epoch.
+//!
+//! For replay-deterministic runs the clock can be switched to *virtual*
+//! mode ([`set_virtual_nanos`]): the driver advances the reading from sim
+//! time, so every timestamped artifact — JSONL span events, trace reports,
+//! latency histograms — becomes a pure function of the seed and two
+//! identical runs produce byte-identical files (the `determinism-e2e` CI
+//! job holds this by running the replay example twice and `cmp`-ing).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-/// Monotonic nanoseconds since the process's first call to this function.
+static VIRTUAL_MODE: AtomicBool = AtomicBool::new(false);
+static VIRTUAL_NOW: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic nanoseconds since the process's first call to this function,
+/// or the virtual reading while [`set_virtual_nanos`] replay mode is on.
 ///
 /// The first call returns a value close to zero; all later calls are
 /// monotonically non-decreasing. Saturates at `u64::MAX` after ~584 years.
 pub fn now_nanos() -> u64 {
+    // ordering: Relaxed — the clock is an advisory value stream; readers
+    // only need *a* monotone reading, not synchronisation with other memory.
+    if VIRTUAL_MODE.load(Ordering::Relaxed) {
+        // ordering: Relaxed — same advisory reading as the mode flag.
+        return VIRTUAL_NOW.load(Ordering::Relaxed);
+    }
     static ANCHOR: OnceLock<Instant> = OnceLock::new();
     let anchor = *ANCHOR.get_or_init(Instant::now);
     u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Switches the clock to virtual (replay) mode and advances its reading to
+/// `ns`. The reading never goes backwards: a smaller `ns` is ignored, so a
+/// driver can re-announce the current sim time freely. Virtual mode is
+/// process-global and sticky — it is meant for replay binaries that opt in
+/// once at startup, before any instrumented work.
+pub fn set_virtual_nanos(ns: u64) {
+    // ordering: Relaxed — fetch_max's atomicity alone keeps the reading
+    // monotone; the value carries no other memory dependencies.
+    VIRTUAL_NOW.fetch_max(ns, Ordering::Relaxed);
+    // ordering: Relaxed — an advisory mode flag; a reader that misses the
+    // flip for an instant reads the wall anchor one last time, which is fine
+    // because drivers enable virtual mode before any instrumented work.
+    VIRTUAL_MODE.store(true, Ordering::Relaxed);
+}
+
+/// Whether the clock is in virtual (replay) mode.
+pub fn is_virtual() -> bool {
+    // ordering: Relaxed — advisory flag, see [`set_virtual_nanos`].
+    VIRTUAL_MODE.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1256 @@
+//! Determinism contract analysis (`cargo xtask analyze --determinism`).
+//!
+//! The root `determinism.toml` declares the entry functions a seeded run
+//! must replay bit-identically (the sim event loop, handover fusion, the
+//! detect path, the RNG-seeded generators) and, per entry, the
+//! *nondeterminism allowance* the path may use. This pass rides the
+//! lock-graph extraction ([`crate::lockgraph::extract`]): it scans every
+//! workspace function's token stream for nondeterminism sources, propagates
+//! them transitively over the cross-crate call graph (may-resolution:
+//! trait-method calls follow every implementor, function references too),
+//! and reports any entry whose reachable source set exceeds its allowance —
+//! with the call chain that witnesses the leak.
+//!
+//! Nondeterminism atoms form a flat lattice:
+//!
+//! * `map-iter` — iteration over a `HashMap`/`HashSet` (`for` loops,
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+//!   `.into_iter()` and friends): order varies per process because the
+//!   default hasher is seeded per `RandomState`
+//! * `hash-state` — constructing a `RandomState`/`DefaultHasher`/
+//!   `BuildHasherDefault` (hash values leak into anything keyed by them)
+//! * `wallclock` — `Instant::now`/`SystemTime::now`/`.elapsed()` reads
+//! * `thread` — `thread::spawn`/`thread::current` (scheduling order and
+//!   thread identity are not replayable)
+//! * `unseeded-rng` — entropy-seeded RNG construction (`thread_rng`,
+//!   `from_entropy`, `OsRng`, `rand::random`)
+//! * `ptr-order` — observing allocation addresses (`.as_ptr()`,
+//!   `ptr::hash`): address *ordering* varies with heap layout
+//!
+//! A deliberately order-insensitive site is opted out with a
+//! `// determinism-exempt: why` comment on the line or up to three lines
+//! above; the targeted form `// determinism-exempt(map-iter): why`
+//! suppresses only the listed atoms. An exemption that no longer covers any
+//! matching site is itself a finding, so stale escapes rot loudly. Counts
+//! ratchet through `crates/xtask/determinism_baseline.toml` exactly like
+//! the lint and hot-path baselines.
+//!
+//! # Soundness envelope
+//!
+//! Hash-collection receivers are typed syntactically: struct fields whose
+//! declared type mentions `HashMap`/`HashSet` (through `Arc`/`RwLock`/...
+//! wrappers), locals bound by annotation or by construction
+//! (`HashMap::new()`, `collect::<HashMap<_, _>>()`), and single-step
+//! aliases of either (`let g = self.map.read();`). Hash maps arriving
+//! through function *parameters* or multi-step aliases are not typed —
+//! iteration over those is invisible (under-approximation, recorded in
+//! DESIGN.md alongside the call-resolution envelope). The runtime oracle
+//! for this gap is the double-run `determinism-e2e` CI job.
+
+use crate::lockgraph::{CallKey, Extraction, Finding, FnFacts, SourceInput, SymbolTable};
+use crate::tokens::{Tok, Token};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io;
+use std::path::Path;
+
+/// The descriptions backing SARIF rule metadata for this analysis.
+pub const CHECKS: [(&str, &str); 5] = [
+    ("determinism-violation", "A declared-deterministic entry can reach a nondeterminism source outside its allowance in determinism.toml."),
+    ("stale-entry", "determinism.toml declares an entry function that no longer exists in the workspace."),
+    ("unknown-atom", "determinism.toml allows an atom that is not a nondeterminism source (map-iter, hash-state, wallclock, thread, unseeded-rng, ptr-order)."),
+    ("stale-exempt", "A determinism-exempt comment no longer covers any nondeterminism site and should be removed."),
+    ("stale-determinism-baseline", "The determinism baseline records more violations than currently exist; regenerate to tighten the ratchet."),
+];
+
+/// One declared entry: function key, allowed atoms, declaration line.
+#[derive(Debug, Clone)]
+pub struct DetEntry {
+    pub key: String,
+    pub allow: Vec<String>,
+    pub line: usize,
+}
+
+/// Per-entry outcome for the report renderers.
+#[derive(Debug)]
+pub struct DetEntryReport {
+    pub key: String,
+    pub allow: Vec<String>,
+    /// Functions reachable from the entry (including itself).
+    pub reachable: usize,
+    /// Non-exempt nondeterminism sites reachable from the entry, per atom.
+    pub sources: BTreeMap<String, usize>,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct DetAnalysis {
+    pub entries: Vec<DetEntryReport>,
+    pub findings: Vec<Finding>,
+    /// Functions scanned (the whole workspace, not just reachable ones).
+    pub fns: usize,
+    /// Current per-`determinism:<entry>:<atom>` violation counts (for the
+    /// baseline ratchet; allowance-covered atoms are not violations).
+    pub violation_counts: BTreeMap<String, u64>,
+}
+
+/// One nondeterminism site inside a function body.
+#[derive(Debug, Clone)]
+struct NondetSite {
+    atom: &'static str,
+    file: String,
+    line: usize,
+    what: String,
+}
+
+/// Is `atom` a recognized nondeterminism atom?
+fn known_atom(atom: &str) -> bool {
+    matches!(
+        atom,
+        "map-iter" | "hash-state" | "wallclock" | "thread" | "unseeded-rng" | "ptr-order"
+    )
+}
+
+/// Parses `determinism.toml`: a `[determinism]` table of
+/// `"crate::Type::fn" = ["atom", ...]` entries (restricted TOML subset,
+/// like the other contracts — the workspace carries no TOML dependency).
+pub fn parse_config(text: &str, origin: &str) -> io::Result<Vec<DetEntry>> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+            continue;
+        }
+        let parse_err = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{origin}:{}: malformed determinism line: {raw}", idx + 1),
+            )
+        };
+        let (key, value) = line.split_once('=').ok_or_else(parse_err)?;
+        let value = value.trim();
+        let inner =
+            value.strip_prefix('[').and_then(|v| v.strip_suffix(']')).ok_or_else(parse_err)?.trim();
+        let allow: Vec<String> = if inner.is_empty() {
+            Vec::new()
+        } else {
+            inner.split(',').map(|c| c.trim().trim_matches('"').to_owned()).collect()
+        };
+        if allow.iter().any(String::is_empty) {
+            return Err(parse_err());
+        }
+        out.push(DetEntry { key: key.trim().trim_matches('"').to_owned(), allow, line: idx + 1 });
+    }
+    Ok(out)
+}
+
+/// Loads the determinism contract from disk. A missing contract is an
+/// error: `--determinism` without entries proves nothing.
+pub fn load_config(path: &Path) -> io::Result<Vec<DetEntry>> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("{}: {e} (declare deterministic entry points first)", path.display()),
+        )
+    })?;
+    parse_config(&text, &path.display().to_string())
+}
+
+/// Hash-collection methods whose call visits elements in hasher order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Methods that pass the receiver through unchanged for hash-typing
+/// purposes (`self.map.read().iter()` iterates `self.map`).
+const TRANSPARENT_METHODS: [&str; 10] = [
+    "read",
+    "write",
+    "lock",
+    "borrow",
+    "borrow_mut",
+    "as_ref",
+    "as_mut",
+    "unwrap",
+    "expect",
+    "clone",
+];
+
+fn is_hash_type(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// Index just past the group opened at `open` (`(`/`[`/`{`/`<`), or
+/// `open + 1` when no group starts there.
+fn skip_group(toks: &[Token], open: usize) -> usize {
+    let (o, c) = match toks.get(open).map(|t| &t.tok) {
+        Some(t) if t.is_punct('(') => ('(', ')'),
+        Some(t) if t.is_punct('[') => ('[', ']'),
+        Some(t) if t.is_punct('{') => ('{', '}'),
+        Some(t) if t.is_punct('<') => ('<', '>'),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        if t.tok.is_punct(o) {
+            depth += 1;
+        } else if t.tok.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the matching opener for the closer at `close`, walking
+/// backwards; `None` when unbalanced.
+fn open_of(toks: &[Token], close: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        let t = toks.get(j)?;
+        if t.tok.is_punct(c) {
+            depth += 1;
+        } else if t.tok.is_punct(o) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// The root of the receiver chain ending just before the `.` at `dot`.
+#[derive(Debug, PartialEq)]
+enum RecvRoot {
+    /// `self.field. ...` — typed via the impl type's declared fields.
+    SelfField(String),
+    /// `name. ...` — typed via local bindings.
+    Local(String),
+    /// `expr.collect::<HashMap<..>>(). ...` — a freshly-collected hash
+    /// collection, hash-typed regardless of bindings.
+    CollectedHash,
+    Unknown,
+}
+
+/// Walks backwards from the `.` of a method call to the chain's root,
+/// looking through [`TRANSPARENT_METHODS`] (`self.map.read().keys()` roots
+/// at `self.map`). Anything else — arbitrary method results, parenthesised
+/// expressions, indexing — is `Unknown` (under-approximation).
+fn receiver_root(toks: &[Token], dot: usize) -> RecvRoot {
+    let mut j = match dot.checked_sub(1) {
+        Some(j) => j,
+        None => return RecvRoot::Unknown,
+    };
+    loop {
+        match toks.get(j).map(|t| &t.tok) {
+            // `...(args).` — skip the arguments, expect a method name.
+            Some(t) if t.is_punct(')') => {
+                let Some(open) = open_of(toks, j, '(', ')') else {
+                    return RecvRoot::Unknown;
+                };
+                let Some(before) = open.checked_sub(1) else {
+                    return RecvRoot::Unknown;
+                };
+                // A turbofish between the name and the `(`:
+                // `collect::<HashMap<_, _>>(..)`.
+                let (name_idx, turbofish) = if toks[before].tok.is_punct('>') {
+                    let Some(lt) = open_of(toks, before, '<', '>') else {
+                        return RecvRoot::Unknown;
+                    };
+                    match lt.checked_sub(2) {
+                        Some(n)
+                            if matches!(toks.get(lt - 1).map(|t| &t.tok), Some(Tok::PathSep)) =>
+                        {
+                            (n, Some((lt, before)))
+                        }
+                        _ => return RecvRoot::Unknown,
+                    }
+                } else {
+                    (before, None)
+                };
+                let Some(Tok::Ident(name)) = toks.get(name_idx).map(|t| &t.tok) else {
+                    return RecvRoot::Unknown;
+                };
+                if name == "collect" {
+                    if let Some((lt, gt)) = turbofish {
+                        if toks[lt..gt]
+                            .iter()
+                            .any(|t| matches!(&t.tok, Tok::Ident(n) if is_hash_type(n)))
+                        {
+                            return RecvRoot::CollectedHash;
+                        }
+                    }
+                    return RecvRoot::Unknown;
+                }
+                if !TRANSPARENT_METHODS.contains(&name.as_str()) {
+                    return RecvRoot::Unknown;
+                }
+                match name_idx.checked_sub(1) {
+                    Some(d) if toks[d].tok.is_punct('.') => match d.checked_sub(1) {
+                        Some(p) => j = p,
+                        None => return RecvRoot::Unknown,
+                    },
+                    _ => return RecvRoot::Unknown,
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                let prev = j.checked_sub(1).map(|p| &toks[p].tok);
+                return match prev {
+                    Some(t) if t.is_punct('.') => {
+                        // `self.field.` roots at the field; deeper paths
+                        // (`x.a.b.`) are unknown.
+                        match j.checked_sub(2).map(|p| &toks[p].tok) {
+                            Some(Tok::Ident(base))
+                                if base == "self"
+                                    && !j
+                                        .checked_sub(3)
+                                        .is_some_and(|p| toks[p].tok.is_punct('.')) =>
+                            {
+                                RecvRoot::SelfField(name.clone())
+                            }
+                            _ => RecvRoot::Unknown,
+                        }
+                    }
+                    _ => RecvRoot::Local(name.clone()),
+                };
+            }
+            _ => return RecvRoot::Unknown,
+        }
+    }
+}
+
+/// Collects names of locals bound to hash collections in this body:
+/// type-annotated `let`s, constructions (`HashMap::new()`,
+/// `collect::<HashSet<_>>()`), and single-step aliases of hash fields or
+/// hash locals (`let g = self.map.read();`, `let m = groups;`).
+fn hash_locals(toks: &[Token], self_hash: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].tok.is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.tok.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        let name = name.clone();
+        j += 1;
+        let mut is_hash = false;
+        if toks.get(j).is_some_and(|t| t.tok.is_punct(':')) {
+            // `let m: HashMap<..> = ..` — scan the annotation.
+            j += 1;
+            while let Some(t) = toks.get(j) {
+                if t.tok.is_punct('=') || t.tok.is_punct(';') {
+                    break;
+                }
+                if matches!(&t.tok, Tok::Ident(n) if is_hash_type(n)) {
+                    is_hash = true;
+                }
+                j += 1;
+            }
+        }
+        if toks.get(j).is_some_and(|t| t.tok.is_punct('=')) {
+            // Scan the initializer (to `;` at depth 0) for constructions
+            // and aliases.
+            let start = j + 1;
+            let mut k = start;
+            let mut depth = 0i32;
+            while let Some(t) = toks.get(k) {
+                match &t.tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                    Tok::Punct(';') if depth <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let init = &toks[start..k.min(toks.len())];
+            // `HashMap::new()` / `std::collections::HashSet::with_capacity(..)`:
+            // a hash type heading the initializer path.
+            for (idx, t) in init.iter().enumerate() {
+                if matches!(&t.tok, Tok::Ident(n) if is_hash_type(n))
+                    && matches!(init.get(idx + 1).map(|t| &t.tok), Some(Tok::PathSep))
+                    && init[..idx].iter().all(|t| matches!(&t.tok, Tok::Ident(_) | Tok::PathSep))
+                {
+                    is_hash = true;
+                    break;
+                }
+            }
+            // `..collect::<HashMap<_, _>>()` anywhere in the initializer.
+            if init.iter().any(|t| t.tok.is_ident("collect"))
+                && init.iter().any(|t| matches!(&t.tok, Tok::Ident(n) if is_hash_type(n)))
+            {
+                is_hash = true;
+            }
+            // Single-step alias: `self.field` / `other_local`, optionally
+            // through `&`/`mut` and one transparent-method tail.
+            if !is_hash {
+                is_hash = alias_of_hash(init, self_hash, &out);
+            }
+            i = k;
+        }
+        if is_hash {
+            out.insert(name);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does this initializer merely re-expose a known hash collection?
+/// Accepts `[&] [mut] self . FIELD [. transparent()]*` and
+/// `[&] [mut] LOCAL [. transparent()]*`.
+fn alias_of_hash(init: &[Token], self_hash: &BTreeSet<String>, locals: &BTreeSet<String>) -> bool {
+    let mut i = 0usize;
+    while init
+        .get(i)
+        .is_some_and(|t| t.tok.is_punct('&') || t.tok.is_ident("mut") || t.tok.is_punct('*'))
+    {
+        i += 1;
+    }
+    let rooted = match init.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(base)) if base == "self" => {
+            let field = match (init.get(i + 1).map(|t| &t.tok), init.get(i + 2).map(|t| &t.tok)) {
+                (Some(t), Some(Tok::Ident(f))) if t.is_punct('.') => f,
+                _ => return false,
+            };
+            if !self_hash.contains(field.as_str()) {
+                return false;
+            }
+            i += 3;
+            true
+        }
+        Some(Tok::Ident(name)) if locals.contains(name.as_str()) => {
+            i += 1;
+            true
+        }
+        _ => false,
+    };
+    if !rooted {
+        return false;
+    }
+    // Only transparent-method tails may follow; any other expression tail
+    // (arithmetic, different methods, indexing) changes the type.
+    while i < init.len() {
+        let (Some(dot), Some(Tok::Ident(m))) =
+            (init.get(i).map(|t| &t.tok), init.get(i + 1).map(|t| &t.tok))
+        else {
+            return false;
+        };
+        if !dot.is_punct('.') || !TRANSPARENT_METHODS.contains(&m.as_str()) {
+            return false;
+        }
+        if !init.get(i + 2).is_some_and(|t| t.tok.is_punct('(')) {
+            return false;
+        }
+        if !init.get(i + 3).is_some_and(|t| t.tok.is_punct(')')) {
+            return false;
+        }
+        i += 4;
+    }
+    true
+}
+
+/// Scans one function body for nondeterminism sites.
+///
+/// Method and qualified calls that resolve to a workspace function are
+/// *not* treated as intrinsic sources — their sources arrive transitively
+/// through the call graph. `map-iter` charges are deduplicated per line so
+/// a `for` header over `self.map.iter()` is one site, not two.
+fn scan_nondet(
+    f: &FnFacts,
+    symbols: &SymbolTable,
+    hash_fields: &HashMap<String, BTreeSet<String>>,
+) -> Vec<NondetSite> {
+    static EMPTY: BTreeSet<String> = BTreeSet::new();
+    let segs: Vec<&str> = f.key.split("::").collect();
+    let self_hash = if segs.len() >= 3 {
+        hash_fields.get(segs[segs.len() - 2]).unwrap_or(&EMPTY)
+    } else {
+        &EMPTY
+    };
+    let toks = &f.body;
+    let locals = hash_locals(toks, self_hash);
+    let is_hash_recv = |root: &RecvRoot| match root {
+        RecvRoot::SelfField(field) => self_hash.contains(field.as_str()),
+        RecvRoot::Local(name) => locals.contains(name.as_str()),
+        RecvRoot::CollectedHash => true,
+        RecvRoot::Unknown => false,
+    };
+
+    let mut out: Vec<NondetSite> = Vec::new();
+    let mut iter_lines: BTreeSet<usize> = BTreeSet::new();
+    let push = |out: &mut Vec<NondetSite>, atom: &'static str, line: usize, what: String| {
+        out.push(NondetSite { atom, file: f.file.clone(), line, what });
+    };
+    let resolves = |key: CallKey| !symbols.resolve_all(&key, &f.crate_name, false).is_empty();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let line = toks[i].line;
+        match &toks[i].tok {
+            // `for PAT in EXPR {` — a hash name in the header is hasher-order
+            // iteration even without an explicit `.iter()`.
+            Tok::Ident(kw) if kw == "for" => {
+                let mut j = i + 1;
+                // Skip the pattern to the `in` (patterns may nest tuples).
+                while let Some(t) = toks.get(j) {
+                    if t.tok.is_ident("in") {
+                        break;
+                    }
+                    if t.tok.is_punct('(') || t.tok.is_punct('[') {
+                        j = skip_group(toks, j);
+                        continue;
+                    }
+                    if t.tok.is_punct('{') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if !toks.get(j).is_some_and(|t| t.tok.is_ident("in")) {
+                    i += 1;
+                    continue;
+                }
+                // Scan the header expression up to the body `{` at depth 0.
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                while let Some(t) = toks.get(k) {
+                    match &t.tok {
+                        Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct('{') if depth <= 0 => break,
+                        Tok::Ident(base)
+                            if base == "self"
+                                && toks.get(k + 1).is_some_and(|t| t.tok.is_punct('.')) =>
+                        {
+                            if let Some(Tok::Ident(field)) = toks.get(k + 2).map(|t| &t.tok) {
+                                let called = toks.get(k + 3).is_some_and(|t| t.tok.is_punct('('));
+                                if self_hash.contains(field.as_str())
+                                    && !called
+                                    && iter_lines.insert(toks[k].line)
+                                {
+                                    push(
+                                        &mut out,
+                                        "map-iter",
+                                        toks[k].line,
+                                        format!("for over self.{field}"),
+                                    );
+                                }
+                                k += 3;
+                                continue;
+                            }
+                        }
+                        Tok::Ident(name)
+                            if locals.contains(name.as_str())
+                                && !toks.get(k + 1).is_some_and(|t| t.tok.is_punct('('))
+                                && !k.checked_sub(1).is_some_and(|p| toks[p].tok.is_punct('.'))
+                                && iter_lines.insert(toks[k].line) =>
+                        {
+                            push(&mut out, "map-iter", toks[k].line, format!("for over {name}"));
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = j + 1;
+            }
+            // Method calls: `.name(..)`.
+            Tok::Punct('.')
+                if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+                    && toks.get(i + 2).is_some_and(|t| t.tok.is_punct('(')) =>
+            {
+                let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+                    unreachable!("matched above");
+                };
+                let line = toks[i + 1].line;
+                if ITER_METHODS.contains(&name.as_str()) {
+                    let root = receiver_root(toks, i);
+                    if is_hash_recv(&root) && iter_lines.insert(line) {
+                        push(&mut out, "map-iter", line, format!(".{name}() on hash collection"));
+                    }
+                } else {
+                    match name.as_str() {
+                        "elapsed" => push(&mut out, "wallclock", line, ".elapsed()".into()),
+                        "from_entropy" => {
+                            push(&mut out, "unseeded-rng", line, ".from_entropy()".into());
+                        }
+                        "as_ptr" => push(&mut out, "ptr-order", line, ".as_ptr()".into()),
+                        // Workspace methods are charged transitively.
+                        "spawn" if !resolves(CallKey::Method(name.clone())) => {
+                            push(&mut out, "thread", line, ".spawn()".into());
+                        }
+                        _ => {}
+                    }
+                }
+                i += 2;
+            }
+            // Qualified calls and constructions: `Type::name(..)`.
+            Tok::Ident(ty)
+                if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::PathSep))
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(_))) =>
+            {
+                // Mid-path (`std::thread::spawn`): slide to the final two
+                // segments, which carry the meaning.
+                if matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::PathSep))
+                    && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Ident(_)))
+                {
+                    i += 2;
+                    continue;
+                }
+                let Some(Tok::Ident(name)) = toks.get(i + 2).map(|t| &t.tok) else {
+                    unreachable!("matched above");
+                };
+                let line = toks[i + 2].line;
+                if !resolves(CallKey::Qualified(ty.clone(), name.clone())) {
+                    match (ty.as_str(), name.as_str()) {
+                        ("RandomState" | "DefaultHasher", "new" | "default") => {
+                            push(&mut out, "hash-state", line, format!("{ty}::{name}()"));
+                        }
+                        ("Instant" | "SystemTime", "now") => {
+                            push(&mut out, "wallclock", line, format!("{ty}::now()"));
+                        }
+                        ("thread", "spawn" | "current") => {
+                            push(&mut out, "thread", line, format!("thread::{name}()"));
+                        }
+                        ("StdRng" | "SmallRng", "from_entropy") | ("rand", "random") => {
+                            push(&mut out, "unseeded-rng", line, format!("{ty}::{name}()"));
+                        }
+                        ("ptr", "hash") | ("Arc" | "Rc", "as_ptr") => {
+                            push(&mut out, "ptr-order", line, format!("{ty}::{name}()"));
+                        }
+                        _ => {}
+                    }
+                }
+                i += 3;
+            }
+            // Bare constructions / calls.
+            Tok::Ident(name) if name == "thread_rng" || name == "OsRng" => {
+                if name == "OsRng" || toks.get(i + 1).is_some_and(|t| t.tok.is_punct('(')) {
+                    push(&mut out, "unseeded-rng", line, name.clone());
+                }
+                i += 1;
+            }
+            Tok::Ident(name) if name == "BuildHasherDefault" => {
+                push(&mut out, "hash-state", line, "BuildHasherDefault".into());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Runs the analysis: extract, scan, propagate, check against the contract
+/// and baseline.
+pub fn analyze(
+    sources: &[SourceInput<'_>],
+    config: &[DetEntry],
+    baselined: &BTreeMap<String, u64>,
+) -> DetAnalysis {
+    let ex: Extraction = crate::lockgraph::extract(sources);
+    let symbols = SymbolTable::new(&ex.facts);
+    let mut det = DetAnalysis { fns: ex.fns, ..DetAnalysis::default() };
+
+    // Per-function nondeterminism sites, exemptions applied. An exemption
+    // covers a site on its own line or up to 3 lines below when its atom
+    // filter — if any — names the site's atom.
+    let mut exempt_by_file: HashMap<&str, Vec<(usize, &[String])>> = HashMap::new();
+    for e in &ex.det_exempts {
+        exempt_by_file.entry(e.file.as_str()).or_default().push((e.line, &e.atoms));
+    }
+    let covers = |atoms: &[String], atom: &str| atoms.is_empty() || atoms.iter().any(|a| a == atom);
+    let mut used_exempts: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut sources_per_fn: Vec<Vec<NondetSite>> = Vec::with_capacity(ex.facts.len());
+    for f in &ex.facts {
+        let mut sites = scan_nondet(f, &symbols, &ex.hash_fields);
+        sites.retain(|s| {
+            let mut keep = true;
+            if let Some(comments) = exempt_by_file.get(s.file.as_str()) {
+                for &(c, atoms) in comments.iter() {
+                    if c <= s.line && s.line <= c + 3 && covers(atoms, s.atom) {
+                        used_exempts.insert((s.file.clone(), c));
+                        keep = false;
+                    }
+                }
+            }
+            keep
+        });
+        sources_per_fn.push(sites);
+    }
+
+    // Contract validation.
+    let by_key: HashMap<&str, usize> =
+        ex.facts.iter().enumerate().map(|(i, f)| (f.key.as_str(), i)).collect();
+    for e in config {
+        for atom in &e.allow {
+            if !known_atom(atom) {
+                det.findings.push(Finding {
+                    check: "unknown-atom",
+                    file: "determinism.toml".to_owned(),
+                    line: e.line,
+                    message: format!(
+                        "entry {}: {atom:?} is not a nondeterminism atom (map-iter, \
+                         hash-state, wallclock, thread, unseeded-rng, ptr-order)",
+                        e.key
+                    ),
+                });
+            }
+        }
+        if !by_key.contains_key(e.key.as_str()) {
+            det.findings.push(Finding {
+                check: "stale-entry",
+                file: "determinism.toml".to_owned(),
+                line: e.line,
+                message: format!(
+                    "entry {} does not resolve to any workspace function — \
+                     remove it or fix the key",
+                    e.key
+                ),
+            });
+        }
+    }
+
+    // Per-entry reachability (BFS with parent pointers for call chains).
+    for e in config {
+        let Some(&entry_idx) = by_key.get(e.key.as_str()) else {
+            continue;
+        };
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        visited.insert(entry_idx);
+        let mut queue = vec![entry_idx];
+        while let Some(cur) = queue.pop() {
+            for c in &ex.facts[cur].calls {
+                for callee in symbols.resolve_all(&c.key, &ex.facts[cur].crate_name, c.is_ref) {
+                    if visited.insert(callee) {
+                        parent.insert(callee, cur);
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        let chain_to = |idx: usize| -> String {
+            let mut keys = vec![ex.facts[idx].key.clone()];
+            let mut cur = idx;
+            while let Some(&p) = parent.get(&cur) {
+                keys.push(ex.facts[p].key.clone());
+                cur = p;
+            }
+            keys.reverse();
+            keys.join(" → ")
+        };
+
+        // Union the reachable nondeterminism sites per atom.
+        let mut by_atom: BTreeMap<&'static str, Vec<(usize, &NondetSite)>> = BTreeMap::new();
+        for &idx in &visited {
+            for site in &sources_per_fn[idx] {
+                by_atom.entry(site.atom).or_default().push((idx, site));
+            }
+        }
+        for sites in by_atom.values_mut() {
+            sites.sort_by(|a, b| (&a.1.file, a.1.line).cmp(&(&b.1.file, b.1.line)));
+        }
+
+        let allow: BTreeSet<&str> = e.allow.iter().map(String::as_str).collect();
+        for (atom, sites) in &by_atom {
+            if allow.contains(atom) {
+                continue;
+            }
+            let count = sites.len() as u64;
+            let key = format!("determinism:{}:{atom}", e.key);
+            let allowed = baselined.get(&key).copied().unwrap_or(0);
+            det.violation_counts.insert(key, count);
+            if count > allowed {
+                let (idx, first) = sites[0];
+                det.findings.push(Finding {
+                    check: "determinism-violation",
+                    file: first.file.clone(),
+                    line: first.line,
+                    message: format!(
+                        "{}: nondeterminism `{atom}` outside allowance [{}]: {count} site(s) \
+                         ({} baselined), e.g. {} at {}:{} via {}",
+                        e.key,
+                        e.allow.join(", "),
+                        allowed,
+                        first.what,
+                        first.file,
+                        first.line,
+                        chain_to(idx),
+                    ),
+                });
+            }
+        }
+
+        det.entries.push(DetEntryReport {
+            key: e.key.clone(),
+            allow: e.allow.clone(),
+            reachable: visited.len(),
+            sources: by_atom.iter().map(|(a, s)| ((*a).to_owned(), s.len())).collect(),
+        });
+    }
+
+    // Stale exemptions: a determinism-exempt comment that shields nothing.
+    // The scan covers every workspace function, so an exemption that
+    // suppressed no site anywhere (reachable or not) is dead weight.
+    for e in &ex.det_exempts {
+        if !used_exempts.contains(&(e.file.clone(), e.line)) {
+            det.findings.push(Finding {
+                check: "stale-exempt",
+                file: e.file.clone(),
+                line: e.line,
+                message: "determinism-exempt comment covers no matching nondeterminism site \
+                          within 3 lines — remove it or move it to the site"
+                    .to_owned(),
+            });
+        }
+    }
+
+    // Baseline ratchet, downward direction: slack fails until regenerated.
+    for (key, &allowed) in baselined {
+        let current = det.violation_counts.get(key).copied().unwrap_or(0);
+        if current < allowed {
+            det.findings.push(Finding {
+                check: "stale-determinism-baseline",
+                file: "crates/xtask/determinism_baseline.toml".to_owned(),
+                line: 0,
+                message: format!(
+                    "{key}: {allowed} baselined, {current} remain — run \
+                     `cargo xtask analyze --determinism --update-determinism-baseline`"
+                ),
+            });
+        }
+    }
+
+    det.findings.sort_by(|a, b| (a.check, &a.file, a.line).cmp(&(b.check, &b.file, b.line)));
+    det
+}
+
+/// Renders a regenerated `determinism.toml` from the observed source sets
+/// (redirect into the file to accept the current reality as the contract).
+pub fn emit_determinism(det: &DetAnalysis) -> String {
+    let mut out = String::from(
+        "# Determinism contract for `cargo xtask analyze --determinism`.\n\
+         # Each entry names a replay-deterministic function and the nondeterminism\n\
+         # atoms its whole reachable call graph may use (map-iter, hash-state,\n\
+         # wallclock, thread, unseeded-rng, ptr-order). Anything beyond the list\n\
+         # fails CI. Regenerate with `cargo xtask analyze --determinism\n\
+         # --emit-determinism` after a deliberate change.\n\n\
+         [determinism]\n",
+    );
+    for e in &det.entries {
+        let allow: Vec<String> = e.sources.keys().map(|a| format!("\"{a}\"")).collect();
+        out.push_str(&format!("\"{}\" = [{}]\n", e.key, allow.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(
+        srcs: &[(&str, &str, &str)],
+        config: &[(&str, &[&str])],
+        baselined: &[(&str, u64)],
+    ) -> DetAnalysis {
+        let inputs: Vec<SourceInput<'_>> =
+            srcs.iter().map(|(c, p, t)| SourceInput { crate_name: c, path: p, text: t }).collect();
+        let config: Vec<DetEntry> = config
+            .iter()
+            .enumerate()
+            .map(|(i, (k, allow))| DetEntry {
+                key: (*k).to_owned(),
+                allow: allow.iter().map(|c| (*c).to_owned()).collect(),
+                line: i + 1,
+            })
+            .collect();
+        let baselined = baselined.iter().map(|(s, r)| ((*s).to_owned(), *r)).collect();
+        analyze(&inputs, &config, &baselined)
+    }
+
+    fn findings<'a>(d: &'a DetAnalysis, check: &str) -> Vec<&'a Finding> {
+        d.findings.iter().filter(|f| f.check == check).collect()
+    }
+
+    /// Two crates: a sim step whose helper (in another crate) iterates a
+    /// HashMap field — the canonical seeded violation.
+    fn pipeline() -> Vec<(&'static str, &'static str, &'static str)> {
+        vec![
+            (
+                "sim",
+                "crates/sim/src/lib.rs",
+                "
+                pub struct Simulation { t: u64 }
+                impl Simulation {
+                    pub fn step(&mut self, reg: &Registry) -> u64 {
+                        sum_states(reg)
+                    }
+                }
+                ",
+            ),
+            (
+                "core",
+                "crates/core/src/lib.rs",
+                "
+                pub struct Registry { vehicles: HashMap<u64, u64> }
+                pub fn sum_states(reg: &Registry) -> u64 {
+                    reg.states()
+                }
+                impl Registry {
+                    pub fn states(&self) -> u64 {
+                        let mut total = 0;
+                        for (_, v) in self.vehicles.iter() {
+                            total += v;
+                        }
+                        total
+                    }
+                }
+                ",
+            ),
+        ]
+    }
+
+    #[test]
+    fn seeded_map_iter_reachable_from_step_is_caught_with_chain() {
+        let d = det(&pipeline(), &[("sim::Simulation::step", &[])], &[]);
+        let v = findings(&d, "determinism-violation");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert!(v[0].message.contains("`map-iter`"), "{}", v[0].message);
+        assert!(
+            v[0].message
+                .contains("sim::Simulation::step → core::sum_states → core::Registry::states"),
+            "chain missing: {}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn violation_chain_lands_in_sarif() {
+        let d = det(&pipeline(), &[("sim::Simulation::step", &[])], &[]);
+        let sarif = crate::report::det_sarif(&d);
+        assert!(sarif.contains("\"determinism-violation\""), "{sarif}");
+        assert!(sarif.contains("core::Registry::states"), "{sarif}");
+        assert!(sarif.contains("crates/core/src/lib.rs"), "{sarif}");
+    }
+
+    #[test]
+    fn allowance_covers_the_source() {
+        let d = det(&pipeline(), &[("sim::Simulation::step", &["map-iter"])], &[]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.entries[0].sources.get("map-iter"), Some(&1));
+        assert!(d.violation_counts.is_empty(), "allowed atoms are not violations");
+    }
+
+    #[test]
+    fn btreemap_swap_clears_the_finding() {
+        let srcs = [(
+            "core",
+            "core/src/lib.rs",
+            "
+            pub struct Registry { vehicles: BTreeMap<u64, u64> }
+            impl Registry {
+                pub fn states(&self) -> u64 {
+                    self.vehicles.values().sum()
+                }
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("core::Registry::states", &[])], &[]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_without_iter_call() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct S { m: HashMap<u32, u32> }
+            impl S {
+                pub fn f(&self) -> u32 {
+                    let mut t = 0;
+                    for (_, v) in &self.m {
+                        t += v;
+                    }
+                    t
+                }
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::S::f", &[])], &[]);
+        let v = findings(&d, "determinism-violation");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert!(v[0].message.contains("for over self.m"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn local_bindings_and_aliases_are_hash_typed() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct S { m: RwLock<HashMap<u32, u32>> }
+            impl S {
+                pub fn constructed() -> u32 {
+                    let mut counts: HashMap<u32, u32> = HashMap::new();
+                    counts.insert(1, 2);
+                    counts.values().sum()
+                }
+                pub fn aliased(&self) -> u32 {
+                    let g = self.m.read();
+                    g.keys().sum()
+                }
+                pub fn collected(xs: &[u32]) -> u32 {
+                    let set: HashSet<u32> = xs.iter().copied().collect();
+                    set.iter().sum()
+                }
+            }
+            ",
+        )];
+        let d = det(
+            &srcs,
+            &[("fx::S::constructed", &[]), ("fx::S::aliased", &[]), ("fx::S::collected", &[])],
+            &[],
+        );
+        let v = findings(&d, "determinism-violation");
+        assert_eq!(v.len(), 3, "{:?}", d.findings);
+    }
+
+    #[test]
+    fn chained_collect_turbofish_is_hash_typed() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub fn f(xs: &[(u32, u32)]) -> u32 {
+                xs.iter().copied().collect::<HashMap<u32, u32>>().into_iter().count() as u32
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::f", &[])], &[]);
+        let v = findings(&d, "determinism-violation");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert!(v[0].message.contains("into_iter"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn vec_iteration_is_not_charged() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct S { v: Vec<u32>, b: BTreeMap<u32, u32> }
+            impl S {
+                pub fn f(&self) -> u32 {
+                    let mut t = 0;
+                    for x in self.v.iter() {
+                        t += x;
+                    }
+                    for (_, x) in &self.b {
+                        t += x;
+                    }
+                    t + self.b.values().sum::<u32>()
+                }
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::S::f", &[])], &[]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn exempt_comment_suppresses_the_site() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct S { m: HashMap<u32, u32> }
+            impl S {
+                pub fn total(&self) -> u32 {
+                    // determinism-exempt(map-iter): pure sum — commutative fold
+                    self.m.values().sum()
+                }
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::S::total", &[])], &[]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn stale_exempt_is_a_finding() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub fn f() -> u32 {
+                // determinism-exempt: nothing here anymore
+                1
+            }
+            ",
+        )];
+        let d = det(&srcs, &[], &[]);
+        let v = findings(&d, "stale-exempt");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert_eq!(v[0].file, "fx/src/lib.rs");
+    }
+
+    #[test]
+    fn atom_targeted_exempt_leaves_other_atoms_visible() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct S { m: HashMap<u32, u32> }
+            impl S {
+                pub fn f(&self) -> u64 {
+                    // determinism-exempt(map-iter): commutative max reduction
+                    let t = self.m.values().max();
+                    Instant::now().elapsed().as_nanos() as u64
+                }
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::S::f", &[])], &[]);
+        let atoms: Vec<&str> = findings(&d, "determinism-violation")
+            .iter()
+            .filter_map(|f| f.message.split('`').nth(1))
+            .collect();
+        assert_eq!(atoms, vec!["wallclock"], "{:?}", d.findings);
+        assert!(findings(&d, "stale-exempt").is_empty(), "the map-iter exemption was used");
+    }
+
+    #[test]
+    fn wallclock_thread_rng_and_hashstate_atoms_are_charged() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub fn f() -> u64 {
+                let t = Instant::now();
+                let h = thread::spawn(|| 1u64);
+                let mut d = DefaultHasher::new();
+                let r = thread_rng();
+                t.elapsed().as_nanos() as u64
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::f", &[])], &[]);
+        let atoms: BTreeSet<&str> = findings(&d, "determinism-violation")
+            .iter()
+            .filter_map(|f| f.message.split('`').nth(1))
+            .collect();
+        for atom in ["wallclock", "thread", "hash-state", "unseeded-rng"] {
+            assert!(atoms.contains(atom), "missing {atom}: {:?}", d.findings);
+        }
+        assert_eq!(d.entries[0].sources.get("wallclock"), Some(&2), "now + elapsed");
+    }
+
+    #[test]
+    fn ptr_order_is_charged() {
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub fn f(a: &Arc<u32>) -> usize {
+                a.as_ptr() as usize
+            }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::f", &[])], &[]);
+        let v = findings(&d, "determinism-violation");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert!(v[0].message.contains("`ptr-order`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn stale_entry_and_unknown_atom_are_findings() {
+        let srcs = [("fx", "fx/src/lib.rs", "pub fn f() {}")];
+        let d = det(&srcs, &[("fx::gone", &["map-iter"]), ("fx::f", &["chaos"])], &[]);
+        assert_eq!(findings(&d, "stale-entry").len(), 1, "{:?}", d.findings);
+        assert_eq!(findings(&d, "unknown-atom").len(), 1, "{:?}", d.findings);
+    }
+
+    #[test]
+    fn baseline_tolerates_exact_count_and_flags_slack() {
+        let key = "determinism:sim::Simulation::step:map-iter";
+        let d = det(&pipeline(), &[("sim::Simulation::step", &[])], &[(key, 1)]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+        assert_eq!(d.violation_counts.get(key), Some(&1));
+
+        let d = det(&pipeline(), &[("sim::Simulation::step", &[])], &[(key, 2)]);
+        let v = findings(&d, "stale-determinism-baseline");
+        assert_eq!(v.len(), 1, "{:?}", d.findings);
+        assert!(v[0].message.contains("--update-determinism-baseline"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn workspace_spawn_method_charges_transitively_not_intrinsically() {
+        // `pool.spawn(..)` resolves to the workspace `Pool::spawn`, so the
+        // call site itself is not a thread source — only the real one is.
+        let srcs = [(
+            "fx",
+            "fx/src/lib.rs",
+            "
+            pub struct Pool { n: u32 }
+            impl Pool {
+                pub fn spawn(&self, job: u32) -> u32 {
+                    job + self.n
+                }
+            }
+            pub fn f(pool: &Pool) -> u32 { pool.spawn(1) }
+            ",
+        )];
+        let d = det(&srcs, &[("fx::f", &[])], &[]);
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn parse_config_reads_quoted_keys_and_atoms() {
+        let text = "
+            # contract
+            [determinism]
+            \"a::B::c\" = [\"map-iter\", \"wallclock\"]
+            \"a::free\" = []
+        ";
+        let entries = parse_config(text, "determinism.toml").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, "a::B::c");
+        assert_eq!(entries[0].allow, vec!["map-iter".to_owned(), "wallclock".to_owned()]);
+        assert!(entries[1].allow.is_empty());
+    }
+
+    #[test]
+    fn parse_config_rejects_malformed_lines() {
+        assert!(parse_config("\"a::b\" = oops", "t").is_err());
+        assert!(parse_config("just words", "t").is_err());
+    }
+
+    #[test]
+    fn emit_determinism_renders_observed_contract() {
+        let d = det(&pipeline(), &[("sim::Simulation::step", &[])], &[]);
+        let emitted = emit_determinism(&d);
+        assert!(emitted.contains("\"sim::Simulation::step\" = [\"map-iter\"]"), "{emitted}");
+    }
+}

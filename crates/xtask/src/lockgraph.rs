@@ -178,6 +178,9 @@ pub(crate) struct FnFacts {
     pub(crate) calls: Vec<Call>,
     /// `rank_scope!("...")` annotations seen in this function.
     pub(crate) annotations: Vec<(String, usize)>,
+    /// Whether the function takes a `self` receiver — method calls only
+    /// resolve to receiver-taking functions.
+    pub(crate) has_self: bool,
     /// The body token stream (for effect scans layered on this extraction).
     pub(crate) body: Vec<Token>,
 }
@@ -979,7 +982,8 @@ pub struct SourceInput<'a> {
 }
 
 /// Everything one pass over the sources yields, shared by the lock-graph
-/// checks and the hot-path purity analysis (`crate::hotpaths`).
+/// checks, the hot-path purity analysis (`crate::hotpaths`) and the
+/// determinism analysis (`crate::determinism`).
 #[derive(Debug, Default)]
 pub(crate) struct Extraction {
     pub(crate) facts: Vec<FnFacts>,
@@ -989,6 +993,12 @@ pub(crate) struct Extraction {
     pub(crate) site_decls: BTreeMap<String, (String, usize)>,
     /// Non-test `// hotpath-exempt:` comment sites.
     pub(crate) exempts: Vec<Exempt>,
+    /// Non-test `// determinism-exempt:` comment sites.
+    pub(crate) det_exempts: Vec<Exempt>,
+    /// Struct name → fields whose declared type mentions `HashMap`/`HashSet`
+    /// anywhere (`RwLock<HashMap<..>>` counts), for hash-receiver typing in
+    /// the determinism scan.
+    pub(crate) hash_fields: HashMap<String, BTreeSet<String>>,
     /// Non-test functions walked.
     pub(crate) fns: usize,
 }
@@ -1009,6 +1019,11 @@ pub(crate) struct Exempt {
 pub(crate) struct SymbolTable {
     by_qualified: HashMap<(String, String), Vec<usize>>,
     by_name: HashMap<String, Vec<usize>>,
+    /// Like `by_name`, but only functions with a `self` receiver — the
+    /// candidate set for `recv.name()` method calls. An associated function
+    /// (`RealtimeScheduler::start`) never unions with a same-named method
+    /// (`Road::start`): it cannot be the target of a dot call.
+    method_by_name: HashMap<String, Vec<usize>>,
     free_by_crate: HashMap<(String, String), Vec<usize>>,
     free_by_name: HashMap<String, Vec<usize>>,
 }
@@ -1018,6 +1033,7 @@ impl SymbolTable {
         let mut t = SymbolTable {
             by_qualified: HashMap::new(),
             by_name: HashMap::new(),
+            method_by_name: HashMap::new(),
             free_by_crate: HashMap::new(),
             free_by_name: HashMap::new(),
         };
@@ -1026,6 +1042,9 @@ impl SymbolTable {
             let name = parts.next().unwrap_or_default().to_owned();
             let qualifier = parts.next().unwrap_or_default();
             t.by_name.entry(name.clone()).or_default().push(idx);
+            if f.has_self {
+                t.method_by_name.entry(name.clone()).or_default().push(idx);
+            }
             if let Some((_, ty)) = qualifier.rsplit_once("::") {
                 t.by_qualified.entry((ty.to_owned(), name)).or_default().push(idx);
             } else {
@@ -1047,7 +1066,7 @@ impl SymbolTable {
             CallKey::Qualified(ty, name) => {
                 unique(self.by_qualified.get(&(ty.clone(), name.clone())))
             }
-            CallKey::Method(name) => unique(self.by_name.get(name)),
+            CallKey::Method(name) => unique(self.method_by_name.get(name)),
             CallKey::Bare(name) => unique(
                 self.free_by_crate
                     .get(&(crate_name.to_owned(), name.clone()))
@@ -1067,7 +1086,7 @@ impl SymbolTable {
         match key {
             CallKey::Qualified(ty, name) => all(self.by_qualified.get(&(ty.clone(), name.clone()))),
             CallKey::Method(name) if STD_METHODS.contains(&name.as_str()) => Vec::new(),
-            CallKey::Method(name) => all(self.by_name.get(name)),
+            CallKey::Method(name) => all(self.method_by_name.get(name)),
             CallKey::Bare(name) => {
                 // Same-crate free functions are precise; the cross-crate
                 // fallback covers `use other::f; f()` and gets the same
@@ -1287,6 +1306,21 @@ pub(crate) const STD_METHODS: &[&str] = &[
     "subsec_nanos",
 ];
 
+/// Parses an exempt-comment tail: accepts `<prefix>: why` (all atoms) and
+/// `<prefix>(a, b): why` (listed atoms); anything else (e.g. a prose
+/// mention of the marker) is not an exemption.
+fn exempt_atoms(comment: &str, prefix: &str) -> Option<Vec<String>> {
+    let rest = comment.strip_prefix(prefix)?;
+    if rest.starts_with(':') {
+        return Some(Vec::new());
+    }
+    let (inner, after) = rest.strip_prefix('(').and_then(|r| r.split_once(')'))?;
+    if !after.trim_start().starts_with(':') {
+        return None;
+    }
+    Some(inner.split(',').map(|a| a.trim().to_owned()).filter(|a| !a.is_empty()).collect())
+}
+
 /// Parses the sources and walks every non-test function, producing the raw
 /// facts later passes interpret.
 pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
@@ -1297,29 +1331,14 @@ pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
             let lexed = crate::lexer::lex(s.text);
             for (idx, line) in lexed.lines.iter().enumerate() {
                 let c = line.comment.trim_start();
-                if line.in_test || !c.starts_with("hotpath-exempt") {
+                if line.in_test {
                     continue;
                 }
-                let rest = &c["hotpath-exempt".len()..];
-                // Accept `hotpath-exempt: why` and `hotpath-exempt(a, b): why`;
-                // anything else (e.g. a prose mention) is not an exemption.
-                let atoms = if rest.starts_with(':') {
-                    Vec::new()
-                } else if let Some((inner, after)) =
-                    rest.strip_prefix('(').and_then(|r| r.split_once(')'))
-                {
-                    if !after.trim_start().starts_with(':') {
-                        continue;
-                    }
-                    inner
-                        .split(',')
-                        .map(|a| a.trim().to_owned())
-                        .filter(|a| !a.is_empty())
-                        .collect()
-                } else {
-                    continue;
-                };
-                ex.exempts.push(Exempt { file: s.path.to_owned(), line: idx + 1, atoms });
+                if let Some(atoms) = exempt_atoms(c, "hotpath-exempt") {
+                    ex.exempts.push(Exempt { file: s.path.to_owned(), line: idx + 1, atoms });
+                } else if let Some(atoms) = exempt_atoms(c, "determinism-exempt") {
+                    ex.det_exempts.push(Exempt { file: s.path.to_owned(), line: idx + 1, atoms });
+                }
             }
             (s, parser::parse(&tokens::tokenize(&lexed)))
         })
@@ -1342,6 +1361,9 @@ pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
                         .entry(st.name.clone())
                         .or_default()
                         .insert(f.name.clone(), head);
+                }
+                if f.ty.iter().any(|t| t.is_ident("HashMap") || t.is_ident("HashSet")) {
+                    ex.hash_fields.entry(st.name.clone()).or_default().insert(f.name.clone());
                 }
                 if let Some(shape) = classify(&f.ty) {
                     let site = format!("{}::{}::{}", src.crate_name, st.name, f.name);
@@ -1377,6 +1399,7 @@ pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
                 direct: Vec::new(),
                 calls: Vec::new(),
                 annotations: Vec::new(),
+                has_self: f.has_self,
                 body: f.body.clone(),
             };
             let self_fields = f
@@ -1419,7 +1442,7 @@ pub(crate) fn extract(sources: &[SourceInput<'_>]) -> Extraction {
 
 /// Runs the lock-graph checks over extracted facts.
 pub fn analyze(sources: &[SourceInput<'_>], ranks: &BTreeMap<String, u64>) -> Analysis {
-    let Extraction { facts: all_facts, mut edges, site_decls, exempts: _, fns } = extract(sources);
+    let Extraction { facts: all_facts, mut edges, site_decls, fns, .. } = extract(sources);
     let symbols = SymbolTable::new(&all_facts);
     let mut analysis = Analysis { fns, ..Analysis::default() };
 
@@ -2242,6 +2265,93 @@ mod tests {
         let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
         assert_eq!(a.calls_total, 1);
         assert_eq!(a.calls_resolved, 1, "field type Sched makes the call unambiguous");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn calls_through_closure_captures_are_charged_to_the_enclosing_fn() {
+        // A method call on a captured receiver sits inside a closure body,
+        // which the walker scans as part of the enclosing function — the
+        // edge must not vanish behind the `move ||`. Invoking a closure
+        // *parameter* (`f()`) stays unresolved: the workspace has no
+        // function of that name, which is the documented envelope for
+        // higher-order indirection.
+        let src = "
+            pub struct Worker { n: u32 }
+            impl Worker { pub fn tick(&self) -> u32 { self.n } }
+            pub fn drive(w: Worker) -> u32 {
+                let f = move || w.tick();
+                f()
+            }
+            pub fn spawn_and_tick(w: Worker) {
+                std::thread::spawn(move || { w.tick(); });
+            }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        // drive: `w.tick()` + `f()`; spawn_and_tick: `thread::spawn` +
+        // `w.tick()`. Both `tick` edges resolve to the lone method.
+        assert_eq!(a.calls_total, 4);
+        assert_eq!(a.calls_resolved, 2, "captured-receiver calls resolve");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn multi_link_method_chains_resolve_every_link() {
+        // `self.a.b().c()`: the first link binds by field type, the second
+        // by workspace-unique method name (the receiver is a call result,
+        // so no declared type is available for it).
+        let src = "
+            pub struct A;
+            pub struct B;
+            impl A { pub fn b(&self) -> B { B } }
+            impl B { pub fn c(&self) -> u32 { 1 } }
+            pub struct Ctx { a: A }
+            impl Ctx { pub fn go(&self) -> u32 { self.a.b().c() } }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 2);
+        assert_eq!(a.calls_resolved, 2, "both chain links bind");
+        assert_eq!(a.calls_ambiguous, 0);
+    }
+
+    #[test]
+    fn ambiguous_chain_tail_unions_instead_of_resolving() {
+        // Same chain, but two `c` methods exist: the tail link cannot pick
+        // one, so it becomes a may-edge to each implementor.
+        let src = "
+            pub struct A;
+            pub struct B;
+            pub struct D;
+            impl A { pub fn b(&self) -> B { B } }
+            impl B { pub fn c(&self) -> u32 { 1 } }
+            impl D { pub fn c(&self) -> u32 { 2 } }
+            pub struct Ctx { a: A }
+            impl Ctx { pub fn go(&self) -> u32 { self.a.b().c() } }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 2);
+        assert_eq!(a.calls_resolved, 1, "the `b` link still binds by field type");
+        assert_eq!(a.calls_ambiguous, 1, "the `c` tail is a may-edge");
+    }
+
+    #[test]
+    fn associated_fn_never_unions_with_a_same_named_method() {
+        // `r.start()` is a dot call: only the receiver-taking `Road::start`
+        // is a candidate. The associated constructor `Sched::start` can
+        // only be reached by qualified path — without the receiver filter
+        // the dot call would smear into the scheduler and drag its effects
+        // into every caller's reachable set.
+        let src = "
+            pub struct Road;
+            impl Road { pub fn start(&self) -> u32 { 0 } }
+            pub struct Sched;
+            impl Sched { pub fn start(runner: u32) -> Sched { let _ = runner; Sched } }
+            pub fn go(r: &Road) -> u32 { r.start() }
+            pub fn boot() -> Sched { Sched::start(3) }
+        ";
+        let a = run(&[("fx", "fx/src/lib.rs", src)], &BTreeMap::new());
+        assert_eq!(a.calls_total, 2);
+        assert_eq!(a.calls_resolved, 2, "dot call binds the method, path call the assoc fn");
         assert_eq!(a.calls_ambiguous, 0);
     }
 

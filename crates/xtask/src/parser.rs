@@ -37,6 +37,11 @@ pub struct Func {
     pub name: String,
     /// Whether the function sits in a `#[cfg(test)]`/`#[test]` region.
     pub in_test: bool,
+    /// Whether the first parameter is a `self` receiver (`self`, `&self`,
+    /// `&'a mut self`, `mut self`, `self: Arc<Self>`). Method-call
+    /// resolution (`recv.name()`) only unions functions with a receiver;
+    /// associated functions can only be reached by qualified path.
+    pub has_self: bool,
     /// Body tokens, exclusive of the outer braces.
     pub body: Vec<Token>,
 }
@@ -379,6 +384,16 @@ impl Parser<'_> {
         self.bump(); // fn
         let name = self.eat_ident()?;
         self.skip_generics();
+        let mut has_self = false;
+        if self.peek().is_some_and(|t| t.is_punct('(')) {
+            let mut j = self.pos + 1;
+            while self.toks.get(j).is_some_and(|t| {
+                t.tok.is_punct('&') || matches!(t.tok, Tok::Lifetime) || t.tok.is_ident("mut")
+            }) {
+                j += 1;
+            }
+            has_self = self.toks.get(j).is_some_and(|t| t.tok.is_ident("self"));
+        }
         self.skip_group('(', ')');
         // Return type / where clause: scan to the body `{` or a `;`.
         loop {
@@ -410,7 +425,7 @@ impl Parser<'_> {
         }
         let body = self.toks[start..self.pos].to_vec();
         self.eat_punct('}');
-        Some(Func { self_ty: self_ty.map(str::to_owned), name, in_test, body })
+        Some(Func { self_ty: self_ty.map(str::to_owned), name, in_test, has_self, body })
     }
 }
 
@@ -441,6 +456,33 @@ mod tests {
         let topics = &s.fields[1];
         assert!(topics.ty.iter().any(|t| t.is_ident("RwLock")));
         assert!(topics.ty.iter().any(|t| t.is_ident("SharedTopic")));
+    }
+
+    #[test]
+    fn receiver_flag_distinguishes_methods_from_associated_fns() {
+        let p = parse_src(
+            "impl Sched {\n\
+             pub fn start(runner: Runner) -> Sched { Sched }\n\
+             pub fn stop(&self) {}\n\
+             fn poll(mut self: Pin<&mut Self>) {}\n\
+             fn tick(&'a mut self, n: u32) {}\n\
+             fn by_value(self) {}\n\
+             }\n\
+             fn free(selfish: u32) {}\n",
+        );
+        let flags: Vec<(&str, bool)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.has_self)).collect();
+        assert_eq!(
+            flags,
+            [
+                ("start", false),
+                ("stop", true),
+                ("poll", true),
+                ("tick", true),
+                ("by_value", true),
+                ("free", false),
+            ]
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! is emitted by hand — the workspace intentionally carries no serde — so
 //! the renderers stick to the small, flat subset the consumers need.
 
+use crate::determinism::DetAnalysis;
 use crate::hotpaths::HotAnalysis;
 use crate::lockgraph::{Analysis, Finding};
 use std::fmt::Write as _;
@@ -249,6 +250,90 @@ pub fn hot_json(hot: &HotAnalysis) -> String {
 /// Renders the SARIF 2.1.0 hot-path log for code-scanning upload.
 pub fn hot_sarif(hot: &HotAnalysis) -> String {
     sarif_log("cad3-xtask-hotpaths", &crate::hotpaths::CHECKS, &hot.findings)
+}
+
+/// Renders the human-readable determinism report.
+pub fn det_human(det: &DetAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "determinism contract: {} entr{} over {} functions",
+        det.entries.len(),
+        if det.entries.len() == 1 { "y" } else { "ies" },
+        det.fns
+    );
+    for e in &det.entries {
+        let _ = writeln!(out, "  entry {} [allow: {}]", e.key, e.allow.join(", "));
+        let sources: Vec<String> =
+            e.sources.iter().map(|(atom, n)| format!("{atom}×{n}")).collect();
+        let _ = writeln!(
+            out,
+            "    reaches {} fn(s); sources: {}",
+            e.reachable,
+            if sources.is_empty() {
+                "none (replay-deterministic)".to_owned()
+            } else {
+                sources.join(", ")
+            }
+        );
+    }
+    if det.findings.is_empty() {
+        let _ = writeln!(out, "no findings");
+    } else {
+        let _ = writeln!(out, "{} finding(s):", det.findings.len());
+        for f in &det.findings {
+            if f.file.is_empty() {
+                let _ = writeln!(out, "  [{}] {}", f.check, f.message);
+            } else {
+                let _ = writeln!(out, "  [{}] {}:{}: {}", f.check, f.file, f.line, f.message);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON determinism report.
+pub fn det_json(det: &DetAnalysis) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"functions\": {},", det.fns);
+    out.push_str("  \"entries\": [");
+    for (i, e) in det.entries.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let allow: Vec<String> = e.allow.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        let sources: Vec<String> =
+            e.sources.iter().map(|(a, n)| format!("\"{}\": {n}", esc(a))).collect();
+        let _ = write!(
+            out,
+            "{sep}    {{\"entry\": \"{}\", \"allow\": [{}], \"reachable\": {}, \
+             \"sources\": {{{}}}}}",
+            esc(&e.key),
+            allow.join(", "),
+            e.reachable,
+            sources.join(", ")
+        );
+    }
+    out.push_str(if det.entries.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"findings\": [");
+    for (i, f) in det.findings.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"check\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"}}",
+            esc(f.check),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        );
+    }
+    out.push_str(if det.findings.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the SARIF 2.1.0 determinism log for code-scanning upload.
+pub fn det_sarif(det: &DetAnalysis) -> String {
+    sarif_log("cad3-xtask-determinism", &crate::determinism::CHECKS, &det.findings)
 }
 
 fn sarif_result(f: &Finding) -> String {
