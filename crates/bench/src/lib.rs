@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod console;
 pub mod experiments;
 pub mod json;
 pub mod paper;

@@ -58,7 +58,7 @@ mod vehicle;
 
 pub use alerts::AlertThrottle;
 pub use collaboration::{lineage_context, lineage_of, SummaryTracker, VehicleSummary};
-pub use testbed::{MigrationSpec, RsuReport, RsuSpec, ScenarioSpec};
+pub use testbed::{MigrationSpec, Observer, RsuReport, RsuSpec, ScenarioSpec};
 
 /// Approximate centre of Shenzhen, used as the default reported position.
 pub(crate) const fn shenzhen_center() -> cad3_types::GeoPoint {

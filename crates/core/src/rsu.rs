@@ -56,6 +56,9 @@ pub struct RsuNode {
     in_consumer: Consumer,
     co_consumer: Consumer,
     cost_model: ProcessingCostModel,
+    /// Pre-created `rsu.lag.<name>` gauge: publishing from the batch path
+    /// is a single atomic store (no name formatting, no registry lock).
+    lag_gauge: cad3_obs::Handle<cad3_obs::Gauge>,
     road_stats: crate::OnlineRoadStats,
     records_processed: u64,
     warnings_produced: u64,
@@ -108,6 +111,8 @@ impl RsuNode {
             Consumer::new(Arc::clone(&broker), "collaboration", OffsetReset::Earliest);
         co_consumer.subscribe(&[TOPIC_CO_DATA]).expect("topic just created");
         let shards = (0..executor.workers()).map(|_| Mutex::new(SummaryTracker::new())).collect();
+        let lag_gauge =
+            cad3_obs::registry().gauge(&format!("{}.{name}", cad3_obs::names::RSU_LAG_PREFIX));
         RsuNode {
             id,
             name,
@@ -118,6 +123,7 @@ impl RsuNode {
             in_consumer,
             co_consumer,
             cost_model,
+            lag_gauge,
             road_stats: crate::OnlineRoadStats::new(),
             records_processed: 0,
             warnings_produced: 0,
@@ -168,6 +174,11 @@ impl RsuNode {
     pub fn run_batch(&mut self, now: SimTime) -> Result<BatchResult, CoreError> {
         self.batches += 1;
         let _batch_span = cad3_obs::span!("rsu.micro_batch", self.batches);
+        if cad3_obs::enabled() {
+            // Pre-poll backlog: records that accumulated in IN-DATA since
+            // the previous batch — the health engine's per-RSU lag signal.
+            self.lag_gauge.set(self.in_consumer.lag());
+        }
 
         // 1. Collaboration input.
         let mut summaries_received = 0;
@@ -214,7 +225,7 @@ impl RsuNode {
         let processing = self.cost_model.batch_time(records);
         let detected_at = now + processing;
 
-        let mut buckets: Vec<Vec<(u64, cad3_stream::FetchedRecord)>> =
+        let mut buckets: Vec<Vec<(u64, u64, cad3_stream::FetchedRecord)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for rec in batch {
             // Kafka keys our status records with the vehicle id.
@@ -224,7 +235,12 @@ impl RsuNode {
                 .filter(|k| k.len() == 8)
                 .map(|k| u64::from_be_bytes(k[..8].try_into().expect("checked length")))
                 .unwrap_or(0);
-            buckets[(vehicle % self.shards.len() as u64) as usize].push((vehicle, rec));
+            // A traced record's two span ids (rsu.queue, rsu.detect) are
+            // reserved here, in input order on the batch thread; the
+            // workers emit with these pre-assigned ids, so trace artifacts
+            // never depend on worker schedule (0 = untraced, unused).
+            let span_base = if rec.trace.is_some() { cad3_obs::trace::reserve_ids(2) } else { 0 };
+            buckets[(vehicle % self.shards.len() as u64) as usize].push((vehicle, span_base, rec));
         }
         drop(ingest_span);
         let detect_span = cad3_obs::span!("rsu.detect", cad3_types::len_u64(records));
@@ -250,16 +266,18 @@ impl RsuNode {
         let outcomes: Vec<RecordOutcome> = PartitionedDataset::from_partitions(buckets)
             .map_partitions(&self.executor, |part| {
                 let mut out = Vec::with_capacity(part.len());
-                let Some((first_vehicle, _)) = part.first() else { return out };
+                let Some((first_vehicle, _, _)) = part.first() else { return out };
                 let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
                 let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
-                for (_, rec) in part {
+                for (_, span_base, rec) in part {
                     let queuing = now.saturating_since(SimTime::from_nanos(rec.timestamp));
                     // A sampled record's broker wait becomes an `rsu.queue`
-                    // span (arrival at the log to batch start).
+                    // span (arrival at the log to batch start), emitted on
+                    // the first of the record's pre-reserved ids.
                     let trace = rec.trace.map(|ctx| {
-                        let span = cad3_obs::trace_span!(
+                        let span = cad3_obs::trace_span_at!(
                             "rsu.queue",
+                            *span_base,
                             &ctx,
                             rec.timestamp,
                             now.as_nanos(),
@@ -283,8 +301,9 @@ impl RsuNode {
                         continue;
                     };
                     let trace = trace.map(|ctx| {
-                        let span = cad3_obs::trace_span!(
+                        let span = cad3_obs::trace_span_at!(
                             "rsu.detect",
+                            span_base + 1,
                             &ctx,
                             now.as_nanos(),
                             detected_at.as_nanos(),

@@ -102,37 +102,68 @@ pub fn handover_migration(
     fraction: f64,
     duration: SimDuration,
 ) -> TestbedReport {
-    let half = SimDuration::from_secs_f64(duration.as_secs_f64() / 2.0);
-    Testbed::new(config, seed).run(ScenarioSpec {
-        rsus: vec![
-            RsuSpec {
-                name: "rsu-motorway".to_owned(),
-                detector: Arc::clone(&detector),
-                vehicles,
-                records: motorway_records,
-                forwards_to: Some(1),
-                backhaul: None,
-            },
-            RsuSpec {
-                name: "rsu-motorway-link".to_owned(),
-                detector,
-                vehicles: vehicles / 4,
-                records: link_records.clone(),
-                forwards_to: None,
-                backhaul: None,
-            },
-        ],
+    handover_migration_observed(
+        config,
+        seed,
+        detector,
+        motorway_records,
+        link_records,
+        vehicles,
+        fraction,
         duration,
-        warmup: SimDuration::from_millis(500),
-        summary_interval: SimDuration::from_secs(2),
-        migration: Some(crate::MigrationSpec {
-            from: 0,
-            to: 1,
-            fraction,
-            at: half,
-            new_records: link_records,
-        }),
-    })
+        Vec::new(),
+    )
+}
+
+/// [`handover_migration`] with periodic [`crate::Observer`] hooks riding
+/// the simulation clock — how the health monitor ticks during the
+/// 2-RSU handover scenario (`health_report`, the `health-e2e` CI job).
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's natural parameter list
+pub fn handover_migration_observed(
+    config: SystemConfig,
+    seed: u64,
+    detector: Arc<dyn Detector>,
+    motorway_records: Vec<FeatureRecord>,
+    link_records: Vec<FeatureRecord>,
+    vehicles: u32,
+    fraction: f64,
+    duration: SimDuration,
+    observers: Vec<crate::Observer>,
+) -> TestbedReport {
+    let half = SimDuration::from_secs_f64(duration.as_secs_f64() / 2.0);
+    Testbed::new(config, seed).run_observed(
+        ScenarioSpec {
+            rsus: vec![
+                RsuSpec {
+                    name: "rsu-motorway".to_owned(),
+                    detector: Arc::clone(&detector),
+                    vehicles,
+                    records: motorway_records,
+                    forwards_to: Some(1),
+                    backhaul: None,
+                },
+                RsuSpec {
+                    name: "rsu-motorway-link".to_owned(),
+                    detector,
+                    vehicles: vehicles / 4,
+                    records: link_records.clone(),
+                    forwards_to: None,
+                    backhaul: None,
+                },
+            ],
+            duration,
+            warmup: SimDuration::from_millis(500),
+            summary_interval: SimDuration::from_secs(2),
+            migration: Some(crate::MigrationSpec {
+                from: 0,
+                to: 1,
+                fraction,
+                at: half,
+                new_records: link_records,
+            }),
+        },
+        observers,
+    )
 }
 
 /// Runs the paper's motivating edge-vs-cloud comparison (Sections II-B and

@@ -134,6 +134,18 @@ pub struct Testbed {
     seed: u64,
 }
 
+/// A periodic observer attached to a testbed run: `hook` is called every
+/// `interval` of virtual time (first at `interval`, last at or before the
+/// scenario end), interleaved deterministically with the scenario's own
+/// events. The health monitor ticks through one of these; benches use them
+/// to sample mid-run snapshots.
+pub struct Observer {
+    /// Virtual-time period between calls.
+    pub interval: SimDuration,
+    /// The callback; receives the current virtual instant.
+    pub hook: Box<dyn FnMut(SimTime)>,
+}
+
 struct World {
     config: SystemConfig,
     end: SimTime,
@@ -154,6 +166,9 @@ struct World {
     links: HashMap<(usize, usize), WiredLink>,
     /// In-flight warning-path components keyed by (vehicle, seq).
     pending: HashMap<(u64, u32), (SimDuration, SimDuration, SimDuration)>,
+    /// Pre-created `net.dsrc.offered_bps.<rsu>` gauges, indexed like
+    /// `channels`; published from the batch path as a single atomic store.
+    offered_gauges: Vec<cad3_obs::Handle<cad3_obs::Gauge>>,
     latency: Vec<LatencyStats>,
     co_bytes: Vec<u64>,
     /// On-air bytes added to each payload (MAC framing + record header).
@@ -174,6 +189,20 @@ impl Testbed {
     /// Panics if the scenario has no RSUs or an RSU has no vehicles or
     /// records.
     pub fn run(&self, spec: ScenarioSpec) -> TestbedReport {
+        self.run_observed(spec, Vec::new())
+    }
+
+    /// [`Testbed::run`] with periodic [`Observer`] hooks riding the
+    /// simulation clock — the health monitor's sampling tick, mid-run
+    /// snapshot capture. Observers are ordinary simulation events, so an
+    /// observed run interleaves them deterministically; an empty observer
+    /// list reproduces [`Testbed::run`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no RSUs or an RSU has no vehicles or
+    /// records.
+    pub fn run_observed(&self, spec: ScenarioSpec, observers: Vec<Observer>) -> TestbedReport {
         assert!(!spec.rsus.is_empty(), "scenario needs at least one RSU");
         let mut rng = SimRng::seed_from(self.seed);
         let config = self.config;
@@ -185,6 +214,7 @@ impl Testbed {
         let mut fleets = Vec::new();
         let mut out_consumers = Vec::new();
         let mut links = HashMap::new();
+        let mut offered_gauges = Vec::new();
         for (i, r) in spec.rsus.iter().enumerate() {
             assert!(r.vehicles > 0, "RSU `{}` needs vehicles", r.name);
             assert!(!r.records.is_empty(), "RSU `{}` needs records", r.name);
@@ -208,6 +238,11 @@ impl Testbed {
                 r.vehicles,
                 config.update_period,
             ));
+            offered_gauges.push(cad3_obs::registry().gauge(&format!(
+                "{}.{}",
+                cad3_obs::names::NET_DSRC_OFFERED_BPS_PREFIX,
+                r.name
+            )));
             // Group the pool by its original driver so each agent replays a
             // behaviourally coherent stream (summaries would otherwise see
             // one "vehicle" flip personality every record).
@@ -249,6 +284,7 @@ impl Testbed {
             out_consumers,
             links,
             pending: HashMap::new(),
+            offered_gauges,
             latency,
             co_bytes: vec![0; n_rsus],
             wire_overhead: 44,
@@ -313,6 +349,12 @@ impl Testbed {
                 .entry((m.from, m.to))
                 .or_insert_with(WiredLink::gigabit_ethernet);
             schedule_migration(&mut sim, Rc::clone(&world), m);
+        }
+        // Observer hooks (health ticks, snapshot capture) ride the same
+        // deterministic event queue.
+        for obs in observers {
+            let mut hook = obs.hook;
+            sim.schedule_every(obs.interval, end, move |_, now| hook(now));
         }
 
         sim.run_until(end);
@@ -417,6 +459,12 @@ fn schedule_batch(sim: &mut Simulation, world: Rc<RefCell<World>>, rsu_idx: usiz
         let now = sim.now();
         let (warnings, warning_traces, queuing, processing, interval, end) = {
             let mut w = world.borrow_mut();
+            if cad3_obs::enabled() {
+                // Windowed offered load on this RSU's DSRC medium, sampled
+                // at batch cadence for the health engine's bandwidth SLO.
+                let bps = w.channels[rsu_idx].rate_bps(now);
+                w.offered_gauges[rsu_idx].set(bps as u64);
+            }
             let result = w.rsus[rsu_idx].run_batch(now).expect("batch never fails in-sim");
             (
                 result.warnings,
@@ -513,6 +561,20 @@ fn schedule_migration(sim: &mut Simulation, world: Rc<RefCell<World>>, m: Migrat
         let mut handed_over: Vec<(cad3_types::SummaryMessage, SimTime)> = Vec::new();
         {
             let w = &mut *world.borrow_mut();
+            if cad3_obs::enabled() {
+                // Consult the destination's published health state before
+                // handing the fleet over. Observational for now: the
+                // testbed counts an unhealthy target rather than deferring
+                // the migration, so detection quality is unaffected while
+                // the signal is validated.
+                cad3_obs::counter!("health.handover.checks").inc();
+                let state = cad3_obs::registry()
+                    .gauge(&cad3_obs::health::state_gauge_name(w.rsus[m.to].name()))
+                    .value();
+                if cad3_obs::HealthState::from_gauge(state) != cad3_obs::HealthState::Healthy {
+                    cad3_obs::counter!("health.handover.unhealthy").inc();
+                }
+            }
             let fleet_size = w.fleets[m.from].len();
             let count = ((fleet_size as f64) * m.fraction.clamp(0.0, 1.0)).round() as usize;
             let mut moved = 0u32;

@@ -39,7 +39,7 @@ mod window;
 pub use batch::{BatchConfig, BatchMetrics, MicroBatchRunner};
 pub use dataset::PartitionedDataset;
 pub use executor::Executor;
-pub use realtime::RealtimeScheduler;
+pub use realtime::{RealtimeScheduler, WallClockPacer};
 pub use window::{KeyedWindows, SlidingWindow};
 
 /// Micro-batch interval used throughout the paper: 50 ms.

@@ -111,6 +111,35 @@ impl RealtimeScheduler {
     }
 }
 
+/// A fixed-rate wall-clock pacer for interactive tools (the `cad3_top`
+/// console). Lives here because this file is the engine's sanctioned
+/// wall-clock site (the `no-wallclock` lint allowance): binaries pace
+/// through it instead of calling `Instant::now`/`sleep` directly.
+#[derive(Debug)]
+pub struct WallClockPacer {
+    next: Instant,
+    interval: std::time::Duration,
+}
+
+impl WallClockPacer {
+    /// Creates a pacer whose first tick is one `interval` from now.
+    pub fn new(interval: std::time::Duration) -> Self {
+        WallClockPacer { next: Instant::now() + interval, interval }
+    }
+
+    /// Sleeps until the next tick boundary. A pacer that has fallen behind
+    /// re-anchors to the present rather than bursting to catch up.
+    pub fn wait(&mut self) {
+        let now = Instant::now();
+        if self.next > now {
+            std::thread::sleep(self.next - now);
+        } else {
+            self.next = now;
+        }
+        self.next += self.interval;
+    }
+}
+
 impl Drop for RealtimeScheduler {
     fn drop(&mut self) {
         // ordering: Relaxed — see `stop()`; join() below is the sync point.

@@ -21,6 +21,29 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes `# HELP` text per the exposition format: backslash and newline
+/// must be backslash-escaped.
+fn prom_escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits the `# HELP` line for a sample family when the metric is in the
+/// names catalogue (`help_for` also resolves `_ns` span histograms and
+/// dynamic-family members); ad-hoc names stay bare.
+fn write_help(out: &mut String, family: &str, metric: &str) {
+    if let Some(help) = crate::names::help_for(metric) {
+        let _ = writeln!(out, "# HELP {family} {}", prom_escape_help(help));
+    }
+}
+
 /// Escapes a label value per the text exposition format: backslash, double
 /// quote and newline must be backslash-escaped inside the quotes.
 fn prom_escape_label_value(value: &str) -> String {
@@ -38,6 +61,7 @@ fn prom_escape_label_value(value: &str) -> String {
 
 fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let p = prom_name(name);
+    write_help(out, &p, name);
     let _ = writeln!(out, "# TYPE {p} histogram");
     let mut cumulative = 0u64;
     let last = (0..BUCKETS).rev().find(|&b| h.buckets[b] > 0).unwrap_or(0);
@@ -59,17 +83,23 @@ fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
 /// registry stores per-group lag as `stream.consumer.lag.<group>`, which
 /// the exporter folds into one `cad3_stream_consumer_lag{group="…"}`
 /// family so dashboards can aggregate across groups.
-const LABELED_GAUGE_PREFIXES: [(&str, &str, &str); 1] =
-    [("stream.consumer.lag.", "cad3_stream_consumer_lag", "group")];
+const LABELED_GAUGE_PREFIXES: [(&str, &str, &str); 4] = [
+    ("stream.consumer.lag.", "cad3_stream_consumer_lag", "group"),
+    ("rsu.lag.", "cad3_rsu_lag", "rsu"),
+    ("rsu.health.state.", "cad3_rsu_health_state", "rsu"),
+    ("net.dsrc.offered_bps.", "cad3_net_dsrc_offered_bps", "rsu"),
+];
 
 /// Renders a snapshot in the Prometheus text exposition format: every
-/// sample family is preceded by its `# TYPE` line, counters take the
+/// sample family is preceded by its `# TYPE` line (and, for catalogued
+/// names, a `# HELP` line from [`crate::names::HELP`]), counters take the
 /// `_total` suffix, label values are escaped, and histograms emit
 /// cumulative buckets capped by `+Inf` plus `_sum`/`_count`.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let p = prom_name(name);
+        write_help(&mut out, &format!("{p}_total"), name);
         let _ = writeln!(out, "# TYPE {p}_total counter");
         let _ = writeln!(out, "{p}_total {value}");
     }
@@ -82,6 +112,7 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             // TYPE line is emitted once per family, before its samples.
             if !typed_families.contains(family) {
                 typed_families.push(family);
+                write_help(&mut out, family, prefix.trim_end_matches('.'));
                 let _ = writeln!(out, "# TYPE {family} gauge");
             }
             let suffix = &name[prefix.len()..];
@@ -93,6 +124,7 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             continue;
         }
         let p = prom_name(name);
+        write_help(&mut out, &p, name);
         let _ = writeln!(out, "# TYPE {p} gauge");
         let _ = writeln!(out, "{p} {value}");
     }
@@ -186,7 +218,19 @@ mod tests {
         let mut families: BTreeMap<&str, &str> = BTreeMap::new();
         let mut hist_buckets: BTreeMap<&str, Vec<(String, u64)>> = BTreeMap::new();
         let mut hist_scalars: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+        let mut helped: Vec<&str> = Vec::new();
         for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (family, help) = rest.split_once(' ').expect("HELP line shape");
+                assert!(!help.is_empty(), "empty HELP text in {line:?}");
+                assert!(
+                    !families.contains_key(family),
+                    "HELP for {family} must precede its TYPE line"
+                );
+                assert!(!helped.contains(&family), "duplicate HELP for {family}");
+                helped.push(family);
+                continue;
+            }
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let (family, kind) = rest.split_once(' ').expect("TYPE line shape");
                 assert!(
@@ -273,6 +317,36 @@ mod tests {
         assert!(!text.contains("le=\"18446744073709551615\""), "{text}");
         // One TYPE line serves both labeled lag samples.
         assert_eq!(text.matches("# TYPE cad3_stream_consumer_lag gauge").count(), 1);
+    }
+
+    #[test]
+    fn catalogued_names_get_help_lines() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("rsu.records".into(), 1);
+        snap.counters.insert("adhoc.counter".into(), 2);
+        snap.gauges.insert("rsu.health.state.rsu-a".into(), 2);
+        snap.gauges.insert("rsu.lag.rsu-a".into(), 9);
+        let h = Histogram::new();
+        h.observe(10);
+        // A span's duration histogram resolves HELP through its bare name.
+        snap.histograms.insert("rsu.detect_ns".into(), h.snapshot());
+        let text = prometheus_text(&snap);
+        assert_conformant(&text);
+        assert!(
+            text.contains("# HELP cad3_rsu_records_total Status records processed by RSUs.\n"),
+            "{text}"
+        );
+        assert!(text.contains("# HELP cad3_rsu_health_state "), "{text}");
+        assert!(text.contains("cad3_rsu_health_state{rsu=\"rsu-a\"} 2"), "{text}");
+        assert!(text.contains("cad3_rsu_lag{rsu=\"rsu-a\"} 9"), "{text}");
+        assert!(text.contains("# HELP cad3_rsu_detect_ns "), "{text}");
+        // HELP precedes TYPE for the same family.
+        let help_at = text.find("# HELP cad3_rsu_detect_ns").unwrap();
+        let type_at = text.find("# TYPE cad3_rsu_detect_ns").unwrap();
+        assert!(help_at < type_at);
+        // Names outside the catalogue render without HELP but stay valid.
+        assert!(!text.contains("# HELP cad3_adhoc_counter_total"), "{text}");
+        assert!(text.contains("cad3_adhoc_counter_total 2"), "{text}");
     }
 
     #[test]

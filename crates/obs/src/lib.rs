@@ -62,6 +62,7 @@
 
 pub mod clock;
 pub mod export;
+pub mod health;
 mod metrics;
 pub mod names;
 mod recorder;
@@ -69,12 +70,21 @@ mod registry;
 mod span;
 mod sync;
 pub mod trace;
+pub mod window;
 
+pub use health::{AlertEvent, HealthMonitor, HealthState, Severity, SloContract};
 pub use metrics::{bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{install_panic_dump, recorder, EventKind, FlightRecorder, SpanEvent};
 pub use registry::{registry, MetricsSnapshot, Registry};
 pub use span::{point, SpanGuard, SpanSite};
 pub use trace::{TraceContext, TraceEvent};
+pub use window::SnapshotRing;
+
+/// Shared handle to a registered metric cell, as returned by the registry
+/// getters — `std::sync::Arc` in normal builds, loom's under `--cfg loom`.
+/// Instrumented crates store these to keep steady-state publishing to a
+/// single atomic op (no name formatting, no registry lock).
+pub use crate::sync::Arc as Handle;
 
 /// The process-wide "exporter attached" gate. A plain std atomic even under
 /// loom — see `sync.rs` on what stays outside the model-checked facade.
@@ -159,6 +169,20 @@ macro_rules! trace_span {
     };
     ($name:expr, $ctx:expr, $start:expr, $end:expr, $node:expr, $value:expr) => {
         $crate::trace::emit($ctx, $name, $start, $end, $node, $value)
+    };
+}
+
+/// [`trace_span!`] with a pre-reserved span id ([`trace::reserve_ids`]):
+/// the form parallel workers use so id allocation happens once, in input
+/// order, on the coordinating thread. Same literal-name rule as
+/// [`trace_span!`] (the `span-names` lint checks this macro too).
+#[macro_export]
+macro_rules! trace_span_at {
+    ($name:expr, $span:expr, $ctx:expr, $start:expr, $end:expr, $node:expr) => {
+        $crate::trace_span_at!($name, $span, $ctx, $start, $end, $node, 0u64)
+    };
+    ($name:expr, $span:expr, $ctx:expr, $start:expr, $end:expr, $node:expr, $value:expr) => {
+        $crate::trace::emit_at($span, $ctx, $name, $start, $end, $node, $value)
     };
 }
 

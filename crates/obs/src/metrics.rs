@@ -255,6 +255,14 @@ pub struct HistogramSnapshot {
     pub max: u64,
 }
 
+impl Default for HistogramSnapshot {
+    /// An empty snapshot — the zero element of windowed subtraction (see
+    /// `crate::window`).
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
 impl HistogramSnapshot {
     /// The `q`-quantile (`0.0 ..= 1.0`) as the *upper bound* of the bucket
     /// containing that rank, so the estimate is within one bucket width of

@@ -107,6 +107,32 @@ pub const BENCH_RESULTS_WRITTEN: &str = "bench.results.written";
 /// Result artefacts the bench harness failed to write (counter).
 pub const BENCH_RESULTS_ERRORS: &str = "bench.results.errors";
 
+/// Per-RSU pre-poll backlog gauge prefix; the RSU name is appended:
+/// `rsu.lag.<rsu>` (records queued on `IN-DATA` at batch start).
+pub const RSU_LAG_PREFIX: &str = "rsu.lag";
+/// Per-RSU health state gauge prefix; the RSU name is appended:
+/// `rsu.health.state.<rsu>` (0 healthy, 1 degraded, 2 overloaded).
+pub const RSU_HEALTH_STATE_PREFIX: &str = "rsu.health.state";
+/// Per-RSU DSRC offered-load gauge prefix; the RSU name is appended:
+/// `net.dsrc.offered_bps.<rsu>` (windowed received bits/s on the channel).
+pub const NET_DSRC_OFFERED_BPS_PREFIX: &str = "net.dsrc.offered_bps";
+/// Health-monitor evaluation ticks (counter).
+pub const HEALTH_TICKS: &str = "health.ticks";
+/// SLO alerts currently firing across all members (gauge).
+pub const HEALTH_ALERTS_FIRING: &str = "health.alerts.firing";
+/// Alert fire/clear transitions since startup (counter).
+pub const HEALTH_ALERT_TRANSITIONS: &str = "health.alert.transitions";
+/// Flight-recorder point emitted on every alert transition (value 1 =
+/// fired, 0 = cleared).
+pub const HEALTH_ALERT: &str = "health.alert";
+/// Handover destinations whose health gauge was consulted (counter).
+pub const HEALTH_HANDOVER_CHECKS: &str = "health.handover.checks";
+/// Handover destinations found degraded or overloaded (counter).
+pub const HEALTH_HANDOVER_UNHEALTHY: &str = "health.handover.unhealthy";
+/// Dynamic registrations rejected by a family cardinality cap and routed
+/// to the family's shared `.overflow` cell (counter; see `DYNAMIC_FAMILIES`).
+pub const OBS_NAMES_DROPPED: &str = "obs.names.dropped";
+
 /// Every catalogued name (spans listed under their bare name; their
 /// duration histograms add the `_ns` suffix at registration).
 pub const ALL: &[&str] = &[
@@ -151,7 +177,108 @@ pub const ALL: &[&str] = &[
     NET_LINK_FRAMES,
     BENCH_RESULTS_WRITTEN,
     BENCH_RESULTS_ERRORS,
+    RSU_LAG_PREFIX,
+    RSU_HEALTH_STATE_PREFIX,
+    NET_DSRC_OFFERED_BPS_PREFIX,
+    HEALTH_TICKS,
+    HEALTH_ALERTS_FIRING,
+    HEALTH_ALERT_TRANSITIONS,
+    HEALTH_ALERT,
+    HEALTH_HANDOVER_CHECKS,
+    HEALTH_HANDOVER_UNHEALTHY,
+    OBS_NAMES_DROPPED,
 ];
+
+/// Dynamic metric families: catalogued prefixes that spawn one member per
+/// runtime entity (`<prefix>.<member>`) plus the registry's cardinality cap
+/// for each. Past the cap, registrations collapse onto the family's shared
+/// `<prefix>.overflow` cell and `obs.names.dropped` counts the rejects, so
+/// a hostile or buggy label set cannot grow the registry without bound.
+pub const DYNAMIC_FAMILY_CAP: usize = 64;
+/// The families themselves; every entry's prefix is also in [`ALL`].
+pub const DYNAMIC_FAMILIES: &[&str] = &[
+    STREAM_CONSUMER_LAG_PREFIX,
+    RSU_LAG_PREFIX,
+    RSU_HEALTH_STATE_PREFIX,
+    NET_DSRC_OFFERED_BPS_PREFIX,
+];
+
+/// One-line exposition help text per catalogued name, rendered as
+/// Prometheus `# HELP` lines by [`crate::export::prometheus_text`]. Span
+/// names describe their `<name>_ns` duration histogram; dynamic family
+/// prefixes describe every member.
+pub const HELP: &[(&str, &str)] = &[
+    (STREAM_BROKER_PRODUCE, "Records appended through Broker::produce."),
+    (STREAM_BROKER_FETCH_RECORDS, "Records returned by Broker::fetch."),
+    (STREAM_BROKER_PRODUCE_NS, "Broker::produce latency in nanoseconds."),
+    (STREAM_BROKER_FETCH_NS, "Broker::fetch latency in nanoseconds."),
+    (STREAM_PRODUCER_RECORDS, "Records published by Producer::send."),
+    (STREAM_PRODUCER_BYTES, "Bytes published by Producer::send."),
+    (STREAM_PRODUCER_BATCHES, "Batches flushed by BatchingProducer."),
+    (STREAM_CONSUMER_POLLS, "Consumer::poll calls."),
+    (STREAM_CONSUMER_RECORDS, "Records delivered by Consumer::poll."),
+    (STREAM_CONSUMER_LAG_PREFIX, "Committed-vs-head lag of one consumer group."),
+    (ENGINE_BATCHES, "Micro-batches executed by MicroBatchRunner."),
+    (ENGINE_BATCH_RECORDS, "Records carried by executed micro-batches."),
+    (ENGINE_BATCH_QUEUE_DEPTH, "Consumer backlog observed just before each poll."),
+    (ENGINE_BATCH_WALL_NS, "Wall-clock micro-batch time in nanoseconds."),
+    (ENGINE_TICK_JITTER_NS, "Scheduler tick start minus planned instant in nanoseconds."),
+    (RSU_MICRO_BATCH, "Duration of one RSU micro-batch in nanoseconds."),
+    (RSU_HANDOVER_FUSE, "Duration of the CO-DATA ingest and fuse stage in nanoseconds."),
+    (RSU_INGEST, "Duration of the IN-DATA ingest stage in nanoseconds."),
+    (RSU_DETECT, "Duration of the parallel detection stage in nanoseconds."),
+    (RSU_RECORDS, "Status records processed by RSUs."),
+    (RSU_WARNINGS, "Warnings emitted by RSUs."),
+    (RSU_SUMMARIES_IN, "Collaboration summaries received on CO-DATA."),
+    (RSU_SUMMARIES_OUT, "Collaboration summaries exported for the next RSU."),
+    (RSU_TX_US, "Modelled DSRC transmission stage in microseconds."),
+    (RSU_QUEUING_US, "Modelled queuing stage in microseconds."),
+    (RSU_PROCESSING_US, "Modelled processing stage in microseconds."),
+    (RSU_DISSEMINATION_US, "Modelled dissemination stage in microseconds."),
+    (RSU_TOTAL_US, "Modelled end-to-end detection latency in microseconds."),
+    (VEHICLE_EMIT, "Record emission at the vehicle, the root trace span."),
+    (NET_DSRC_TX, "DSRC uplink vehicle-to-RSU trace span in nanoseconds."),
+    (NET_LINK_TX, "Wired RSU-interconnect transfer trace span in nanoseconds."),
+    (RSU_QUEUE, "Broker residency before micro-batch pickup in nanoseconds."),
+    (RSU_DISSEMINATE, "Warning publish to driver delivery in nanoseconds."),
+    (OBS_RECORDER_DROPPED, "Flight-recorder events lost to ring wrap."),
+    (OBS_TRACE_DROPPED, "Trace events rejected by the bounded trace sink."),
+    (ALERTS_SENT, "Warnings that reached a driver through AlertThrottle."),
+    (ALERTS_SUPPRESSED, "Warnings suppressed by the alert hold-off window."),
+    (NET_LINK_BYTES, "Bytes carried by wired RSU-interconnect links."),
+    (NET_LINK_FRAMES, "Frames carried by wired RSU-interconnect links."),
+    (BENCH_RESULTS_WRITTEN, "Result artefacts written by the bench harness."),
+    (BENCH_RESULTS_ERRORS, "Result artefacts the bench harness failed to write."),
+    (RSU_LAG_PREFIX, "IN-DATA backlog of one RSU at micro-batch start."),
+    (RSU_HEALTH_STATE_PREFIX, "Health state of one RSU: 0 healthy, 1 degraded, 2 overloaded."),
+    (NET_DSRC_OFFERED_BPS_PREFIX, "Windowed DSRC offered load of one RSU in bits per second."),
+    (HEALTH_TICKS, "Health-monitor evaluation ticks."),
+    (HEALTH_ALERTS_FIRING, "SLO alerts currently firing across all members."),
+    (HEALTH_ALERT_TRANSITIONS, "Alert fire and clear transitions since startup."),
+    (HEALTH_ALERT, "Alert transition point events: value 1 fired, 0 cleared."),
+    (HEALTH_HANDOVER_CHECKS, "Handover destinations whose health gauge was consulted."),
+    (HEALTH_HANDOVER_UNHEALTHY, "Handover destinations found degraded or overloaded."),
+    (OBS_NAMES_DROPPED, "Dynamic registrations rejected by a family cardinality cap."),
+];
+
+/// Looks up the help text for a catalogued name, resolving `<span>_ns`
+/// duration histograms to their span's entry and `<family>.<member>` (or
+/// `<family>.overflow`) members to the family's entry.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    let exact = |n: &str| HELP.iter().find(|(k, _)| *k == n).map(|(_, h)| *h);
+    if let Some(h) = exact(name) {
+        return Some(h);
+    }
+    if let Some(base) = name.strip_suffix("_ns") {
+        if let Some(h) = exact(base) {
+            return Some(h);
+        }
+    }
+    DYNAMIC_FAMILIES
+        .iter()
+        .find(|f| name.strip_prefix(**f).is_some_and(|rest| rest.starts_with('.')))
+        .and_then(|f| exact(f))
+}
 
 /// Whether `name` follows the workspace naming convention: lowercase
 /// dot-separated segments of `[a-z0-9_]`, starting each segment with a
@@ -176,6 +303,23 @@ mod tests {
             assert!(is_valid_name(name), "bad name {name}");
             assert!(seen.insert(name), "duplicate name {name}");
         }
+    }
+
+    #[test]
+    fn every_name_has_help_and_every_family_is_catalogued() {
+        for name in ALL {
+            assert!(help_for(name).is_some(), "no HELP entry for {name}");
+        }
+        for family in DYNAMIC_FAMILIES {
+            assert!(ALL.contains(family), "dynamic family {family} missing from ALL");
+            assert_eq!(
+                help_for(&format!("{family}.some_member")),
+                help_for(family),
+                "family member help should resolve to the family entry"
+            );
+        }
+        assert_eq!(help_for("rsu.detect_ns"), help_for("rsu.detect"), "span _ns fallback");
+        assert_eq!(help_for("not.a.catalogued.name"), None);
     }
 
     #[test]

@@ -46,25 +46,54 @@ impl Registry {
         Registry { inner: Mutex::new(Inner::default()) }
     }
 
-    /// The counter named `name`, created on first use.
+    /// The counter named `name`, created on first use. Lookups of an
+    /// existing name take no allocation; new names in a dynamic family past
+    /// its cardinality cap collapse onto the family's `.overflow` cell (see
+    /// [`crate::names::DYNAMIC_FAMILIES`]).
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
         let mut inner = self.inner.lock();
-        Arc::clone(inner.counters.entry(name.to_owned()).or_default())
+        if let Some(cell) = inner.counters.get(name) {
+            return Arc::clone(cell);
+        }
+        let overflow = admit(&inner.counters, name);
+        if overflow.is_some() {
+            count_drop(&mut inner);
+        }
+        let key = overflow.unwrap_or_else(|| name.to_owned());
+        Arc::clone(inner.counters.entry(key).or_default())
     }
 
-    /// The gauge named `name`, created on first use.
+    /// The gauge named `name`, created on first use (same dedupe and
+    /// family-cap policy as [`Self::counter`]).
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
         let mut inner = self.inner.lock();
-        Arc::clone(inner.gauges.entry(name.to_owned()).or_default())
+        if let Some(cell) = inner.gauges.get(name) {
+            return Arc::clone(cell);
+        }
+        let overflow = admit(&inner.gauges, name);
+        if overflow.is_some() {
+            count_drop(&mut inner);
+        }
+        let key = overflow.unwrap_or_else(|| name.to_owned());
+        Arc::clone(inner.gauges.entry(key).or_default())
     }
 
-    /// The histogram named `name`, created on first use.
+    /// The histogram named `name`, created on first use (same dedupe and
+    /// family-cap policy as [`Self::counter`]).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
         let mut inner = self.inner.lock();
-        Arc::clone(inner.histograms.entry(name.to_owned()).or_default())
+        if let Some(cell) = inner.histograms.get(name) {
+            return Arc::clone(cell);
+        }
+        let overflow = admit(&inner.histograms, name);
+        if overflow.is_some() {
+            count_drop(&mut inner);
+        }
+        let key = overflow.unwrap_or_else(|| name.to_owned());
+        Arc::clone(inner.histograms.entry(key).or_default())
     }
 
     /// Interns a static name (span names, event names), returning a dense id
@@ -115,6 +144,31 @@ impl Default for Registry {
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::new)
+}
+
+/// Whether `key` is a member of dynamic family `family`
+/// (`<family>.<anything>`).
+fn is_family_member(key: &str, family: &str) -> bool {
+    key.strip_prefix(family).is_some_and(|rest| rest.starts_with('.'))
+}
+
+/// Cardinality-cap admission for a *new* name (the caller has already
+/// checked `map` does not contain it). Names outside every dynamic family
+/// are always admitted (`None`). A family member is admitted while the
+/// family holds fewer than [`crate::names::DYNAMIC_FAMILY_CAP`] keys;
+/// past that, `Some("<family>.overflow")` routes it to the shared
+/// overflow cell. Registration-path only — lookups of existing names
+/// never get here.
+fn admit<T>(map: &BTreeMap<String, T>, name: &str) -> Option<String> {
+    let family = crate::names::DYNAMIC_FAMILIES.iter().find(|f| is_family_member(name, f))?;
+    let members = map.keys().filter(|k| is_family_member(k, family)).count();
+    (members >= crate::names::DYNAMIC_FAMILY_CAP).then(|| format!("{family}.overflow"))
+}
+
+/// Counts one capped registration on the `obs.names.dropped` counter
+/// (stored in the same map, so it appears in snapshots and exports).
+fn count_drop(inner: &mut Inner) {
+    inner.counters.entry(crate::names::OBS_NAMES_DROPPED.to_owned()).or_default().inc();
 }
 
 /// A point-in-time merge of every registered metric — the API the bench
@@ -190,5 +244,38 @@ mod tests {
     fn global_registry_is_one_instance() {
         registry().counter("selftest.registry").add(1);
         assert!(registry().snapshot().counter("selftest.registry") >= 1);
+    }
+
+    #[test]
+    fn family_cardinality_is_capped_with_shared_overflow() {
+        use crate::names::{DYNAMIC_FAMILY_CAP, OBS_NAMES_DROPPED, STREAM_CONSUMER_LAG_PREFIX};
+        let r = Registry::new();
+        // Repeated registration of the same member neither grows the
+        // family nor counts a drop.
+        for _ in 0..3 {
+            r.gauge(&format!("{STREAM_CONSUMER_LAG_PREFIX}.repeat"));
+        }
+        for i in 0..(DYNAMIC_FAMILY_CAP + 10) {
+            r.gauge(&format!("{STREAM_CONSUMER_LAG_PREFIX}.g{i}")).set(u64::try_from(i).unwrap());
+        }
+        let snap = r.snapshot();
+        let overflow = format!("{STREAM_CONSUMER_LAG_PREFIX}.overflow");
+        let members = snap
+            .gauges
+            .keys()
+            .filter(|k| is_family_member(k, STREAM_CONSUMER_LAG_PREFIX) && **k != overflow)
+            .count();
+        assert_eq!(members, DYNAMIC_FAMILY_CAP, "family stops growing at the cap");
+        // 1 (repeat) + 63 admitted from the loop fill the cap; the
+        // remaining 11 loop registrations were capped.
+        assert_eq!(snap.counter(OBS_NAMES_DROPPED), 11);
+        // The rejects share one overflow cell.
+        assert!(snap.gauges.contains_key(&overflow));
+        let a = r.gauge(&format!("{STREAM_CONSUMER_LAG_PREFIX}.another"));
+        a.set(777);
+        assert_eq!(r.gauge(&overflow).value(), 777, "overflow members share the cell");
+        // Un-capped names are untouched.
+        r.gauge("plain.gauge").set(1);
+        assert_eq!(r.snapshot().gauge("plain.gauge"), 1);
     }
 }

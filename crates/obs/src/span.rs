@@ -28,13 +28,23 @@ thread_local! {
 /// Shared with [`crate::trace`] so stage spans and distributed-trace spans
 /// draw from one id space.
 pub(crate) fn next_span_id() -> u64 {
+    reserve_span_ids(1)
+}
+
+/// Reserves a contiguous block of `n` process-unique span ids, returning
+/// the first (never 0; 0 means "no parent"). One reservation from a
+/// coordinating thread lets parallel workers emit spans with
+/// *pre-assigned* ids ([`crate::trace::emit_at`]) instead of racing on
+/// this counter — the allocation order, and therefore the replay
+/// artifacts, stay deterministic regardless of worker schedule.
+pub(crate) fn reserve_span_ids(n: u64) -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     // Plain std atomic by design — see `sync.rs` on what stays outside the
     // loom facade.
     static NEXT: AtomicU64 = AtomicU64::new(1);
     // ordering: Relaxed — ids only need uniqueness, which fetch_add's
     // atomicity alone guarantees.
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    NEXT.fetch_add(n, Ordering::Relaxed)
 }
 
 /// Per-call-site span identity, cached in a `OnceLock` by the

@@ -245,7 +245,29 @@ pub fn emit(
     node: u32,
     value: u64,
 ) -> u64 {
-    let span = crate::span::next_span_id();
+    emit_at(crate::span::next_span_id(), ctx, name, start_ns, end_ns, node, value)
+}
+
+/// Reserves a contiguous block of `n` span ids and returns the first.
+/// Reserve on the coordinating thread before fanning work out, then hand
+/// each worker its slice to [`emit_at`]: span ids follow input order
+/// instead of worker schedule, keeping replay artifacts byte-stable.
+pub fn reserve_ids(n: u64) -> u64 {
+    crate::span::reserve_span_ids(n)
+}
+
+/// [`emit`] with a caller-supplied span id from [`reserve_ids`] — the
+/// parallel-stage variant. The id must be unique for the process; reusing
+/// one makes the assembler drop the second copy as a duplicate.
+pub fn emit_at(
+    span: u64,
+    ctx: &TraceContext,
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    node: u32,
+    value: u64,
+) -> u64 {
     let retained = sink().push(TraceEvent {
         trace_id: ctx.trace_id,
         span,

@@ -50,15 +50,21 @@ pub struct Consumer {
     assignments: Vec<(TopicName, u32)>,
     positions: HashMap<(TopicName, u32), u64>,
     handles: HashMap<TopicName, Arc<SharedTopic>>,
+    /// The `stream.consumer.lag.<group>` gauge, resolved once at
+    /// construction so the per-poll publish is a single atomic store —
+    /// no name formatting and no registry lock on the poll path.
+    lag_gauge: cad3_obs::Handle<cad3_obs::Gauge>,
 }
 
 impl Consumer {
     /// Creates a consumer in `group` on `broker`.
     pub fn new(broker: Arc<Broker>, group: impl Into<String>, reset: OffsetReset) -> Self {
         let member = broker.allocate_member_id();
+        let group = group.into();
+        let lag_gauge = cad3_obs::registry().gauge(&format!("stream.consumer.lag.{group}"));
         Consumer {
             broker,
-            group: group.into(),
+            group,
             member,
             reset,
             subscribed: false,
@@ -66,6 +72,7 @@ impl Consumer {
             assignments: Vec::new(),
             positions: HashMap::new(),
             handles: HashMap::new(),
+            lag_gauge,
         }
     }
 
@@ -235,8 +242,7 @@ impl Consumer {
         if !cad3_obs::enabled() {
             return;
         }
-        let name = format!("stream.consumer.lag.{}", self.group);
-        cad3_obs::registry().gauge(&name).set(self.broker.group_lag(&self.group));
+        self.lag_gauge.set(self.broker.group_lag(&self.group));
     }
 
     /// Seeks every assigned partition to the log end (skip history).
@@ -541,6 +547,19 @@ mod tests {
             "commit drains the gauge"
         );
         assert_eq!(broker.group_lag("stalled"), 0);
+    }
+
+    #[test]
+    fn same_group_consumers_share_one_lag_gauge_cell() {
+        let (broker, _) = setup();
+        let a = Consumer::new(Arc::clone(&broker), "dedupe-group", OffsetReset::Earliest);
+        let b = Consumer::new(Arc::clone(&broker), "dedupe-group", OffsetReset::Earliest);
+        assert!(
+            cad3_obs::Handle::ptr_eq(&a.lag_gauge, &b.lag_gauge),
+            "repeated registration of one group must dedupe onto one cell"
+        );
+        let other = Consumer::new(broker, "dedupe-other", OffsetReset::Earliest);
+        assert!(!cad3_obs::Handle::ptr_eq(&a.lag_gauge, &other.lag_gauge));
     }
 
     #[test]

@@ -213,6 +213,13 @@ fn lint(update_baseline: bool) -> std::io::Result<bool> {
         let text = std::fs::read_to_string(path)?;
         violations.extend(rules::check_file(rel, &lexer::lex(&text), *kind));
     }
+    // The SLO contract is not a Rust source, but its metric references are
+    // linted against the same catalogue the span rules use.
+    let slos_path = root.join("slos.toml");
+    if slos_path.is_file() {
+        let text = std::fs::read_to_string(&slos_path)?;
+        violations.extend(rules::check_slos("slos.toml", &text));
+    }
 
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     for v in &violations {
@@ -477,6 +484,15 @@ mod main_tests {
         ] {
             assert!(analysis.sites.contains(site), "missing site {site}: {:?}", analysis.sites);
         }
+    }
+
+    /// End-to-end: the checked-in SLO contract references only catalogued
+    /// metrics, so no objective can silently evaluate to "no data" forever.
+    #[test]
+    fn real_slo_contract_is_anchored_to_the_catalogue() {
+        let text = std::fs::read_to_string(workspace_root().join("slos.toml")).expect("slos.toml");
+        let v = rules::check_slos("slos.toml", &text);
+        assert!(v.is_empty(), "slos.toml lint findings: {v:?}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub struct Violation {
 }
 
 /// Rule names, in reporting order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "ordering-comment",
     "no-panic",
     "no-as-cast",
@@ -33,6 +33,7 @@ pub const RULE_NAMES: [&str; 7] = [
     "no-bare-print",
     "obs-names",
     "span-names",
+    "slo-names",
 ];
 
 /// What kind of source tree a file came from; rules relax differently.
@@ -322,7 +323,7 @@ fn span_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
         if line.in_test {
             continue;
         }
-        for mac in ["span!", "trace_span!"] {
+        for mac in ["span!", "trace_span!", "trace_span_at!"] {
             for pos in find_words(&line.code, mac) {
                 let rest = line.code[pos + mac.len()..].trim_start();
                 let Some(args) = rest.strip_prefix('(') else {
@@ -370,6 +371,83 @@ fn span_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 8: the SLO contract must stay anchored to the metric catalogue.
+/// Every `metric = "..."` in the root `slos.toml` must name an entry of
+/// `cad3_obs::names` — either verbatim or as a span's derived `<name>_ns`
+/// latency histogram — and every `[slo.<name>]` section header must follow
+/// the lowercase dotted convention. This is the contract-level counterpart
+/// of `span-names`: an objective over a metric nobody emits would
+/// evaluate to "no data" forever and silently never fire.
+///
+/// `slos.toml` is not a Rust source, so this rule is invoked directly by
+/// `lint` on the file's text rather than through [`check_file`].
+pub fn check_slos(rel_path: &str, text: &str) -> Vec<Violation> {
+    let catalogue = name_catalogue();
+    let catalogued = |name: &str| {
+        catalogue.iter().any(|c| c == name)
+            || name.strip_suffix("_ns").is_some_and(|base| catalogue.iter().any(|c| c == base))
+    };
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        // `#` starts a comment; metric values are quoted, so a quote-aware
+        // strip keeps `#` inside names intact (names never carry one, but
+        // the parser this mirrors is quote-aware too).
+        let mut code = raw;
+        let mut in_quote = false;
+        for (i, c) in raw.char_indices() {
+            match c {
+                '"' => in_quote = !in_quote,
+                '#' if !in_quote => {
+                    code = &raw[..i];
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let line = code.trim();
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            if let Some(name) = header.strip_prefix("slo.") {
+                if !is_metric_name(name) {
+                    out.push(Violation {
+                        rule: "slo-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!(
+                            "SLO name {name:?} breaks the lowercase dotted convention"
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        if key.trim() != "metric" {
+            continue;
+        }
+        let Some(name) = value.trim().strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            out.push(Violation {
+                rule: "slo-names",
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                message: format!("`metric` value `{}` is not a quoted string", value.trim()),
+            });
+            continue;
+        };
+        if !catalogued(name) {
+            out.push(Violation {
+                rule: "slo-names",
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                message: format!(
+                    "metric {name:?} is not in the cad3_obs::names catalogue \
+                     (nor a catalogued span's `_ns` histogram)"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +458,31 @@ mod tests {
             .into_iter()
             .filter(|v| v.rule == rule)
             .collect()
+    }
+
+    #[test]
+    fn slo_contract_names_checked_against_catalogue() {
+        let good = "[health]\ntick_ms = 100\n\n[slo.rsu.latency.total]\n\
+                    metric = \"rsu.total_us\" # catalogued\nmax = 1\n";
+        assert!(check_slos("slos.toml", good).is_empty());
+        // A catalogued span's derived `_ns` histogram is accepted too.
+        let derived = "[slo.x.y]\nmetric = \"rsu.micro_batch_ns\"\n";
+        assert!(check_slos("slos.toml", derived).is_empty());
+
+        let bad_name = "[slo.Bad-Name]\nmetric = \"rsu.total_us\"\n";
+        let v = check_slos("slos.toml", bad_name);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("lowercase dotted"), "{}", v[0].message);
+
+        let bad_metric = "[slo.a.b]\nmetric = \"no.such.metric\"\n";
+        let v = check_slos("slos.toml", bad_metric);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("catalogue"), "{}", v[0].message);
+
+        let unquoted = "[slo.a.b]\nmetric = rsu.total_us\n";
+        let v = check_slos("slos.toml", unquoted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("quoted"), "{}", v[0].message);
     }
 
     #[test]
