@@ -1,7 +1,10 @@
-use super::{dt_hour_code, dt_schema, fuse_probability, Ad3Detector, Detection, Detector};
+use super::{
+    dt_hour_code, dt_schema, fuse_probability, scalar_detect_batch, Ad3Detector, Detection,
+    Detector, SCALAR_FALLBACK_MAX,
+};
 use crate::collaboration::{SummaryTracker, VehicleSummary};
 use crate::CoreError;
-use cad3_ml::{Dataset, DecisionTree, DecisionTreeParams};
+use cad3_ml::{Dataset, DecisionTree, DecisionTreeParams, FeatureBatch, TreeBatchPlan};
 use cad3_types::FeatureRecord;
 
 /// The collaborative detector (the paper's CAD3, Fig. 4).
@@ -15,6 +18,9 @@ use cad3_types::FeatureRecord;
 pub struct Cad3Detector {
     nb: Ad3Detector,
     tree: DecisionTree,
+    /// Flattened branchless plan for `tree`, precomputed at training time
+    /// for the RSU batch detect path.
+    tree_plan: TreeBatchPlan,
     fusion_weight: f64,
     summary_road_depth: Option<usize>,
 }
@@ -92,7 +98,8 @@ impl Cad3Detector {
             });
         }
         let tree = DecisionTree::fit(&ds, dt_params)?;
-        Ok(Cad3Detector { nb, tree, fusion_weight, summary_road_depth })
+        let tree_plan = tree.batch_plan();
+        Ok(Cad3Detector { nb, tree, tree_plan, fusion_weight, summary_road_depth })
     }
 
     /// The stage-1 (Naïve Bayes) detector.
@@ -150,6 +157,67 @@ impl Detector for Cad3Detector {
         match self.summary_road_depth {
             Some(d) => SummaryTracker::with_road_depth(d),
             None => SummaryTracker::new(),
+        }
+    }
+
+    fn detect_batch(
+        &self,
+        recs: &[FeatureRecord],
+        observe: &mut dyn FnMut(usize, f64) -> Option<VehicleSummary>,
+        out: &mut Vec<Option<Detection>>,
+    ) {
+        if recs.len() <= SCALAR_FALLBACK_MAX {
+            return scalar_detect_batch(self, recs, observe, out);
+        }
+        // Stage 1 once per record (the scalar path recomputes the same
+        // Naïve Bayes inside `detect_detailed`; the batch plan is
+        // bit-identical, so computing it once is exact).
+        let mut p_nb: Vec<Option<f64>> = Vec::with_capacity(recs.len());
+        self.nb.p_abnormal_batch(recs, &mut p_nb);
+
+        // Collaboration sweep, strictly in record order: the tracker state
+        // a record sees depends on every earlier record in the batch.
+        let mut summaries: Vec<Option<VehicleSummary>> = Vec::with_capacity(recs.len());
+        for (i, p) in p_nb.iter().enumerate() {
+            summaries.push(p.and_then(|p1| observe(i, p1)));
+        }
+
+        // Stage 2 as one column-major tree sweep over the fused rows.
+        let mut batch = FeatureBatch::new(3);
+        let mut rows: Vec<u32> = Vec::new();
+        for (i, rec) in recs.iter().enumerate() {
+            let (Some(p1), Some(summary)) = (p_nb[i], summaries[i].as_ref()) else { continue };
+            let p_x = fuse_probability(p1, Some(summary), self.fusion_weight);
+            let class_nb = u8::from(p1 < 0.5);
+            // Schema validation is vacuous for these rows, so the scalar
+            // path's `validate` check is skipped rather than mirrored:
+            // `dt_hour_code` is in {0, 1, 2} (Cat3), `class_nb` in {0, 1}
+            // (Cat2), and `p_x` is continuous (never checked). The width
+            // always matches, so `push_row` cannot fail either.
+            let _ = batch.push_row(&[dt_hour_code(rec.hour), p_x, class_nb as f64]);
+            rows.push(i as u32);
+        }
+        let n = batch.n_rows();
+        let mut keys = vec![0u64; 3 * n];
+        let mut cur = vec![0u32; n];
+        let mut proba = vec![0.0; self.tree_plan.n_classes() * n];
+        let mut fused: Vec<Option<f64>> = vec![None; recs.len()];
+        if self.tree_plan.predict_proba_into(&batch, &mut keys, &mut cur, &mut proba).is_ok() {
+            for (k, &i) in rows.iter().enumerate() {
+                fused[i as usize] = Some(proba[k * self.tree_plan.n_classes()]);
+            }
+        }
+
+        for (i, p) in p_nb.iter().enumerate() {
+            out.push(match (p, &fused[i]) {
+                // Collaboration RSU: the tree's abnormal-class probability.
+                (Some(_), Some(p_tree)) => Some(Detection::from_p_abnormal(*p_tree)),
+                // No summary yet: fall back to the stage-1 decision.
+                (Some(p1), None) if summaries[i].is_none() => Some(Detection::from_p_abnormal(*p1)),
+                // Summary present but the tree row was rejected: the scalar
+                // path would have errored on the same row.
+                _ => None,
+            });
         }
     }
 }

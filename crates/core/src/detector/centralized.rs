@@ -1,7 +1,10 @@
-use super::{nb_features, nb_schema, Detection, Detector};
+use super::{
+    nb_feature_array, nb_features, nb_schema, scalar_detect_batch, Detection, Detector,
+    SCALAR_FALLBACK_MAX,
+};
 use crate::collaboration::VehicleSummary;
 use crate::CoreError;
-use cad3_ml::{Dataset, NaiveBayes};
+use cad3_ml::{Dataset, FeatureBatch, NaiveBayes, NbBatchPlan};
 use cad3_types::FeatureRecord;
 
 /// The centralized baseline: a single Naïve Bayes model trained on *all*
@@ -13,6 +16,8 @@ use cad3_types::FeatureRecord;
 #[derive(Debug, Clone, PartialEq)]
 pub struct CentralizedDetector {
     model: NaiveBayes,
+    /// Column-major batch plan for `model`, precomputed at training time.
+    plan: NbBatchPlan,
 }
 
 impl CentralizedDetector {
@@ -27,7 +32,9 @@ impl CentralizedDetector {
         for rec in records {
             ds.push(nb_features(rec), rec.label.class() as usize)?;
         }
-        Ok(CentralizedDetector { model: NaiveBayes::fit(&ds)? })
+        let model = NaiveBayes::fit(&ds)?;
+        let plan = model.batch_plan();
+        Ok(CentralizedDetector { model, plan })
     }
 
     /// The abnormal-class probability for a record.
@@ -51,6 +58,37 @@ impl Detector for CentralizedDetector {
         _summary: Option<&VehicleSummary>,
     ) -> Result<Detection, CoreError> {
         Ok(Detection::from_p_abnormal(self.p_abnormal(rec)?))
+    }
+
+    fn detect_batch(
+        &self,
+        recs: &[FeatureRecord],
+        observe: &mut dyn FnMut(usize, f64) -> Option<VehicleSummary>,
+        out: &mut Vec<Option<Detection>>,
+    ) {
+        if recs.len() <= SCALAR_FALLBACK_MAX {
+            return scalar_detect_batch(self, recs, observe, out);
+        }
+        // One model city-wide: the whole batch is a single plan sweep.
+        let mut batch = FeatureBatch::new(4);
+        for rec in recs {
+            // Schema validation is vacuous for these rows — see
+            // `Ad3Detector::p_abnormal_batch` — and the width always
+            // matches, so `push_row` cannot fail either.
+            let _ = batch.push_row(&nb_feature_array(rec));
+        }
+        let n = batch.n_rows();
+        let mut ll = vec![0.0; self.plan.n_classes() * n];
+        let mut proba = vec![0.0; self.plan.n_classes() * n];
+        if self.plan.predict_proba_into(&batch, &mut ll, &mut proba).is_err() {
+            out.extend(recs.iter().map(|_| None));
+            return;
+        }
+        for i in 0..recs.len() {
+            let p = proba[i * self.plan.n_classes()];
+            let _ = observe(i, p);
+            out.push(Some(Detection::from_p_abnormal(p)));
+        }
     }
 }
 

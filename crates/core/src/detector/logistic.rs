@@ -1,8 +1,11 @@
-use super::{nb_features, nb_schema, Detection, Detector};
+use super::{
+    group_by_slot, nb_feature_array, nb_features, nb_schema, scalar_detect_batch, Detection,
+    Detector, PlanRouter, SCALAR_FALLBACK_MAX,
+};
 use crate::collaboration::VehicleSummary;
 use crate::CoreError;
 use cad3_data::TimeBucket;
-use cad3_ml::{Dataset, LogisticParams, LogisticRegression};
+use cad3_ml::{Dataset, FeatureBatch, LogisticParams, LogisticRegression, LrBatchPlan};
 use cad3_types::{FeatureRecord, RoadType};
 use std::collections::HashMap;
 
@@ -15,6 +18,9 @@ use std::collections::HashMap;
 pub struct LogisticAd3Detector {
     models: HashMap<(RoadType, TimeBucket), LogisticRegression>,
     pooled: HashMap<RoadType, LogisticRegression>,
+    /// Column-major batch plans behind a dense (road, bucket) routing
+    /// table, precomputed at training time for the RSU detect path.
+    router: PlanRouter<LrBatchPlan>,
 }
 
 impl LogisticAd3Detector {
@@ -57,7 +63,11 @@ impl LogisticAd3Detector {
                 what: "no context had examples of both classes".to_owned(),
             });
         }
-        Ok(LogisticAd3Detector { models, pooled })
+        let router = PlanRouter::build(
+            |road, bucket| models.get(&(road, bucket)).map(LogisticRegression::batch_plan),
+            |road| pooled.get(&road).map(LogisticRegression::batch_plan),
+        );
+        Ok(LogisticAd3Detector { models, pooled, router })
     }
 
     /// The abnormal-class probability for a record.
@@ -75,6 +85,53 @@ impl LogisticAd3Detector {
         // Class 0 is abnormal in the paper's convention.
         Ok(model.predict_proba(&nb_features(rec))?[0])
     }
+
+    /// Batched [`LogisticAd3Detector::p_abnormal`]: one entry per record,
+    /// `None` where the scalar path errors. Bit-identical to the scalar
+    /// path; grouping mirrors the context → pooled fallback.
+    pub fn p_abnormal_batch(&self, recs: &[FeatureRecord], out: &mut Vec<Option<f64>>) {
+        let base = out.len();
+        out.resize(base + recs.len(), None);
+        // Dense-LUT routing + counting-sort grouping, deterministic by
+        // construction — see `Ad3Detector::p_abnormal_batch`.
+        let mut slots: Vec<u16> = Vec::with_capacity(recs.len());
+        for rec in recs {
+            slots.push(self.router.slot(rec.road_type, TimeBucket::of(rec.hour)));
+        }
+        let mut starts: Vec<u32> = Vec::new();
+        let mut grouped: Vec<u32> = Vec::new();
+        group_by_slot(&slots, self.router.n_slots(), &mut starts, &mut grouped);
+        let mut batch = FeatureBatch::new(4);
+        let mut p1 = Vec::new();
+        let mut proba = Vec::new();
+        for slot in 1..=self.router.n_slots() as u16 {
+            let idxs = &grouped
+                [starts[usize::from(slot)] as usize..starts[usize::from(slot) + 1] as usize];
+            if idxs.is_empty() {
+                continue;
+            }
+            let plan = self.router.plan(slot);
+            batch.clear();
+            for &i in idxs {
+                // Schema validation is vacuous for these rows — see
+                // `Ad3Detector::p_abnormal_batch` — and the width always
+                // matches, so `push_row` cannot fail either.
+                let _ = batch.push_row(&nb_feature_array(&recs[i as usize]));
+            }
+            let n = batch.n_rows();
+            p1.clear();
+            p1.resize(n, 0.0);
+            proba.clear();
+            proba.resize(2 * n, 0.0);
+            if plan.predict_proba_into(&batch, &mut p1, &mut proba).is_err() {
+                continue;
+            }
+            for (k, &i) in idxs.iter().enumerate() {
+                // proba is row-major [P(0), P(1)]; class 0 is abnormal.
+                out[base + i as usize] = Some(proba[k * 2]);
+            }
+        }
+    }
 }
 
 impl Detector for LogisticAd3Detector {
@@ -88,6 +145,27 @@ impl Detector for LogisticAd3Detector {
         _summary: Option<&VehicleSummary>,
     ) -> Result<Detection, CoreError> {
         Ok(Detection::from_p_abnormal(self.p_abnormal(rec)?))
+    }
+
+    fn detect_batch(
+        &self,
+        recs: &[FeatureRecord],
+        observe: &mut dyn FnMut(usize, f64) -> Option<VehicleSummary>,
+        out: &mut Vec<Option<Detection>>,
+    ) {
+        if recs.len() <= SCALAR_FALLBACK_MAX {
+            return scalar_detect_batch(self, recs, observe, out);
+        }
+        let mut p_abn: Vec<Option<f64>> = Vec::with_capacity(recs.len());
+        self.p_abnormal_batch(recs, &mut p_abn);
+        for (i, p) in p_abn.iter().enumerate() {
+            let Some(p) = *p else {
+                out.push(None);
+                continue;
+            };
+            let _ = observe(i, p);
+            out.push(Some(Detection::from_p_abnormal(p)));
+        }
     }
 }
 

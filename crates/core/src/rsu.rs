@@ -265,16 +265,23 @@ impl RsuNode {
         );
         let outcomes: Vec<RecordOutcome> = PartitionedDataset::from_partitions(buckets)
             .map_partitions(&self.executor, |part| {
-                let mut out = Vec::with_capacity(part.len());
-                let Some((first_vehicle, _, _)) = part.first() else { return out };
+                let Some((first_vehicle, _, _)) = part.first() else { return Vec::new() };
                 let _held = cad3_lockrank::rank_scope!("cad3::RsuNode::shards");
                 let mut tracker = shards[(*first_vehicle % n_shards as u64) as usize].lock();
+
+                // Phase 1: decode and emit the queue spans in input order,
+                // compacting decodable records into a contiguous feature
+                // slice for the batched detect sweep.
+                let mut queuings = Vec::with_capacity(part.len());
+                let mut traces = Vec::with_capacity(part.len());
+                let mut statuses: Vec<Option<VehicleStatus>> = Vec::with_capacity(part.len());
+                let mut feats = Vec::with_capacity(part.len());
                 for (_, span_base, rec) in part {
-                    let queuing = now.saturating_since(SimTime::from_nanos(rec.timestamp));
+                    queuings.push(now.saturating_since(SimTime::from_nanos(rec.timestamp)));
                     // A sampled record's broker wait becomes an `rsu.queue`
                     // span (arrival at the log to batch start), emitted on
                     // the first of the record's pre-reserved ids.
-                    let trace = rec.trace.map(|ctx| {
+                    traces.push(rec.trace.map(|ctx| {
                         let span = cad3_obs::trace_span_at!(
                             "rsu.queue",
                             *span_base,
@@ -284,19 +291,43 @@ impl RsuNode {
                             node
                         );
                         ctx.child(span)
-                    });
+                    }));
                     let mut buf: Bytes = rec.value.clone();
-                    let Ok(status) = VehicleStatus::decode(&mut buf) else {
+                    match VehicleStatus::decode(&mut buf) {
+                        Ok(status) => {
+                            feats.push(status.to_feature());
+                            statuses.push(Some(status));
+                        }
+                        Err(_) => statuses.push(None),
+                    }
+                }
+
+                // Phase 2: one column-major detect sweep over the shard's
+                // records. The tracker observes each stage-1 probability in
+                // record order through the hook, so a vehicle's later
+                // records see exactly the summary state the scalar loop
+                // would have produced.
+                let mut detections = Vec::with_capacity(feats.len());
+                detector.detect_batch(
+                    &feats,
+                    &mut |i, p1| tracker.observe(feats[i].vehicle, feats[i].road, p1),
+                    &mut detections,
+                );
+
+                // Phase 3: per-record outcomes in input order — detect
+                // spans on the pre-reserved ids, warnings for abnormal
+                // records, road-speed observations.
+                let mut out = Vec::with_capacity(part.len());
+                let mut row = 0usize;
+                let per_record = part.iter().zip(queuings).zip(statuses.into_iter().zip(traces));
+                for (((_, span_base, _), queuing), (status, trace)) in per_record {
+                    let Some(status) = status else {
                         out.push((queuing, false, None, None, trace));
                         continue;
                     };
-                    let feature = status.to_feature();
-                    let Ok(p_stage1) = detector.stage1_p_abnormal(&feature) else {
-                        out.push((queuing, false, None, None, trace));
-                        continue;
-                    };
-                    let summary = tracker.observe(status.vehicle, status.road, p_stage1);
-                    let Ok(detection) = detector.detect(&feature, summary.as_ref()) else {
+                    let detection = detections.get(row).copied().flatten();
+                    row += 1;
+                    let Some(detection) = detection else {
                         out.push((queuing, false, None, None, trace));
                         continue;
                     };

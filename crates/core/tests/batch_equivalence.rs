@@ -1,0 +1,155 @@
+//! The batched detect path must be bit-identical to the scalar loop.
+//!
+//! Each built-in detector overrides `Detector::detect_batch` with a
+//! column-major plan sweep; this test runs the same records through the
+//! trait's default (scalar) implementation via a delegating wrapper that
+//! does *not* override the method, and asserts that every detection and
+//! the full collaboration-tracker end state come out bit-for-bit equal.
+
+use cad3::detector::{
+    Ad3Detector, Cad3Detector, CentralizedDetector, Detection, DetectionConfig, Detector,
+    LogisticAd3Detector,
+};
+use cad3::{SummaryTracker, VehicleSummary};
+use cad3_data::{DatasetConfig, SyntheticDataset};
+use cad3_ml::LogisticParams;
+use cad3_types::{FeatureRecord, RoadType, RsuId, SimTime};
+
+/// Delegates everything except `detect_batch`, so the trait's default
+/// scalar loop runs against the same underlying model.
+struct ScalarRef<'a, D: Detector>(&'a D);
+
+impl<D: Detector> Detector for ScalarRef<'_, D> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn detect(
+        &self,
+        rec: &FeatureRecord,
+        summary: Option<&VehicleSummary>,
+    ) -> Result<Detection, cad3::CoreError> {
+        self.0.detect(rec, summary)
+    }
+    fn stage1_p_abnormal(&self, rec: &FeatureRecord) -> Result<f64, cad3::CoreError> {
+        self.0.stage1_p_abnormal(rec)
+    }
+    fn new_tracker(&self) -> SummaryTracker {
+        self.0.new_tracker()
+    }
+}
+
+/// Runs `det.detect_batch` over `records` in micro-batches against a live
+/// tracker, returning the detections and the tracker end state.
+fn run(
+    det: &dyn Detector,
+    records: &[FeatureRecord],
+    chunk: usize,
+) -> (Vec<Option<Detection>>, SummaryTracker) {
+    let mut tracker = det.new_tracker();
+    let mut out = Vec::with_capacity(records.len());
+    for batch in records.chunks(chunk) {
+        det.detect_batch(
+            batch,
+            &mut |i, p1| tracker.observe(batch[i].vehicle, batch[i].road, p1),
+            &mut out,
+        );
+    }
+    (out, tracker)
+}
+
+fn assert_equivalent(fast: &dyn Detector, scalar: &dyn Detector, records: &[FeatureRecord]) {
+    // Odd chunk sizes so batches straddle trip boundaries.
+    for chunk in [1usize, 7, 97, 1024] {
+        let (batched, t_batched) = run(fast, records, chunk);
+        let (expected, t_expected) = run(scalar, records, chunk);
+        assert_eq!(batched.len(), records.len());
+        assert_eq!(expected.len(), records.len());
+        for (i, (b, e)) in batched.iter().zip(&expected).enumerate() {
+            match (b, e) {
+                (Some(b), Some(e)) => {
+                    assert_eq!(b.label, e.label, "record {i} (chunk {chunk})");
+                    assert_eq!(
+                        b.p_abnormal.to_bits(),
+                        e.p_abnormal.to_bits(),
+                        "record {i} (chunk {chunk}): {} vs {}",
+                        b.p_abnormal,
+                        e.p_abnormal
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("record {i} (chunk {chunk}): {b:?} vs {e:?}"),
+            }
+        }
+        // The collaboration state the next batch would see must match too.
+        assert_eq!(t_batched.vehicles(), t_expected.vehicles(), "chunk {chunk}");
+        for v in t_batched.vehicles() {
+            let b = t_batched.export(v, RsuId(0), SimTime::ZERO);
+            let e = t_expected.export(v, RsuId(0), SimTime::ZERO);
+            match (b, e) {
+                (Some(b), Some(e)) => {
+                    assert_eq!(b.count, e.count, "vehicle {v:?} (chunk {chunk})");
+                    assert_eq!(b.last_class, e.last_class, "vehicle {v:?} (chunk {chunk})");
+                    assert_eq!(
+                        b.mean_probability.to_bits(),
+                        e.mean_probability.to_bits(),
+                        "vehicle {v:?} (chunk {chunk})"
+                    );
+                }
+                (None, None) => {}
+                (b, e) => panic!("vehicle {v:?} (chunk {chunk}): {b:?} vs {e:?}"),
+            }
+        }
+    }
+}
+
+fn corpus() -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::small(7))
+}
+
+#[test]
+fn ad3_batch_matches_scalar() {
+    let ds = corpus();
+    let cut = ds.features.len() * 8 / 10;
+    let det = Ad3Detector::train(&ds.features[..cut]).unwrap();
+    assert_equivalent(&det, &ScalarRef(&det), &ds.features[cut..]);
+}
+
+#[test]
+fn cad3_batch_matches_scalar() {
+    let ds = corpus();
+    let cut = ds.features.len() * 8 / 10;
+    let cfg = DetectionConfig::default();
+    let det = Cad3Detector::train(&ds.features[..cut], cfg.dt_params, cfg.fusion_weight).unwrap();
+    assert_equivalent(&det, &ScalarRef(&det), &ds.features[cut..]);
+}
+
+#[test]
+fn centralized_batch_matches_scalar() {
+    let ds = corpus();
+    let cut = ds.features.len() * 8 / 10;
+    let det = CentralizedDetector::train(&ds.features[..cut]).unwrap();
+    assert_equivalent(&det, &ScalarRef(&det), &ds.features[cut..]);
+}
+
+#[test]
+fn logistic_batch_matches_scalar() {
+    let ds = corpus();
+    let cut = ds.features.len() * 8 / 10;
+    let det = LogisticAd3Detector::train(&ds.features[..cut], LogisticParams::default()).unwrap();
+    assert_equivalent(&det, &ScalarRef(&det), &ds.features[cut..]);
+}
+
+#[test]
+fn missing_models_stay_none_in_batch() {
+    // Train on motorway records only; link records must come back `None`
+    // from both paths (scalar: `NoModelForRoadType`), at every position.
+    let ds = corpus();
+    let motorway_only: Vec<FeatureRecord> =
+        ds.features.iter().filter(|f| f.road_type == RoadType::Motorway).copied().collect();
+    let det = Ad3Detector::train(&motorway_only).unwrap();
+    assert_equivalent(&det, &ScalarRef(&det), &ds.features);
+    let (out, _) = run(&det, &ds.features, 64);
+    let n_links = ds.features.iter().filter(|f| f.road_type != RoadType::Motorway).count();
+    assert!(n_links > 0, "corpus has link records");
+    assert_eq!(out.iter().filter(|d| d.is_none()).count(), n_links);
+}

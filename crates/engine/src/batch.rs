@@ -91,6 +91,13 @@ impl MicroBatchRunner {
         let n: usize = grouped.iter().map(|g| g.records.len()).sum();
         cad3_obs::counter!("engine.batches").inc();
         cad3_obs::counter!("engine.batch.records").add(len_u64(n));
+        if n > 0 {
+            // Batch-size distribution (log2 buckets) and total rows swept by
+            // the batched detect path — the two signals that tell whether
+            // the column-major sweep actually sees multi-row batches.
+            cad3_obs::histogram!("rsu.detect.batch_size").observe(len_u64(n));
+            cad3_obs::counter!("ml.batch.rows").add(len_u64(n));
+        }
 
         // Deterministic partition order regardless of assignment order.
         grouped.sort_unstable_by(|a, b| {

@@ -216,6 +216,72 @@ impl DecisionTree {
         c(&self.root)
     }
 
+    /// Builds the flattened branchless batch-evaluation plan for this tree.
+    ///
+    /// Nodes are laid out depth-first into parallel arrays; thresholds are
+    /// quantized into order-preserving [`crate::batch::ord_key`] keys (an
+    /// exact order isomorphism, so no decision can change) and leaves point
+    /// to themselves so every row can be advanced for a fixed `depth()`
+    /// iterations with an arithmetic child select. Outputs are
+    /// bit-identical to the scalar walk — see [`crate::batch`].
+    pub fn batch_plan(&self) -> crate::batch::TreeBatchPlan {
+        struct FlatNode {
+            feat: u32,
+            tkey: u64,
+            left: u32,
+            right: u32,
+        }
+        fn flatten(
+            node: &Node,
+            n_classes: usize,
+            nodes: &mut Vec<FlatNode>,
+            probs: &mut Vec<f64>,
+        ) -> u32 {
+            let idx = nodes.len() as u32;
+            let base = probs.len();
+            match node {
+                Node::Leaf { probs: p } => {
+                    // Self-loop: once a row reaches a leaf it stays there
+                    // for the remaining level sweeps.
+                    nodes.push(FlatNode { feat: 0, tkey: 0, left: idx, right: idx });
+                    probs.extend_from_slice(p);
+                    // Leaf distributions are n_classes long by fit
+                    // construction; pad-or-trim keeps the layout total.
+                    probs.truncate(base + n_classes);
+                    probs.resize(base + n_classes, 0.0);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    nodes.push(FlatNode {
+                        feat: *feature as u32,
+                        tkey: crate::batch::ord_key(*threshold),
+                        left: 0,
+                        right: 0,
+                    });
+                    probs.resize(base + n_classes, 0.0);
+                    let li = flatten(left, n_classes, nodes, probs);
+                    let ri = flatten(right, n_classes, nodes, probs);
+                    if let Some(n) = nodes.get_mut(idx as usize) {
+                        n.left = li;
+                        n.right = ri;
+                    }
+                }
+            }
+            idx
+        }
+        let mut nodes = Vec::new();
+        let mut probs = Vec::new();
+        flatten(&self.root, self.n_classes, &mut nodes, &mut probs);
+        crate::batch::TreeBatchPlan {
+            schema: self.schema.clone(),
+            n_classes: self.n_classes,
+            depth: self.depth(),
+            feat: nodes.iter().map(|n| n.feat).collect(),
+            tkey: nodes.iter().map(|n| n.tkey).collect(),
+            children: nodes.iter().flat_map(|n| [n.left, n.right]).collect(),
+            probs,
+        }
+    }
+
     /// Class distribution at the leaf `row` falls into.
     ///
     /// # Errors

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod dataset;
 mod decision_tree;
 mod error;
@@ -46,6 +47,7 @@ mod naive_bayes;
 mod split;
 mod stats;
 
+pub use batch::{FeatureBatch, LrBatchPlan, NbBatchPlan, TreeBatchPlan};
 pub use dataset::{Dataset, FeatureKind, Schema};
 pub use decision_tree::{DecisionTree, DecisionTreeParams};
 pub use error::MlError;

@@ -155,6 +155,22 @@ impl LogisticRegression {
         out
     }
 
+    /// Builds the column-major batch-evaluation plan for this model.
+    ///
+    /// The plan copies the standardisation constants, design offsets and
+    /// weights so evaluation can sweep whole feature columns without the
+    /// per-record sparse design row. Outputs are bit-identical to the
+    /// scalar path — see [`crate::batch`].
+    pub fn batch_plan(&self) -> crate::batch::LrBatchPlan {
+        crate::batch::LrBatchPlan {
+            schema: self.schema.clone(),
+            standardise: self.standardise.clone(),
+            offsets: self.offsets.clone(),
+            weights: self.weights.clone(),
+            bias: self.bias,
+        }
+    }
+
     /// Probability of class 1.
     ///
     /// # Errors

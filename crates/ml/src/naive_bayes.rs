@@ -147,6 +147,57 @@ impl NaiveBayes {
         Ok(exps.into_iter().map(|e| e / sum).collect())
     }
 
+    /// Builds the column-major batch-evaluation plan for this model.
+    ///
+    /// The plan carries everything prediction needs in sweep-friendly
+    /// tables: per-class log-priors, `(mean, var, ln(2π·var))` per
+    /// continuous feature (the `ln` hoisted out of the per-record loop) and
+    /// the class-major category log-probability tables. Its outputs are
+    /// bit-identical to the scalar path — see [`crate::batch`].
+    pub fn batch_plan(&self) -> crate::batch::NbBatchPlan {
+        use crate::batch::{NbBatchPlan, NbPlanCol};
+        let n_classes = self.log_priors.len();
+        let mut cols: Vec<NbPlanCol> = self
+            .models
+            .first()
+            .map(|first_class| {
+                first_class
+                    .iter()
+                    .map(|fm| match fm {
+                        FeatureModel::Gaussian { .. } => {
+                            NbPlanCol::Gaussian { per_class: Vec::with_capacity(n_classes) }
+                        }
+                        FeatureModel::Categorical { log_probs } => NbPlanCol::Categorical {
+                            cardinality: log_probs.len(),
+                            log_probs: Vec::with_capacity(n_classes * log_probs.len()),
+                        },
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for class_models in &self.models {
+            for (col, fm) in cols.iter_mut().zip(class_models) {
+                match (col, fm) {
+                    (NbPlanCol::Gaussian { per_class }, FeatureModel::Gaussian { mean, var }) => {
+                        // The hoisted log-normaliser: the exact expression
+                        // `gaussian_log_pdf` evaluates per record, computed
+                        // once here on the same input bits.
+                        per_class.push((*mean, *var, (2.0 * std::f64::consts::PI * var).ln()));
+                    }
+                    (
+                        NbPlanCol::Categorical { log_probs, .. },
+                        FeatureModel::Categorical { log_probs: lp },
+                    ) => log_probs.extend_from_slice(lp),
+                    // A kind mismatch across classes cannot occur for a
+                    // fitted model (fit derives every class's column from
+                    // the same schema); skip rather than panic.
+                    _ => {}
+                }
+            }
+        }
+        NbBatchPlan { schema: self.schema.clone(), log_priors: self.log_priors.clone(), cols }
+    }
+
     /// The most probable class.
     ///
     /// # Errors

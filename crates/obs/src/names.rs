@@ -60,6 +60,10 @@ pub const RSU_WARNINGS: &str = "rsu.warnings";
 pub const RSU_SUMMARIES_IN: &str = "rsu.handover.summaries_in";
 /// Collaboration summaries exported for the next RSU (counter).
 pub const RSU_SUMMARIES_OUT: &str = "rsu.handover.summaries_out";
+/// Records per detect micro-batch (log2-bucketed histogram).
+pub const RSU_DETECT_BATCH_SIZE: &str = "rsu.detect.batch_size";
+/// Rows swept by the batched column-major detect path (counter).
+pub const ML_BATCH_ROWS: &str = "ml.batch.rows";
 
 /// Fig. 6a decomposition histograms, microseconds of *modelled* (virtual)
 /// time, fed by `cad3::LatencyStats::record` (exporter-gated).
@@ -159,6 +163,8 @@ pub const ALL: &[&str] = &[
     RSU_WARNINGS,
     RSU_SUMMARIES_IN,
     RSU_SUMMARIES_OUT,
+    RSU_DETECT_BATCH_SIZE,
+    ML_BATCH_ROWS,
     RSU_TX_US,
     RSU_QUEUING_US,
     RSU_PROCESSING_US,
@@ -231,6 +237,8 @@ pub const HELP: &[(&str, &str)] = &[
     (RSU_WARNINGS, "Warnings emitted by RSUs."),
     (RSU_SUMMARIES_IN, "Collaboration summaries received on CO-DATA."),
     (RSU_SUMMARIES_OUT, "Collaboration summaries exported for the next RSU."),
+    (RSU_DETECT_BATCH_SIZE, "Records per detect micro-batch, log2 buckets."),
+    (ML_BATCH_ROWS, "Rows swept by the batched column-major detect path."),
     (RSU_TX_US, "Modelled DSRC transmission stage in microseconds."),
     (RSU_QUEUING_US, "Modelled queuing stage in microseconds."),
     (RSU_PROCESSING_US, "Modelled processing stage in microseconds."),
