@@ -265,6 +265,17 @@ fn check(path: &Path) -> ExitCode {
             println!("ok: {key} {now:.0} rec/s (baseline {base:.0})");
         }
     }
+    // Advisory longitudinal view: warn (never fail) when this run drifts
+    // outside the band around the newest history entry, then append the
+    // run so the series stays current.
+    let hist = cad3_bench::history::history_path();
+    if let Some(last) = cad3_bench::history::last_entry(&hist, "stream") {
+        for w in cad3_bench::history::drift_warnings(&last, &fresh, &METRIC_KEYS, REGRESSION_FLOOR)
+        {
+            println!("WARN: {w}");
+        }
+    }
+    cad3_bench::history::append(&hist, "stream", true, &fresh);
     if ok {
         println!("bench-smoke PASS");
         ExitCode::SUCCESS
@@ -321,6 +332,7 @@ fn main() -> ExitCode {
         return check(&out);
     }
     let metrics = measure(quick);
+    cad3_bench::history::append(&cad3_bench::history::history_path(), "stream", quick, &metrics);
     match label {
         Some(label) => write(&out, &label, metrics, quick),
         None => println!("(no --label: results not written)"),

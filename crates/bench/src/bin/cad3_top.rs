@@ -62,7 +62,13 @@ fn main() {
         hook: Box::new(move |now| {
             let mut mon = hook_monitor.borrow_mut();
             mon.tick(now.as_nanos());
-            hook_frames.borrow_mut().push(console::frame(&mon, now.as_nanos()));
+            let mut frame = console::frame(&mon, now.as_nanos());
+            frame.push('\n');
+            frame.push_str(&console::profile_block(
+                &cad3_obs::profile::snapshot(),
+                &cad3_obs::profile::live_stacks(),
+            ));
+            hook_frames.borrow_mut().push(frame);
         }),
     };
 

@@ -8,10 +8,13 @@
 
 use crate::tables;
 use cad3_obs::health::SloRow;
-use cad3_obs::{AlertEvent, HealthMonitor, HealthState};
+use cad3_obs::{AlertEvent, HealthMonitor, HealthState, ProfileSnapshot, StackView};
 
 /// How many alert transitions the frame's tail shows.
 const RECENT_ALERTS: usize = 8;
+
+/// How many stage paths the profiler panel shows.
+const TOP_STAGES: usize = 6;
 
 /// Renders one full console frame: header, per-RSU health states, the SLO
 /// table and the most recent alert transitions.
@@ -102,6 +105,48 @@ pub fn alerts_block<'a>(events: impl Iterator<Item = &'a AlertEvent>, shed: u64)
     out
 }
 
+/// The continuous-profiler panel: the heaviest stage paths by self-time
+/// (ties broken by call count, then path, so virtual-clock frames are
+/// stable) plus each live thread's currently open stage stack.
+pub fn profile_block(snap: &ProfileSnapshot, stacks: &[StackView]) -> String {
+    let mut rows: Vec<(&String, &cad3_obs::StageTotals)> =
+        snap.stages.iter().filter(|(_, t)| t.calls > 0).collect();
+    rows.sort_by(|a, b| {
+        b.1.self_ns
+            .cmp(&a.1.self_ns)
+            .then_with(|| b.1.calls.cmp(&a.1.calls))
+            .then_with(|| a.0.cmp(b.0))
+    });
+    let total_self: u64 = rows.iter().map(|(_, t)| t.self_ns).sum();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .take(TOP_STAGES)
+        .map(|(path, t)| {
+            vec![
+                (*path).clone(),
+                t.calls.to_string(),
+                tables::f(t.self_ns as f64 / 1e6, 2),
+                if total_self == 0 {
+                    "-".to_owned()
+                } else {
+                    tables::f(t.self_ns as f64 * 100.0 / total_self as f64, 1)
+                },
+            ]
+        })
+        .collect();
+    let mut out = String::from("top stages (self-time):\n");
+    out.push_str(&tables::render(&["stage path", "calls", "self ms", "self %"], &body));
+    if !stacks.is_empty() {
+        out.push_str("live stacks:\n");
+        for s in stacks {
+            let path = if s.stages.is_empty() { "(idle)".to_owned() } else { s.stages.join(";") };
+            let truncated = if s.depth > s.stages.len() { " …" } else { "" };
+            out.push_str(&format!("  [{}] {path}{truncated}\n", s.class));
+        }
+    }
+    out
+}
+
 /// A burn multiple for the table: `-` while the window is empty, `inf`
 /// past any zero budget.
 fn fmt_burn(burn: Option<f64>) -> String {
@@ -172,6 +217,7 @@ mod tests {
                     counters: Default::default(),
                     gauges: [("engine.batch.queue_depth".to_owned(), 50u64)].into_iter().collect(),
                     histograms: Default::default(),
+                    exemplars: Default::default(),
                 },
             );
         }
@@ -181,5 +227,43 @@ mod tests {
         assert!(f.contains("FIRE"), "{f}");
         assert!(f.contains("ticks=2"), "{f}");
         assert!(f.contains("FIRING"), "{f}");
+    }
+
+    #[test]
+    fn profile_block_ranks_stages_and_shows_live_stacks() {
+        let mut snap = ProfileSnapshot::default();
+        snap.stages.insert(
+            "main;rsu.micro_batch".to_owned(),
+            cad3_obs::StageTotals { calls: 10, self_ns: 1_000_000, total_ns: 9_000_000 },
+        );
+        snap.stages.insert(
+            "main;rsu.micro_batch;rsu.detect".to_owned(),
+            cad3_obs::StageTotals { calls: 10, self_ns: 8_000_000, total_ns: 8_000_000 },
+        );
+        snap.stages.insert("main;cold".to_owned(), cad3_obs::StageTotals::default());
+        let stacks = vec![
+            StackView { class: "main", depth: 2, stages: vec!["rsu.micro_batch", "rsu.detect"] },
+            StackView { class: "worker", depth: 0, stages: vec![] },
+        ];
+        let block = profile_block(&snap, &stacks);
+        // The heavier stage leads the table and the zero-call path is gone.
+        let detect = block.find("rsu.micro_batch;rsu.detect").expect("detect row");
+        assert!(block.contains("top stages"), "{block}");
+        assert!(!block.contains("main;cold"), "{block}");
+        assert!(block.find("88.9").is_some_and(|p| p > detect), "{block}");
+        assert!(block.contains("[main] rsu.micro_batch;rsu.detect"), "{block}");
+        assert!(block.contains("[worker] (idle)"), "{block}");
+    }
+
+    #[test]
+    fn profile_block_handles_a_zero_weight_snapshot() {
+        let mut snap = ProfileSnapshot::default();
+        snap.stages.insert(
+            "main;virtual".to_owned(),
+            cad3_obs::StageTotals { calls: 3, self_ns: 0, total_ns: 0 },
+        );
+        let block = profile_block(&snap, &[]);
+        assert!(block.contains("main;virtual"), "{block}");
+        assert!(!block.contains("live stacks"), "{block}");
     }
 }

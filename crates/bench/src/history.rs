@@ -1,0 +1,199 @@
+//! Dated benchmark history (`BENCH_history.jsonl`).
+//!
+//! The checked-in `BENCH_*.json` baselines hold one before/after pair
+//! each — writing a new label overwrites the old number. This module adds
+//! the longitudinal view: every `bench_stream` / `bench_detect` run
+//! appends one line
+//!
+//! ```text
+//! {"bench":"stream","date":"2026-08-08","quick":true,"metrics":{...}}
+//! ```
+//!
+//! to `BENCH_history.jsonl` at the repo root, so throughput over the PR
+//! sequence is a queryable series. The CI bench-smoke job compares a
+//! fresh quick run against the most recent entry for the same bench and
+//! **warns** above the drift floor — history drift is advisory (machines
+//! and entry modes differ across the series); the hard gate stays the
+//! per-file baselines.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Where the history series lives: the repo root, next to the
+/// `BENCH_*.json` baselines it complements.
+pub fn history_path() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../../BENCH_history.jsonl"),
+        Err(_) => PathBuf::from("BENCH_history.jsonl"),
+    }
+}
+
+/// The entry date as `YYYY-MM-DD`: `CAD3_BENCH_DATE` when set (CI and
+/// tests pin it for reproducible entries), else the system `date +%F`,
+/// else `"unknown"`. The workspace `no-wallclock` lint keeps direct clock
+/// reads confined to the obs clock, which deliberately has no calendar —
+/// a date string is not worth widening that exemption.
+pub fn run_date() -> String {
+    if let Ok(d) = std::env::var("CAD3_BENCH_DATE") {
+        if !d.is_empty() {
+            return d;
+        }
+    }
+    std::process::Command::new("date")
+        .arg("+%F")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Builds one history entry line (no trailing newline).
+pub fn entry(bench: &str, date: &str, quick: bool, metrics: &Json) -> String {
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str(bench.to_owned())),
+        ("date".to_owned(), Json::Str(date.to_owned())),
+        ("quick".to_owned(), Json::Bool(quick)),
+        ("metrics".to_owned(), metrics.clone()),
+    ]);
+    doc.to_compact_string()
+}
+
+/// Appends one dated entry for `bench` to the history file. Failures are
+/// non-fatal and counted on `bench.results.errors`, like
+/// [`crate::write_json`] — the history is an artefact, not a gate.
+pub fn append(path: &Path, bench: &str, quick: bool, metrics: &Json) {
+    let mut text = std::fs::read_to_string(path).unwrap_or_default();
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&entry(bench, &run_date(), quick, metrics));
+    text.push('\n');
+    if std::fs::write(path, text).is_err() {
+        cad3_obs::counter!("bench.results.errors").inc();
+    } else {
+        cad3_obs::counter!("bench.results.written").inc();
+    }
+}
+
+/// The most recent entry for `bench`, if any. Unparseable lines are
+/// skipped (the file is append-only across toolchain generations).
+pub fn last_entry(path: &Path, bench: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(|line| Json::parse(line).ok())
+        .rfind(|doc| matches!(doc.get("bench"), Some(Json::Str(b)) if b == bench))
+}
+
+/// Advisory drift lines comparing `fresh` metrics against the newest
+/// history `last` entry: one warning per key whose fresh value falls
+/// below `floor × previous` or above `previous ÷ floor`. Empty when
+/// everything is within the band (or nothing is comparable).
+pub fn drift_warnings(last: &Json, fresh: &Json, keys: &[&str], floor: f64) -> Vec<String> {
+    let date = match last.get("date") {
+        Some(Json::Str(d)) => d.as_str(),
+        _ => "unknown",
+    };
+    let mut out = Vec::new();
+    for &key in keys {
+        let base = last.get("metrics").and_then(|m| m.get(key)).and_then(Json::as_f64);
+        let now = fresh.get(key).and_then(Json::as_f64);
+        let (Some(base), Some(now)) = (base, now) else { continue };
+        if base <= 0.0 {
+            continue;
+        }
+        let ratio = now / base;
+        if ratio < floor || ratio > 1.0 / floor {
+            out.push(format!(
+                "history drift: {key} {now:.0} rec/s is x{ratio:.2} of the {date} entry \
+                 ({base:.0} rec/s, advisory band x{floor:.2}..x{:.2})",
+                1.0 / floor,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(v: f64) -> Json {
+        Json::Obj(vec![("k_rps".to_owned(), Json::Num(v))])
+    }
+
+    #[test]
+    fn append_then_last_entry_round_trips() {
+        let dir = std::env::temp_dir().join("cad3_bench_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append(&path, "stream", true, &metrics(100.0));
+        append(&path, "detect", false, &metrics(7.0));
+        append(&path, "stream", true, &metrics(250.0));
+        let last = last_entry(&path, "stream").expect("stream entry");
+        assert_eq!(last.get("bench"), Some(&Json::Str("stream".to_owned())));
+        assert_eq!(last.get("quick"), Some(&Json::Bool(true)));
+        assert_eq!(
+            last.get("metrics").and_then(|m| m.get("k_rps")).and_then(Json::as_f64),
+            Some(250.0)
+        );
+        let detect = last_entry(&path, "detect").expect("detect entry");
+        assert_eq!(detect.get("quick"), Some(&Json::Bool(false)));
+        assert!(last_entry(&path, "absent").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn last_entry_skips_garbage_lines() {
+        let dir = std::env::temp_dir().join("cad3_bench_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n{\"bench\":\"x\",\"metrics\":{\"k_rps\":3}}\n").unwrap();
+        let last = last_entry(&path, "x").expect("entry past garbage");
+        assert_eq!(
+            last.get("metrics").and_then(|m| m.get("k_rps")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drift_warnings_fire_only_outside_the_band() {
+        let last = Json::parse(
+            r#"{"bench":"s","date":"2026-08-01","quick":true,"metrics":{"k_rps":1000}}"#,
+        )
+        .unwrap();
+        assert!(drift_warnings(&last, &metrics(900.0), &["k_rps"], 0.6).is_empty());
+        let slow = drift_warnings(&last, &metrics(500.0), &["k_rps"], 0.6);
+        assert_eq!(slow.len(), 1, "{slow:?}");
+        assert!(slow[0].contains("2026-08-01"), "{slow:?}");
+        let fast = drift_warnings(&last, &metrics(2000.0), &["k_rps"], 0.6);
+        assert_eq!(fast.len(), 1, "suspicious speedups also warn: {fast:?}");
+        // Missing keys and empty baselines are silently skipped.
+        assert!(drift_warnings(&last, &metrics(500.0), &["other"], 0.6).is_empty());
+    }
+
+    #[test]
+    fn entry_is_one_parseable_line() {
+        let line = entry("stream", "2026-08-08", true, &metrics(42.0));
+        assert!(!line.contains('\n'));
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("date"), Some(&Json::Str("2026-08-08".to_owned())));
+    }
+
+    #[test]
+    fn run_date_honours_the_env_pin() {
+        // Avoid mutating the process env (other tests run concurrently):
+        // only assert the pinned branch when the variable is already set,
+        // and otherwise that the fallback produces a plausible date.
+        match std::env::var("CAD3_BENCH_DATE") {
+            Ok(d) if !d.is_empty() => assert_eq!(run_date(), d),
+            _ => {
+                let d = run_date();
+                assert!(d == "unknown" || d.len() >= 8, "{d}");
+            }
+        }
+    }
+}

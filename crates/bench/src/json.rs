@@ -76,6 +76,45 @@ impl Json {
         out
     }
 
+    /// Renders on a single line (JSONL entries), same number format as
+    /// [`Self::to_pretty_string`].
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format_num(*n)),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -303,6 +342,17 @@ mod tests {
             }
             other => panic!("not an object: {other:?}"),
         }
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let text = r#"{"a": 1, "b": {"c": [1, 2.5, -3], "d": "x\ny"}, "e": true}"#;
+        let doc = Json::parse(text).unwrap();
+        let compact = doc.to_compact_string();
+        assert!(!compact.contains('\n') || compact.contains("\\n"), "{compact}");
+        assert_eq!(compact.matches('\n').count(), 0, "{compact}");
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        assert_eq!(Json::Obj(vec![]).to_compact_string(), "{}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 pub mod console;
 pub mod experiments;
+pub mod history;
 pub mod json;
 pub mod paper;
 pub mod tables;

@@ -51,6 +51,14 @@ impl LatencyStats {
     /// feeds the `rsu.*_us` histograms, so a metrics snapshot reproduces the
     /// Fig. 6a stage decomposition in microseconds of modelled time.
     pub fn record(&mut self, b: &LatencyBreakdown) {
+        self.record_inner(b, 0);
+    }
+
+    /// [`Self::record`] carrying the record's trace id (0 = untraced): on
+    /// the exemplar-enabled histograms (`rsu.detect_us`, `rsu.total_us`)
+    /// the observation publishes a tail exemplar, so any bucket above p95
+    /// links back to a concrete assembled trace.
+    fn record_inner(&mut self, b: &LatencyBreakdown, trace_id: u64) {
         self.tx_ms.push(b.tx.as_millis_f64());
         self.queuing_ms.push(b.queuing.as_millis_f64());
         self.processing_ms.push(b.processing.as_millis_f64());
@@ -62,7 +70,11 @@ impl LatencyStats {
             cad3_obs::histogram!("rsu.processing_us").observe(b.processing.as_nanos() / 1_000);
             cad3_obs::histogram!("rsu.dissemination_us")
                 .observe(b.dissemination.as_nanos() / 1_000);
-            cad3_obs::histogram!("rsu.total_us").observe(b.total().as_nanos() / 1_000);
+            let detect = b.tx + b.queuing + b.processing;
+            cad3_obs::histogram!("rsu.detect_us")
+                .observe_with_exemplar(detect.as_nanos() / 1_000, trace_id);
+            cad3_obs::histogram!("rsu.total_us")
+                .observe_with_exemplar(b.total().as_nanos() / 1_000, trace_id);
         }
     }
 
@@ -80,7 +92,7 @@ impl LatencyStats {
         detected_ns: u64,
         delivered_ns: u64,
     ) {
-        self.record(b);
+        self.record_inner(b, trace.map(|ctx| ctx.trace_id()).unwrap_or(0));
         if let Some(ctx) = trace {
             cad3_obs::trace_span!(
                 "rsu.disseminate",

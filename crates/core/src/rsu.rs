@@ -308,11 +308,16 @@ impl RsuNode {
                 // records see exactly the summary state the scalar loop
                 // would have produced.
                 let mut detections = Vec::with_capacity(feats.len());
-                detector.detect_batch(
-                    &feats,
-                    &mut |i, p1| tracker.observe(feats[i].vehicle, feats[i].road, p1),
-                    &mut detections,
-                );
+                {
+                    // Profile-only stage (no recorder write): safe inside
+                    // worker threads where span records would race the ring.
+                    let _sweep = cad3_obs::profile_span!("ml.nb.sweep");
+                    detector.detect_batch(
+                        &feats,
+                        &mut |i, p1| tracker.observe(feats[i].vehicle, feats[i].road, p1),
+                        &mut detections,
+                    );
+                }
 
                 // Phase 3: per-record outcomes in input order — detect
                 // spans on the pre-reserved ids, warnings for abnormal

@@ -66,13 +66,23 @@ impl Executor {
         }
 
         let f = &f;
+        // Profiler stage attribution: workers adopt the coordinator's open
+        // stage path so their self-time lands under it (e.g. a detect sweep
+        // inside `run` shows up below `rsu.run_batch;rsu.detect`).
+        let token = cad3_obs::profile::current_token();
         let joined = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                // determinism-exempt(thread): workers own disjoint input chunks
-                // and are joined in spawn (= input) order below, so the output
-                // is identical to the sequential map regardless of schedule.
-                .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .map(|chunk| {
+                    // determinism-exempt(thread): workers own disjoint input
+                    // chunks, joined in spawn (= input) order — the output is
+                    // identical to the sequential map regardless of schedule.
+                    scope.spawn(move |_| {
+                        cad3_obs::profile::set_thread_class("worker");
+                        let _adopt = cad3_obs::profile::adopt(token);
+                        chunk.into_iter().map(f).collect::<Vec<O>>()
+                    })
+                })
                 .collect();
             // Join in spawn (= input) order, deferring any panic until every
             // worker has been joined so no output buffer is dropped early.

@@ -4,7 +4,7 @@
 //! serializer dependency — so callers decide where the bytes go (a file in
 //! `results/`, stderr from the panic hook, a CI artifact).
 
-use crate::metrics::{bucket_upper, HistogramSnapshot, BUCKETS};
+use crate::metrics::{bucket_upper, Exemplar, HistogramSnapshot, BUCKETS};
 use crate::recorder::{EventKind, SpanEvent};
 use crate::registry::MetricsSnapshot;
 use std::fmt::Write;
@@ -59,7 +59,17 @@ fn prom_escape_label_value(value: &str) -> String {
     out
 }
 
-fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+/// The OpenMetrics-style exemplar annotation appended to a `_bucket` line:
+/// ` # {trace_id="<hex>"} <value>`. Empty when the bucket has none.
+fn exemplar_suffix(exemplars: &[(usize, Exemplar)], bucket: usize) -> String {
+    exemplars
+        .iter()
+        .find(|(b, _)| *b == bucket)
+        .map(|(_, ex)| format!(" # {{trace_id=\"{:016x}\"}} {}", ex.trace_id, ex.value))
+        .unwrap_or_default()
+}
+
+fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot, ex: &[(usize, Exemplar)]) {
     let p = prom_name(name);
     write_help(out, &p, name);
     let _ = writeln!(out, "# TYPE {p} histogram");
@@ -72,9 +82,15 @@ fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
         if bucket_upper(b) == u64::MAX {
             continue;
         }
-        let _ = writeln!(out, "{p}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(b));
+        let _ = writeln!(
+            out,
+            "{p}_bucket{{le=\"{}\"}} {cumulative}{}",
+            bucket_upper(b),
+            exemplar_suffix(ex, b)
+        );
     }
-    let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+    // The unbounded top bucket's exemplar (if any) rides the +Inf line.
+    let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}{}", h.count, exemplar_suffix(ex, 64));
     let _ = writeln!(out, "{p}_sum {}", h.sum);
     let _ = writeln!(out, "{p}_count {}", h.count);
 }
@@ -94,7 +110,9 @@ const LABELED_GAUGE_PREFIXES: [(&str, &str, &str); 4] = [
 /// sample family is preceded by its `# TYPE` line (and, for catalogued
 /// names, a `# HELP` line from [`crate::names::HELP`]), counters take the
 /// `_total` suffix, label values are escaped, and histograms emit
-/// cumulative buckets capped by `+Inf` plus `_sum`/`_count`.
+/// cumulative buckets capped by `+Inf` plus `_sum`/`_count`. Buckets of
+/// exemplar-enabled histograms carry OpenMetrics-style annotations
+/// (` # {trace_id="<hex>"} <value>`) linking the tail to a concrete trace.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
@@ -129,7 +147,7 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{p} {value}");
     }
     for (name, h) in &snapshot.histograms {
-        prom_histogram(&mut out, name, h);
+        prom_histogram(&mut out, name, h, snapshot.exemplars_of(name));
     }
     out
 }
@@ -241,6 +259,26 @@ mod tests {
                 continue;
             }
             assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+            // Split off an OpenMetrics exemplar annotation before parsing
+            // the sample proper.
+            let (line, exemplar) = match line.split_once(" # ") {
+                Some((sample, ex)) => (sample, Some(ex)),
+                None => (line, None),
+            };
+            if let Some(ex) = exemplar {
+                let (labels, value) =
+                    ex.split_once("} ").unwrap_or_else(|| panic!("exemplar shape in {ex:?}"));
+                assert!(labels.starts_with('{'), "exemplar labels in {ex:?}");
+                assert!(
+                    labels.trim_start_matches('{').starts_with("trace_id=\""),
+                    "exemplar label key in {ex:?}"
+                );
+                let _: u64 = value.parse().expect("exemplar value");
+                assert!(
+                    line.contains("_bucket"),
+                    "exemplars are only legal on bucket lines: {line:?}"
+                );
+            }
             let (name_and_labels, value) = line.rsplit_once(' ').expect("sample shape");
             let name = name_and_labels.split('{').next().expect("name");
             let labels = name_and_labels.strip_prefix(name).unwrap_or("");
@@ -317,6 +355,41 @@ mod tests {
         assert!(!text.contains("le=\"18446744073709551615\""), "{text}");
         // One TYPE line serves both labeled lag samples.
         assert_eq!(text.matches("# TYPE cad3_stream_consumer_lag gauge").count(), 1);
+    }
+
+    #[test]
+    fn exemplar_annotations_are_conformant_and_bucket_scoped() {
+        let mut snap = MetricsSnapshot::default();
+        let h = Histogram::with_exemplars();
+        h.observe_with_exemplar(3, 0xa1);
+        h.observe_with_exemplar(900, 0xb2);
+        h.observe_with_exemplar(u64::MAX, 0xc3);
+        snap.histograms.insert("rsu.total_us".into(), h.snapshot());
+        snap.exemplars.insert("rsu.total_us".into(), h.exemplars());
+        let text = prometheus_text(&snap);
+        assert_conformant(&text);
+        assert!(
+            text.contains(
+                "cad3_rsu_total_us_bucket{le=\"3\"} 1 # {trace_id=\"00000000000000a1\"} 3\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("{le=\"1023\"} 2 # {trace_id=\"00000000000000b2\"} 900\n"), "{text}");
+        // The unbounded top bucket's exemplar rides the +Inf line.
+        assert!(
+            text.contains(
+                "{le=\"+Inf\"} 3 # {trace_id=\"00000000000000c3\"} 18446744073709551615\n"
+            ),
+            "{text}"
+        );
+        // A histogram without exemplars renders no annotation at all.
+        let h2 = Histogram::new();
+        h2.observe(5);
+        let mut snap2 = MetricsSnapshot::default();
+        snap2.histograms.insert("rsu.queuing_us".into(), h2.snapshot());
+        let text2 = prometheus_text(&snap2);
+        assert_conformant(&text2);
+        assert!(!text2.contains(" # "), "{text2}");
     }
 
     #[test]

@@ -822,6 +822,7 @@ mod tests {
             counters: Map::new(),
             gauges: entries.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
             histograms: Map::new(),
+            exemplars: Map::new(),
         }
     }
 

@@ -65,6 +65,7 @@ pub mod export;
 pub mod health;
 mod metrics;
 pub mod names;
+pub mod profile;
 mod recorder;
 mod registry;
 mod span;
@@ -73,7 +74,10 @@ pub mod trace;
 pub mod window;
 
 pub use health::{AlertEvent, HealthMonitor, HealthState, Severity, SloContract};
-pub use metrics::{bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{
+    bucket_lower, bucket_upper, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot,
+};
+pub use profile::{ProfileSnapshot, ProfileToken, StackView, StageTotals};
 pub use recorder::{install_panic_dump, recorder, EventKind, FlightRecorder, SpanEvent};
 pub use registry::{registry, MetricsSnapshot, Registry};
 pub use span::{point, SpanGuard, SpanSite};
@@ -151,6 +155,24 @@ macro_rules! span {
         $crate::SpanGuard::enter(
             __OBS_SITE.get_or_init(|| $crate::SpanSite::register($name)),
             $value,
+        )
+    }};
+}
+
+/// Enters a **profile-only** stage, returning its RAII guard: the stage
+/// accounts into the continuous profiler's stage tree and the thread's
+/// live stack ([`profile`]), but never touches the flight recorder, the
+/// span-id counter or any histogram. This is the form safe inside parallel
+/// workers, where recorder writes would make deterministic-replay
+/// artifacts schedule-dependent. The name must be a string literal from
+/// [`names`] (checked by `cargo xtask lint`'s `profile-names` rule).
+/// Inert (no clock read) unless [`enabled`].
+#[macro_export]
+macro_rules! profile_span {
+    ($name:expr) => {{
+        static __OBS_STAGE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::profile::StageGuard::enter(
+            *__OBS_STAGE.get_or_init(|| $crate::registry().intern_name($name)),
         )
     }};
 }

@@ -35,7 +35,7 @@ pub const BUCKETS: usize = 65;
 /// `thread_local!` value: const TLS compiles to a direct slot access with
 /// no per-call init flag or destructor check, which matters on the broker
 /// append path (see EXPERIMENTS.md "Observability overhead").
-fn shard_index() -> usize {
+pub(crate) fn shard_index() -> usize {
     use std::cell::Cell;
     use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -155,6 +155,35 @@ impl HistogramCell {
     }
 }
 
+/// A tail-latency exemplar: the last observation published into a bucket,
+/// linked to the distributed trace that produced it. `trace_id == 0` never
+/// occurs (ids are minted from 1), so 0 doubles as the empty-slot marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The [`crate::TraceContext`] trace id that produced the observation.
+    pub trace_id: u64,
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+}
+
+/// One exemplar slot: the (trace_id, value) pair is published as two
+/// relaxed stores with last-writer-wins semantics per field. A reader
+/// racing a writer may pair a fresh trace id with the previous value (or
+/// vice versa) — the documented "relaxed, overwrite-on-race" contract:
+/// exemplars are debugging breadcrumbs, and any published trace id is a
+/// real trace worth expanding. `trace_id == 0` means never written.
+#[derive(Debug)]
+struct ExemplarSlot {
+    trace_id: AtomicU64,
+    value: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> Self {
+        ExemplarSlot { trace_id: AtomicU64::new(0), value: AtomicU64::new(0) }
+    }
+}
+
 /// Index of the log2 bucket holding `v`: its number of significant bits.
 pub(crate) fn bucket_index(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
@@ -186,12 +215,23 @@ pub fn bucket_upper(b: usize) -> u64 {
 #[derive(Debug)]
 pub struct Histogram {
     cells: Vec<HistogramCell>,
+    /// One slot per bucket when exemplar capture is enabled for this
+    /// histogram (the registry opts catalogue names in via
+    /// [`crate::names::EXEMPLAR_HISTOGRAMS`]); `None` costs nothing.
+    exemplars: Option<Box<[ExemplarSlot]>>,
 }
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { cells: (0..SHARDS).map(|_| HistogramCell::new()).collect() }
+        Histogram { cells: (0..SHARDS).map(|_| HistogramCell::new()).collect(), exemplars: None }
+    }
+
+    /// Creates an empty histogram with one exemplar slot per bucket.
+    pub fn with_exemplars() -> Self {
+        let mut h = Histogram::new();
+        h.exemplars = Some((0..BUCKETS).map(|_| ExemplarSlot::new()).collect());
+        h
     }
 
     /// Records one observation into this thread's shard.
@@ -213,6 +253,46 @@ impl Histogram {
                 Err(actual) => seen = actual,
             }
         }
+    }
+
+    /// Records one observation, publishing it as the bucket's exemplar if
+    /// this histogram carries exemplar slots and `trace_id` is nonzero.
+    /// `trace_id == 0` (sampled-out record, no active trace) behaves
+    /// exactly like [`Self::observe`].
+    pub fn observe_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.observe(v);
+        if trace_id == 0 {
+            return;
+        }
+        let Some(slots) = &self.exemplars else { return };
+        // hotpath-exempt(panic): bucket_index() is at most 64; the slot
+        // table is built with exactly BUCKETS (65) entries.
+        let slot = &slots[bucket_index(v)];
+        // ordering: Relaxed — overwrite-on-race exemplar publish; the two
+        // fields are independently last-writer-wins (see ExemplarSlot).
+        slot.value.store(v, Ordering::Relaxed);
+        // ordering: Relaxed — same overwrite-on-race publish as above.
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+    }
+
+    /// The exemplars currently published, as (bucket index, exemplar)
+    /// pairs. Empty when this histogram has no exemplar slots or none has
+    /// been written yet.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        let Some(slots) = &self.exemplars else { return Vec::new() };
+        let mut out = Vec::new();
+        for (b, slot) in slots.iter().enumerate() {
+            // ordering: Relaxed — overwrite-on-race exemplar read; a torn
+            // (id, value) pairing is an accepted outcome (see ExemplarSlot).
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            if trace_id == 0 {
+                continue;
+            }
+            // ordering: Relaxed — same exemplar read as above.
+            let value = slot.value.load(Ordering::Relaxed);
+            out.push((b, Exemplar { trace_id, value }));
+        }
+        out
     }
 
     /// Merges every shard into one immutable snapshot.
@@ -398,6 +478,35 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p50(), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn exemplars_capture_the_last_trace_per_bucket() {
+        let h = Histogram::with_exemplars();
+        h.observe_with_exemplar(900, 0xabc);
+        h.observe_with_exemplar(1000, 0xdef);
+        h.observe_with_exemplar(3, 7);
+        let ex = h.exemplars();
+        // 900 and 1000 share bucket 10; the later write wins.
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0], (2, Exemplar { trace_id: 7, value: 3 }));
+        assert_eq!(ex[1], (10, Exemplar { trace_id: 0xdef, value: 1000 }));
+    }
+
+    #[test]
+    fn zero_trace_id_observes_without_publishing() {
+        let h = Histogram::with_exemplars();
+        h.observe_with_exemplar(42, 0);
+        assert_eq!(h.snapshot().count, 1);
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn plain_histograms_have_no_exemplars() {
+        let h = Histogram::new();
+        h.observe_with_exemplar(42, 9);
+        assert_eq!(h.snapshot().count, 1, "the observation still lands");
+        assert!(h.exemplars().is_empty());
     }
 
     #[test]

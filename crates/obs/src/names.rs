@@ -64,6 +64,9 @@ pub const RSU_SUMMARIES_OUT: &str = "rsu.handover.summaries_out";
 pub const RSU_DETECT_BATCH_SIZE: &str = "rsu.detect.batch_size";
 /// Rows swept by the batched column-major detect path (counter).
 pub const ML_BATCH_ROWS: &str = "ml.batch.rows";
+/// Column-major NB sweep inside the parallel detect stage (profile-only
+/// stage, entered with `profile_span!` — no recorder event, no histogram).
+pub const ML_NB_SWEEP: &str = "ml.nb.sweep";
 
 /// Fig. 6a decomposition histograms, microseconds of *modelled* (virtual)
 /// time, fed by `cad3::LatencyStats::record` (exporter-gated).
@@ -74,6 +77,10 @@ pub const RSU_QUEUING_US: &str = "rsu.queuing_us";
 pub const RSU_PROCESSING_US: &str = "rsu.processing_us";
 /// Dissemination stage of the Fig. 6a decomposition (histogram, µs).
 pub const RSU_DISSEMINATION_US: &str = "rsu.dissemination_us";
+/// Detection-side latency (tx + queuing + processing) of the Fig. 6a
+/// decomposition — time to a *detected* anomaly, before dissemination
+/// (histogram, µs; exemplar-enabled).
+pub const RSU_DETECT_US: &str = "rsu.detect_us";
 /// End-to-end total of the Fig. 6a decomposition (histogram, µs).
 pub const RSU_TOTAL_US: &str = "rsu.total_us";
 
@@ -165,10 +172,12 @@ pub const ALL: &[&str] = &[
     RSU_SUMMARIES_OUT,
     RSU_DETECT_BATCH_SIZE,
     ML_BATCH_ROWS,
+    ML_NB_SWEEP,
     RSU_TX_US,
     RSU_QUEUING_US,
     RSU_PROCESSING_US,
     RSU_DISSEMINATION_US,
+    RSU_DETECT_US,
     RSU_TOTAL_US,
     VEHICLE_EMIT,
     NET_DSRC_TX,
@@ -239,10 +248,12 @@ pub const HELP: &[(&str, &str)] = &[
     (RSU_SUMMARIES_OUT, "Collaboration summaries exported for the next RSU."),
     (RSU_DETECT_BATCH_SIZE, "Records per detect micro-batch, log2 buckets."),
     (ML_BATCH_ROWS, "Rows swept by the batched column-major detect path."),
+    (ML_NB_SWEEP, "Column-major NB sweep stage inside parallel detect."),
     (RSU_TX_US, "Modelled DSRC transmission stage in microseconds."),
     (RSU_QUEUING_US, "Modelled queuing stage in microseconds."),
     (RSU_PROCESSING_US, "Modelled processing stage in microseconds."),
     (RSU_DISSEMINATION_US, "Modelled dissemination stage in microseconds."),
+    (RSU_DETECT_US, "Modelled latency to detection, before dissemination, in microseconds."),
     (RSU_TOTAL_US, "Modelled end-to-end detection latency in microseconds."),
     (VEHICLE_EMIT, "Record emission at the vehicle, the root trace span."),
     (NET_DSRC_TX, "DSRC uplink vehicle-to-RSU trace span in nanoseconds."),
@@ -268,6 +279,20 @@ pub const HELP: &[(&str, &str)] = &[
     (HEALTH_HANDOVER_UNHEALTHY, "Handover destinations found degraded or overloaded."),
     (OBS_NAMES_DROPPED, "Dynamic registrations rejected by a family cardinality cap."),
 ];
+
+/// Histograms created with per-bucket tail exemplar slots: observations on
+/// these names may carry a trace id (`observe_with_exemplar`), letting any
+/// tail bucket above p95 expand into a full assembled trace waterfall.
+/// Kept as one literal array line so `cargo xtask lint`'s `profile-names`
+/// rule can parse it without name resolution; every entry must also be a
+/// catalogued name (enforced in tests).
+pub const EXEMPLAR_HISTOGRAMS: &[&str] = &["rsu.detect_us", "rsu.total_us"];
+
+/// The thread-class vocabulary of the continuous profiler
+/// (`cad3_obs::profile::set_thread_class`): path roots in folded stacks.
+/// One literal array line for the `profile-names` lint, like
+/// [`EXEMPLAR_HISTOGRAMS`].
+pub const THREAD_CLASSES: &[&str] = &["main", "worker"];
 
 /// Looks up the help text for a catalogued name, resolving `<span>_ns`
 /// duration histograms to their span's entry and `<family>.<member>` (or
@@ -328,6 +353,21 @@ mod tests {
         }
         assert_eq!(help_for("rsu.detect_ns"), help_for("rsu.detect"), "span _ns fallback");
         assert_eq!(help_for("not.a.catalogued.name"), None);
+    }
+
+    #[test]
+    fn exemplar_histograms_and_thread_classes_are_catalogued_vocabulary() {
+        for name in EXEMPLAR_HISTOGRAMS {
+            assert!(ALL.contains(name), "exemplar histogram {name} missing from ALL");
+        }
+        assert_eq!(EXEMPLAR_HISTOGRAMS, &[RSU_DETECT_US, RSU_TOTAL_US]);
+        for class in THREAD_CLASSES {
+            assert!(is_valid_name(class), "bad thread class {class}");
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for class in THREAD_CLASSES {
+            assert!(seen.insert(class), "duplicate thread class {class}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! be called from inside any broker/engine/RSU critical section without
 //! widening the lock graph.
 
-use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot};
 use crate::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -81,7 +81,9 @@ impl Registry {
     }
 
     /// The histogram named `name`, created on first use (same dedupe and
-    /// family-cap policy as [`Self::counter`]).
+    /// family-cap policy as [`Self::counter`]). Names in the
+    /// [`crate::names::EXEMPLAR_HISTOGRAMS`] catalogue are created with
+    /// per-bucket exemplar slots.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let _held = cad3_lockrank::rank_scope!("cad3_obs::Registry::inner");
         let mut inner = self.inner.lock();
@@ -93,7 +95,14 @@ impl Registry {
             count_drop(&mut inner);
         }
         let key = overflow.unwrap_or_else(|| name.to_owned());
-        Arc::clone(inner.histograms.entry(key).or_default())
+        let cell = inner.histograms.entry(key).or_insert_with(|| {
+            if crate::names::EXEMPLAR_HISTOGRAMS.contains(&name) {
+                Arc::new(Histogram::with_exemplars())
+            } else {
+                Arc::new(Histogram::new())
+            }
+        });
+        Arc::clone(cell)
     }
 
     /// Interns a static name (span names, event names), returning a dense id
@@ -126,10 +135,18 @@ impl Registry {
             let inner = self.inner.lock();
             (inner.counters.clone(), inner.gauges.clone(), inner.histograms.clone())
         };
+        let exemplars = histograms
+            .iter()
+            .filter_map(|(k, v)| {
+                let ex = v.exemplars();
+                (!ex.is_empty()).then(|| (k.clone(), ex))
+            })
+            .collect();
         MetricsSnapshot {
             counters: counters.into_iter().map(|(k, v)| (k, v.value())).collect(),
             gauges: gauges.into_iter().map(|(k, v)| (k, v.value())).collect(),
             histograms: histograms.into_iter().map(|(k, v)| (k, v.snapshot())).collect(),
+            exemplars,
         }
     }
 }
@@ -181,6 +198,9 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Merged histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Published tail exemplars by histogram name, as (bucket index,
+    /// exemplar) pairs — only histograms with at least one exemplar appear.
+    pub exemplars: BTreeMap<String, Vec<(usize, Exemplar)>>,
 }
 
 impl MetricsSnapshot {
@@ -197,6 +217,11 @@ impl MetricsSnapshot {
     /// Histogram by name, when present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// Exemplars of the named histogram (empty when none are published).
+    pub fn exemplars_of(&self, name: &str) -> &[(usize, Exemplar)] {
+        self.exemplars.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -244,6 +269,22 @@ mod tests {
     fn global_registry_is_one_instance() {
         registry().counter("selftest.registry").add(1);
         assert!(registry().snapshot().counter("selftest.registry") >= 1);
+    }
+
+    #[test]
+    fn catalogued_exemplar_histograms_capture_and_snapshot() {
+        let r = Registry::new();
+        let name = crate::names::EXEMPLAR_HISTOGRAMS[0];
+        r.histogram(name).observe_with_exemplar(5000, 0x1234);
+        r.histogram("plain.hist").observe_with_exemplar(5000, 0x1234);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.exemplars_of(name),
+            &[(13, Exemplar { trace_id: 0x1234, value: 5000 })],
+            "catalogued names get exemplar slots"
+        );
+        assert!(snap.exemplars_of("plain.hist").is_empty(), "uncatalogued names do not");
+        assert_eq!(snap.histogram("plain.hist").map(|h| h.count), Some(1));
     }
 
     #[test]

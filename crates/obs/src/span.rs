@@ -93,6 +93,7 @@ impl SpanGuard {
         });
         let start_ns = crate::clock::now_nanos();
         recorder().record(EventKind::Enter, site.name_id, id, parent, value, start_ns);
+        crate::profile::push(site.name_id, start_ns);
         SpanGuard { site: Some(site), id, parent, start_ns }
     }
 
@@ -122,6 +123,7 @@ impl Drop for SpanGuard {
         let duration = end_ns.saturating_sub(self.start_ns);
         site.histogram.observe(duration);
         recorder().record(EventKind::Exit, site.name_id, self.id, self.parent, duration, end_ns);
+        crate::profile::pop(site.name_id, end_ns);
     }
 }
 

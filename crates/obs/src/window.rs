@@ -149,6 +149,7 @@ mod tests {
             counters: counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
             gauges: gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
             histograms: BTreeMap::new(),
+            exemplars: BTreeMap::new(),
         }
     }
 

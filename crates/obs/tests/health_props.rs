@@ -22,6 +22,7 @@ fn snap(counter: u64, gauge: u64) -> MetricsSnapshot {
         counters: [(COUNTER.to_owned(), counter)].into_iter().collect(),
         gauges: [(GAUGE.to_owned(), gauge)].into_iter().collect(),
         histograms: BTreeMap::new(),
+        exemplars: BTreeMap::new(),
     }
 }
 
@@ -135,6 +136,7 @@ proptest! {
                     counters: BTreeMap::new(),
                     gauges: BTreeMap::new(),
                     histograms: [(HISTO.to_owned(), cumulative.clone())].into_iter().collect(),
+                    exemplars: BTreeMap::new(),
                 },
             );
         }

@@ -14,6 +14,7 @@
 //! count, sum and max.
 #![cfg(loom)]
 
+use cad3_obs::profile::StageStack;
 use cad3_obs::{Counter, Histogram};
 use loom::sync::Arc;
 use loom::thread;
@@ -62,6 +63,43 @@ fn histogram_sharded_merge_conserves_observations() {
         assert_eq!(s.buckets[2], 1, "value 3");
         assert_eq!(s.buckets[3], 1, "value 4");
         assert_eq!(s.buckets[10], 2, "900 and 1000 both have 10 significant bits");
+    });
+}
+
+/// The profiler's seqlock stage-stack publish/read race: a reader racing
+/// the owning thread's publishes either skips the sample (torn read, odd
+/// seq, never published) or sees one of the *complete* published states —
+/// never a mix of two publishes.
+#[test]
+fn stage_stack_reads_are_torn_free() {
+    loom::model(|| {
+        let stack = Arc::new(StageStack::new());
+        let writer = {
+            let stack = Arc::clone(&stack);
+            // Single-writer by contract: both publishes happen on this one
+            // thread, racing only the reader.
+            thread::spawn(move || {
+                stack.publish(1, 1, &[11]);
+                stack.publish(2, 2, &[22, 22]);
+            })
+        };
+        let reader = {
+            let stack = Arc::clone(&stack);
+            thread::spawn(move || {
+                if let Some((class, depth, ids)) = stack.read() {
+                    // Any successful read is exactly one published state.
+                    match class {
+                        1 => assert_eq!((depth, ids), (1, vec![11])),
+                        2 => assert_eq!((depth, ids), (2, vec![22, 22])),
+                        other => panic!("torn class {other}"),
+                    }
+                }
+            })
+        };
+        writer.join().expect("writer thread");
+        reader.join().expect("reader thread");
+        // Quiescent: the last publish is always visible and complete.
+        assert_eq!(stack.read(), Some((2, 2, vec![22, 22])));
     });
 }
 

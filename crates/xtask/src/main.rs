@@ -220,6 +220,10 @@ fn lint(update_baseline: bool) -> std::io::Result<bool> {
         let text = std::fs::read_to_string(&slos_path)?;
         violations.extend(rules::check_slos("slos.toml", &text));
     }
+    // The profile vocabulary arrays live in the (per-file-exempt) names
+    // source; their well-formedness is checked against the compiled-in
+    // catalogue here.
+    violations.extend(rules::check_profile_catalogue());
 
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     for v in &violations {

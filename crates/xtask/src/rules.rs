@@ -25,7 +25,7 @@ pub struct Violation {
 }
 
 /// Rule names, in reporting order.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "ordering-comment",
     "no-panic",
     "no-as-cast",
@@ -34,6 +34,7 @@ pub const RULE_NAMES: [&str; 8] = [
     "obs-names",
     "span-names",
     "slo-names",
+    "profile-names",
 ];
 
 /// What kind of source tree a file came from; rules relax differently.
@@ -74,6 +75,7 @@ pub fn check_file(rel_path: &str, file: &SourceFile, kind: FileKind) -> Vec<Viol
         no_bare_print(rel_path, file, &mut out);
         obs_names(rel_path, file, &mut out);
         span_names(rel_path, file, &mut out);
+        profile_names(rel_path, file, &mut out);
     }
     out
 }
@@ -371,6 +373,137 @@ fn span_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// String entries of a single-line `pub const NAME: &[&str] = &["..."];`
+/// array in [`NAMES_SOURCE`], with the array's 1-based line. The profile
+/// vocabulary arrays are kept as one-line literal lists precisely so this
+/// parse stays trivial (the catalogue's own unit test holds the same).
+fn names_array(array: &str) -> Option<(usize, Vec<String>)> {
+    let prefix = format!("pub const {array}: &[&str] = &[");
+    for (idx, line) in NAMES_SOURCE.lines().enumerate() {
+        let Some(rest) = line.trim().strip_prefix(&prefix) else { continue };
+        let entries = rest.split('"').skip(1).step_by(2).map(str::to_owned).collect();
+        return Some((idx + 1, entries));
+    }
+    None
+}
+
+/// Rule 9: the continuous profiler's vocabulary is a closed set, like the
+/// span names it extends. Three call shapes are anchored when their
+/// argument is a string literal:
+///
+/// - `profile_span!("name")` — profile-only stages must use catalogued
+///   stage names, or the folded-stack paths grow unlabel-able frames;
+/// - `.stage_totals("name")` — a report asserting on a stage nobody can
+///   emit would pass vacuously or fail forever;
+/// - `set_thread_class("class")` — thread classes root every folded path
+///   and come from `cad3_obs::names::THREAD_CLASSES`.
+///
+/// Non-literal arguments are out of scope (runtime-assembled queries are
+/// legitimate). The obs crate is exempt: its macro definitions forward
+/// metavariables and its unit tests use throwaway names.
+fn profile_names(rel_path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if rel_path.starts_with("crates/obs/") {
+        return;
+    }
+    let catalogue = name_catalogue();
+    let classes = names_array("THREAD_CLASSES").map(|(_, v)| v).unwrap_or_default();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (callee, vocabulary, vocab_label) in [
+            ("profile_span!", catalogue, "cad3_obs::names catalogue"),
+            ("stage_totals", catalogue, "cad3_obs::names catalogue"),
+            ("set_thread_class", &classes[..], "cad3_obs::names::THREAD_CLASSES"),
+        ] {
+            let word = callee.trim_end_matches('!');
+            for pos in find_words(&line.code, word) {
+                let mut after = &line.code[pos + word.len()..];
+                if callee.ends_with('!') {
+                    let Some(rest) = after.strip_prefix('!') else { continue };
+                    after = rest;
+                }
+                let Some(args) = after.trim_start().strip_prefix('(') else { continue };
+                let leading = args.trim_start();
+                if !leading.starts_with('"') {
+                    continue; // non-literal arguments are out of scope
+                }
+                let prefix_len = line.code.len() - leading.len();
+                let literal_index = line.code[..prefix_len].matches('"').count() / 2;
+                let name = line.strings.get(literal_index).map_or("", String::as_str);
+                if !vocabulary.iter().any(|c| c == name) {
+                    out.push(Violation {
+                        rule: "profile-names",
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        message: format!("`{callee}` name {name:?} is not in the {vocab_label}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The catalogue-level half of `profile-names`: the exemplar-histogram
+/// and thread-class vocabulary arrays in `cad3_obs::names` must themselves
+/// be well-formed — every `EXEMPLAR_HISTOGRAMS` entry a catalogued metric
+/// name (an exemplar slot on a histogram nobody exports is dead weight)
+/// and every `THREAD_CLASSES` entry a lowercase identifier. Invoked
+/// directly by `lint` (like [`check_slos`]) since the findings anchor to
+/// the names source itself, which the per-file rule exempts.
+pub fn check_profile_catalogue() -> Vec<Violation> {
+    const NAMES_REL: &str = "crates/obs/src/names.rs";
+    let catalogue = name_catalogue();
+    let mut out = Vec::new();
+    match names_array("EXEMPLAR_HISTOGRAMS") {
+        Some((line, entries)) => {
+            for name in entries {
+                if !catalogue.iter().any(|c| c == &name) {
+                    out.push(Violation {
+                        rule: "profile-names",
+                        file: NAMES_REL.to_owned(),
+                        line,
+                        message: format!(
+                            "EXEMPLAR_HISTOGRAMS entry {name:?} is not in the names catalogue"
+                        ),
+                    });
+                }
+            }
+        }
+        None => out.push(Violation {
+            rule: "profile-names",
+            file: NAMES_REL.to_owned(),
+            line: 1,
+            message: "EXEMPLAR_HISTOGRAMS single-line literal array not found".to_owned(),
+        }),
+    }
+    match names_array("THREAD_CLASSES") {
+        Some((line, entries)) => {
+            for class in entries {
+                let ok =
+                    !class.is_empty() && class.chars().all(|c| c.is_ascii_lowercase() || c == '_');
+                if !ok {
+                    out.push(Violation {
+                        rule: "profile-names",
+                        file: NAMES_REL.to_owned(),
+                        line,
+                        message: format!(
+                            "THREAD_CLASSES entry {class:?} is not a lowercase identifier"
+                        ),
+                    });
+                }
+            }
+        }
+        None => out.push(Violation {
+            rule: "profile-names",
+            file: NAMES_REL.to_owned(),
+            line: 1,
+            message: "THREAD_CLASSES single-line literal array not found".to_owned(),
+        }),
+    }
+    out
+}
+
 /// Rule 8: the SLO contract must stay anchored to the metric catalogue.
 /// Every `metric = "..."` in the root `slos.toml` must name an entry of
 /// `cad3_obs::names` — either verbatim or as a span's derived `<name>_ns`
@@ -655,6 +788,63 @@ mod tests {
             assert!(cat.iter().any(|c| c == expected), "missing {expected}: {cat:?}");
         }
         assert!(cat.len() >= 40, "suspiciously small catalogue: {}", cat.len());
+    }
+
+    #[test]
+    fn profile_span_with_catalogued_name_passes() {
+        let src = "fn f() { let _g = cad3_obs::profile_span!(\"ml.nb.sweep\"); }\n";
+        assert!(violations_of("profile-names", "crates/core/src/rsu.rs", src).is_empty());
+    }
+
+    #[test]
+    fn profile_span_with_uncatalogued_name_flagged() {
+        let src = "fn f() { let _g = cad3_obs::profile_span!(\"ml.mystery.pass\"); }\n";
+        let v = violations_of("profile-names", "crates/core/src/rsu.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ml.mystery.pass"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn stage_totals_literal_is_anchored_to_the_catalogue() {
+        let good = "fn f(s: &ProfileSnapshot) { let _ = s.stage_totals(\"rsu.detect\"); }\n";
+        assert!(violations_of("profile-names", "crates/bench/src/lib.rs", good).is_empty());
+        let bad = "fn f(s: &ProfileSnapshot) { let _ = s.stage_totals(\"rsu.ghost\"); }\n";
+        let v = violations_of("profile-names", "crates/bench/src/lib.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Runtime-assembled names stay out of scope.
+        let dynamic = "fn f(s: &ProfileSnapshot, n: &str) { let _ = s.stage_totals(n); }\n";
+        assert!(violations_of("profile-names", "crates/bench/src/lib.rs", dynamic).is_empty());
+    }
+
+    #[test]
+    fn thread_class_literal_is_anchored_to_the_class_list() {
+        let good = "fn f() { cad3_obs::profile::set_thread_class(\"worker\"); }\n";
+        assert!(violations_of("profile-names", "crates/engine/src/executor.rs", good).is_empty());
+        let bad = "fn f() { cad3_obs::profile::set_thread_class(\"reactor\"); }\n";
+        let v = violations_of("profile-names", "crates/engine/src/executor.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("THREAD_CLASSES"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn obs_crate_and_tests_are_exempt_from_profile_names() {
+        let src = "fn f() { crate::profile_span!(\"anything.goes\"); }\n";
+        assert!(violations_of("profile-names", "crates/obs/src/profile.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { \
+                       cad3_obs::profile_span!(\"test.prof.x\"); }\n}\n";
+        assert!(violations_of("profile-names", "crates/core/src/rsu.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn profile_catalogue_arrays_are_well_formed() {
+        // The real names source must pass its own vocabulary check…
+        assert!(check_profile_catalogue().is_empty(), "{:?}", check_profile_catalogue());
+        // …and the parser actually sees both arrays.
+        let (_, exemplars) = names_array("EXEMPLAR_HISTOGRAMS").expect("exemplar array");
+        assert_eq!(exemplars, ["rsu.detect_us", "rsu.total_us"]);
+        let (_, classes) = names_array("THREAD_CLASSES").expect("class array");
+        assert_eq!(classes, ["main", "worker"]);
+        assert!(names_array("NOT_AN_ARRAY").is_none());
     }
 
     #[test]
